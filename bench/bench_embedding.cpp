@@ -1,0 +1,90 @@
+// E1 / E2 — language embedding (Fig 5.2): the Lustre integrator runs in
+// BIP with exactly the reference stream semantics, and the generated model
+// size is linear in the source program size ("their size is linear with
+// respect to the initial program size", Section 5.6).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "frontends/lustre/lustre.hpp"
+
+namespace {
+
+using namespace cbip;
+
+std::string chainProgram(int n) {
+  std::string src = "node chain(x: int) returns (y" + std::to_string(n) + ": int);\n";
+  if (n > 1) {
+    src += "var ";
+    for (int i = 1; i < n; ++i) {
+      src += "y" + std::to_string(i) + (i + 1 < n ? ", " : ": int;\n");
+    }
+  }
+  src += "let\n";
+  for (int i = 1; i <= n; ++i) {
+    const std::string prev = i == 1 ? "x" : "y" + std::to_string(i - 1);
+    src += "  y" + std::to_string(i) + " = " + prev + " + pre(y" + std::to_string(i) + ");\n";
+  }
+  src += "tel\n";
+  return src;
+}
+
+void BM_InterpreterCycles(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const lustre::Program p = lustre::parse(chainProgram(n));
+  for (auto _ : state) {
+    lustre::Interpreter interp(p.node("chain"));
+    for (int t = 0; t < 100; ++t) benchmark::DoNotOptimize(interp.step({{"x", t}}));
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_InterpreterCycles)->DenseRange(2, 10, 4);
+
+void BM_EmbeddedCycles(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const lustre::Program p = lustre::parse(chainProgram(n));
+  const lustre::Embedding e = lustre::embed(p.node("chain"), {{"x", {0, 1, 0}}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lustre::runEmbedded(e, 100));
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_EmbeddedCycles)->DenseRange(2, 10, 4);
+
+void printLinearityTable() {
+  std::printf("\n== E2: embedded model size vs source size (chain of n integrators) ==\n");
+  std::printf("%4s %12s %12s %12s %12s\n", "n", "equations", "components", "connectors",
+              "wires");
+  for (int n = 1; n <= 16; n *= 2) {
+    const lustre::Program p = lustre::parse(chainProgram(n));
+    const lustre::Embedding e = lustre::embed(p.node("chain"), {{"x", {0, 1, 0}}});
+    std::printf("%4d %12d %12zu %12zu %12d\n", n, n, e.system.instanceCount(),
+                e.system.connectorCount(), e.wires);
+  }
+  std::printf("(components = 2n+2, wires = 3n+1: linear, matching Section 5.6)\n");
+
+  std::printf("\n== E1: Fig 5.2 integrator, embedded vs reference semantics ==\n");
+  const lustre::Program p = lustre::parse(
+      "node integrator(x: int) returns (y: int); let y = x + pre(y); tel");
+  const lustre::NodeDecl& node = p.node("integrator");
+  const lustre::Embedding e = lustre::embed(node, {{"x", {0, 1, 0}}});
+  const auto streams = lustre::runEmbedded(e, 8);
+  lustre::Interpreter interp(node);
+  std::printf("%6s %10s %10s\n", "cycle", "BIP y", "ref y");
+  for (int t = 0; t < 8; ++t) {
+    const auto ref = interp.step({{"x", t}});
+    std::printf("%6d %10lld %10lld\n", t,
+                static_cast<long long>(streams.at("y")[static_cast<std::size_t>(t)]),
+                static_cast<long long>(ref.at("y")));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  printLinearityTable();
+  return 0;
+}

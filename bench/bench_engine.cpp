@@ -1,0 +1,101 @@
+// E11 — single-thread vs multithread engine (Section 5.6: "one engine for
+// real-time single-thread and one for multi-thread execution").
+//
+// The multithread engine pays a coordination cost (offer/execute message
+// rounds through worker threads) and wins only when component actions
+// carry real computation (workGrain) and interactions are independent.
+// Shape: sequential wins at grain 0; multithread overtakes as grain grows
+// on the independent-pairs workload; on fully conflicting workloads the
+// batch size is 1 and multithread never wins.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "engine/engine.hpp"
+#include "engine/engine_mt.hpp"
+#include "models/models.hpp"
+
+namespace {
+
+using namespace cbip;
+
+/// n independent rendezvous pairs (maximally parallel workload).
+System independentPairs(int pairs) {
+  System sys;
+  auto t = std::make_shared<AtomicType>("P");
+  const int l = t->addLocation("l");
+  const int n = t->addVariable("n", 0);
+  const int p = t->addPort("p");
+  t->addTransition(l, p, Expr::top(),
+                   {expr::Assign{expr::VarRef{0, n}, Expr::local(n) + Expr::lit(1)}}, l);
+  t->setInitialLocation(l);
+  for (int i = 0; i < pairs; ++i) {
+    const int a = sys.addInstance("a" + std::to_string(i), t);
+    const int b = sys.addInstance("b" + std::to_string(i), t);
+    sys.addConnector(rendezvous("sync" + std::to_string(i), {PortRef{a, 0}, PortRef{b, 0}}));
+  }
+  sys.validate();
+  return sys;
+}
+
+void spinGrain(std::uint64_t grain) {
+  volatile std::uint64_t sink = 0;
+  for (std::uint64_t i = 0; i < grain; ++i) sink = sink + i;
+}
+
+void BM_SequentialEngine(benchmark::State& state) {
+  const System sys = independentPairs(8);
+  const std::uint64_t grain = static_cast<std::uint64_t>(state.range(0));
+  RandomPolicy policy(3);
+  for (auto _ : state) {
+    SequentialEngine engine(sys, policy);
+    RunOptions opt;
+    opt.maxSteps = 500;
+    opt.recordTrace = false;
+    // Model the same computation grain the MT workers would run: both
+    // participants' action bodies execute serially here.
+    opt.stopWhen = [grain](const GlobalState&) {
+      spinGrain(2 * grain);
+      return false;
+    };
+    benchmark::DoNotOptimize(engine.run(opt));
+  }
+  state.SetItemsProcessed(state.iterations() * 500);
+}
+BENCHMARK(BM_SequentialEngine)->Arg(0)->Arg(20000)->Arg(100000)->Unit(benchmark::kMillisecond);
+
+void BM_MultiThreadEngine(benchmark::State& state) {
+  const System sys = independentPairs(8);
+  const std::uint64_t grain = static_cast<std::uint64_t>(state.range(0));
+  RandomPolicy policy(3);
+  for (auto _ : state) {
+    MultiThreadEngine engine(sys, policy);
+    MtOptions opt;
+    opt.maxSteps = 500;
+    opt.recordTrace = false;
+    opt.workGrain = grain;
+    benchmark::DoNotOptimize(engine.run(opt));
+  }
+  state.SetItemsProcessed(state.iterations() * 500);
+}
+BENCHMARK(BM_MultiThreadEngine)->Arg(0)->Arg(20000)->Arg(100000)->Unit(benchmark::kMillisecond);
+
+void BM_MultiThreadConflicting(benchmark::State& state) {
+  // Philosophers: neighbouring interactions conflict, batches shrink.
+  const System sys = models::philosophersAtomic(8);
+  RandomPolicy policy(3);
+  for (auto _ : state) {
+    MultiThreadEngine engine(sys, policy);
+    MtOptions opt;
+    opt.maxSteps = 300;
+    opt.recordTrace = false;
+    opt.workGrain = static_cast<std::uint64_t>(state.range(0));
+    benchmark::DoNotOptimize(engine.run(opt));
+  }
+  state.SetItemsProcessed(state.iterations() * 300);
+}
+BENCHMARK(BM_MultiThreadConflicting)->Arg(0)->Arg(100000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

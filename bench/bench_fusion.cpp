@@ -1,0 +1,79 @@
+// E12 — static fusion of co-located components (Section 5.6: composing
+// the atomic components mapped to one processor "to reduce coordination
+// overhead at runtime").
+//
+// Shape: the fused single component executes the same labelled behaviour
+// several times faster than the engine-coordinated composite, because
+// interaction enumeration/priority filtering collapse into plain guarded
+// transitions.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/flatten.hpp"
+#include "engine/engine.hpp"
+#include "models/models.hpp"
+
+namespace {
+
+using namespace cbip;
+
+void BM_EngineCoordinated(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const System sys = models::philosophersAtomic(n);
+  RandomPolicy policy(5);
+  for (auto _ : state) {
+    SequentialEngine engine(sys, policy);
+    RunOptions opt;
+    opt.maxSteps = 2000;
+    opt.recordTrace = false;
+    benchmark::DoNotOptimize(engine.run(opt));
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_EngineCoordinated)->DenseRange(2, 8, 2);
+
+void BM_Fused(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const FusedComponent fused = fuse(models::philosophersAtomic(n));
+  for (auto _ : state) {
+    AtomicState s = initialState(*fused.type);
+    Rng rng(5);
+    for (int i = 0; i < 2000; ++i) {
+      if (step(fused, s, rng).empty()) break;
+    }
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_Fused)->DenseRange(2, 8, 2);
+
+void BM_FusedProducerConsumer(benchmark::State& state) {
+  const FusedComponent fused = fuse(models::producerConsumer(4));
+  for (auto _ : state) {
+    AtomicState s = initialState(*fused.type);
+    Rng rng(9);
+    for (int i = 0; i < 2000; ++i) step(fused, s, rng);
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_FusedProducerConsumer);
+
+void BM_EngineProducerConsumer(benchmark::State& state) {
+  const System sys = models::producerConsumer(4);
+  RandomPolicy policy(9);
+  for (auto _ : state) {
+    SequentialEngine engine(sys, policy);
+    RunOptions opt;
+    opt.maxSteps = 2000;
+    opt.recordTrace = false;
+    benchmark::DoNotOptimize(engine.run(opt));
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_EngineProducerConsumer);
+
+}  // namespace
+
+BENCHMARK_MAIN();

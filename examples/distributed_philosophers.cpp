@@ -1,0 +1,56 @@
+// Distributed deployment (monograph §5.5.3 / Fig 5.4 / [7]): take the
+// dining philosophers, refine the multiparty interactions into the
+// 3-layer S/R-BIP protocol stack, and run it on the simulated
+// asynchronous network under each conflict-resolution protocol.
+//
+//   $ ./examples/distributed_philosophers
+#include <cstdio>
+
+#include "distributed/srbip.hpp"
+#include "models/models.hpp"
+
+using namespace cbip;
+
+int main() {
+  const int n = 5;
+  const System sys = models::philosophersAtomic(n);
+  std::printf("system: %d philosophers + %d forks, %zu rendezvous connectors\n", n, n,
+              sys.connectorCount());
+
+  std::printf("\n== 3-layer S/R-BIP, one interaction-protocol node per connector ==\n");
+  std::printf("%14s %12s %12s %12s %10s\n", "CRP", "virt.time", "messages", "coord.msgs",
+              "replay ok");
+  for (const dist::CrpKind crp : {dist::CrpKind::kCentralized, dist::CrpKind::kTokenRing,
+                                  dist::CrpKind::kPhilosophers}) {
+    dist::DistributedOptions opt;
+    opt.crp = crp;
+    opt.commitTarget = 100;
+    opt.seed = 7;
+    const dist::DistributedResult r =
+        dist::runDistributed(sys, dist::blockPerConnector(sys), opt);
+    const char* name = crp == dist::CrpKind::kCentralized    ? "centralized"
+                       : crp == dist::CrpKind::kTokenRing    ? "token-ring"
+                                                             : "philosophers";
+    std::printf("%14s %12lld %12llu %12llu %10s\n", name,
+                static_cast<long long>(r.virtualTime),
+                static_cast<unsigned long long>(r.messages),
+                static_cast<unsigned long long>(r.coordinationMessages),
+                dist::replayAgainstReference(sys, r.commits) ? "yes" : "NO");
+  }
+  std::printf("(replay ok = the distributed trace is a valid run of the centralized\n"
+              " semantics: the observational equivalence of Fig 5.4)\n");
+
+  std::printf("\n== why the conflict-resolution layer exists (Fig 5.4, bottom) ==\n");
+  const System triangle = dist::conflictTriangle();
+  dist::DistributedOptions opt;
+  opt.commitTarget = 20;
+  const auto naive = dist::runNaiveRefinement(triangle, opt);
+  std::printf("naive per-interaction refinement on a conflict cycle: %zu commits, %s\n",
+              naive.commits.size(),
+              naive.deadlocked ? "DEADLOCKED (components committed unilaterally)"
+                               : "completed");
+  const auto layered = dist::runDistributed(triangle, dist::blockPerConnector(triangle), opt);
+  std::printf("3-layer runtime on the same system:                  %zu commits, %s\n",
+              layered.commits.size(), layered.deadlocked ? "DEADLOCKED" : "live");
+  return 0;
+}

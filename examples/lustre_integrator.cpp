@@ -1,0 +1,46 @@
+// The monograph's Fig 5.2 end-to-end: parse the Lustre integrator
+// Y = X + pre(Y), embed it into BIP (one component per operator, global
+// str/cmp rendezvous, one wire per dataflow edge), run both semantics and
+// compare the streams.
+//
+//   $ ./examples/lustre_integrator
+#include <cstdio>
+
+#include "frontends/lustre/lustre.hpp"
+
+using namespace cbip;
+
+int main() {
+  const char* source = R"(
+-- Fig 5.2 of "Rigorous System Design": the integrator.
+node integrator(x: int) returns (y: int);
+let
+  y = x + pre(y);
+tel
+)";
+  std::printf("== source ==\n%s\n", source);
+  const lustre::Program program = lustre::parse(source);
+  const lustre::NodeDecl& node = program.node("integrator");
+
+  std::printf("== embedding into BIP (the chi/sigma translation of Section 5.4) ==\n");
+  const lustre::Embedding e = lustre::embed(node, {{"x", lustre::InputStream{0, 1, 0}}});
+  std::printf("operator components: %d (B+ and Bpre, as in the figure)\n",
+              e.operatorComponents);
+  std::printf("instances: %zu (source, +, pre, sink)\n", e.system.instanceCount());
+  std::printf("connectors: %zu (str, cmp, and %d dataflow wires)\n",
+              e.system.connectorCount(), e.wires);
+
+  std::printf("\n== running 10 synchronous cycles, x = 0,1,2,... ==\n");
+  const auto streams = lustre::runEmbedded(e, 10);
+  lustre::Interpreter reference(node);
+  std::printf("%6s %8s %12s %12s\n", "cycle", "x", "BIP y", "reference y");
+  for (int t = 0; t < 10; ++t) {
+    const auto ref = reference.step({{"x", t}});
+    std::printf("%6d %8d %12lld %12lld\n", t, t,
+                static_cast<long long>(streams.at("y")[static_cast<std::size_t>(t)]),
+                static_cast<long long>(ref.at("y")));
+  }
+  std::printf("\nY accumulates X exactly as the synchronous semantics demands:\n"
+              "the translation preserved both the structure and the behaviour.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Correct-by-construction design with architectures (monograph §5.5):
+// apply the mutual-exclusion architecture and a fixed-priority scheduling
+// policy to the same workers, then verify that the composition ⊕ keeps
+// both characteristic properties — without a hand-written proof.
+//
+//   $ ./examples/mutual_exclusion
+#include <cstdio>
+
+#include "arch/architecture.hpp"
+#include "engine/engine.hpp"
+#include "verify/dfinder.hpp"
+
+using namespace cbip;
+
+namespace {
+
+AtomicTypePtr makeWorker() {
+  auto t = std::make_shared<AtomicType>("Worker");
+  const int out = t->addLocation("outside");
+  const int in = t->addLocation("inside");
+  const int enter = t->addPort("enter");
+  const int leave = t->addPort("leave");
+  t->addTransition(out, enter, in);
+  t->addTransition(in, leave, out);
+  t->setInitialLocation(out);
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  System sys;
+  auto worker = makeWorker();
+  std::vector<arch::MutexClient> clients;
+  for (int i = 0; i < 4; ++i) {
+    const int w = sys.addInstance("w" + std::to_string(i), worker);
+    clients.push_back(arch::MutexClient{w, worker->portIndex("enter"),
+                                        worker->portIndex("leave"),
+                                        {worker->locationIndex("inside")}});
+  }
+
+  std::printf("== applying the Mutex architecture (token coordinator) ==\n");
+  const arch::AppliedArchitecture mutex = arch::applyMutex(sys, clients);
+  std::printf("characteristic property: %s\n", mutex.property.c_str());
+
+  std::printf("\n== composing with a FixedPriority scheduling architecture ==\n");
+  const arch::AppliedArchitecture fps = arch::applyFixedPriority(
+      sys, {"mutexBegin0", "mutexBegin1", "mutexBegin2", "mutexBegin3"});
+  std::printf("characteristic property: %s\n", fps.property.c_str());
+
+  std::printf("\n== verifying the composition (the ⊕ check) ==\n");
+  const arch::CompositionResult r = arch::verifyComposition(sys, {mutex, fps});
+  std::printf("properties hold: %s; deadlock-free: %s; states checked: %llu\n",
+              r.propertiesHold ? "yes" : "NO", r.deadlockFree ? "yes" : "NO",
+              static_cast<unsigned long long>(r.statesChecked));
+
+  std::printf("\n== D-Finder certifies the composed system compositionally ==\n");
+  const auto df = verify::checkDeadlockFreedom(sys);
+  std::printf("verdict: %s\n", df.verdict == verify::DFinderVerdict::kDeadlockFree
+                                   ? "deadlock-free (certified)"
+                                   : "potential deadlock");
+
+  std::printf("\n== a run under the engine: priority order is visible ==\n");
+  RandomPolicy policy(7);
+  SequentialEngine engine(sys, policy);
+  RunOptions opt;
+  opt.maxSteps = 8;
+  for (const TraceEvent& e : engine.run(opt).trace.events) {
+    std::printf("  %s\n", e.label.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Quickstart: build a BIP system three ways (C++ API, textual DSL), run
+// it, verify it, and fuse it — the whole single-host-language flow of the
+// monograph in one file.
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+
+#include "core/flatten.hpp"
+#include "engine/engine.hpp"
+#include "frontends/bipdsl/bipdsl.hpp"
+#include "models/models.hpp"
+#include "verify/dfinder.hpp"
+#include "verify/reachability.hpp"
+
+using namespace cbip;
+
+int main() {
+  std::printf("== 1. Build: producer -> bounded buffer -> consumer (C++ API) ==\n");
+  System sys = models::producerConsumer(/*capacity=*/3);
+  std::printf("instances: %zu, connectors: %zu\n", sys.instanceCount(), sys.connectorCount());
+
+  std::printf("\n== 2. Execute: 12 steps under the sequential engine ==\n");
+  RandomPolicy policy(42);
+  SequentialEngine engine(sys, policy);
+  RunOptions opt;
+  opt.maxSteps = 12;
+  const RunResult run = engine.run(opt);
+  for (const TraceEvent& e : run.trace.events) std::printf("  step %llu: %s\n",
+      static_cast<unsigned long long>(e.step), e.label.c_str());
+  std::printf("final state: %s\n", formatState(sys, run.finalState).c_str());
+
+  std::printf("\n== 3. Verify: D-Finder compositional deadlock check ==\n");
+  const auto verdict = verify::checkDeadlockFreedom(sys);
+  std::printf("verdict: %s (%zu interaction invariants)\n",
+              verdict.verdict == verify::DFinderVerdict::kDeadlockFree
+                  ? "deadlock-free (certified without building the product)"
+                  : "potential deadlock",
+              verdict.traps.size());
+
+  std::printf("\n== 4. Same system from the BIP textual DSL ==\n");
+  const System parsed = dsl::parseSystem(R"(
+atom Producer
+  var next = 0
+  port put exports next
+  location run init
+  from run on put do next := next + 1 goto run
+end
+atom Consumer
+  var got = 0
+  port take exports got
+  location run init
+  from run on take goto run
+end
+system
+  instance p : Producer
+  instance c : Consumer
+  connector move = sync(p.put, c.take) down c.got := p.next
+end
+)");
+  std::printf("parsed: %zu instances, %zu connectors — same objects, same engines\n",
+              parsed.instanceCount(), parsed.connectorCount());
+
+  std::printf("\n== 5. Source-to-source fusion (deployment onto one processor) ==\n");
+  const FusedComponent fused = fuse(sys);
+  std::printf("fused into 1 atomic component: %zu variables, %zu transitions\n",
+              fused.type->variableCount(), fused.type->transitionCount());
+  AtomicState s = initialState(*fused.type);
+  Rng rng(42);
+  for (int i = 0; i < 4; ++i) std::printf("  fused step: %s\n", step(fused, s, rng).c_str());
+  return 0;
+}

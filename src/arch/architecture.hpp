@@ -1,0 +1,97 @@
+// Architectures as first-class, property-enforcing operators
+// (monograph Section 5.5.2).
+//
+// An architecture A(n)[C1..Cn] = gl(n)(C1..Cn, D(n)) applies glue and
+// coordinator components D to a set of components so that the composite
+// satisfies a *characteristic property* while preserving the components'
+// own invariants and deadlock-freedom. This module provides:
+//
+//   * a library of reference architectures — mutual exclusion (token
+//     coordinator), triple modular redundancy (majority voter), and
+//     fixed-priority scheduling (priority glue only, no coordinator);
+//   * `verifyComposition` — the operational reading of the ⊕ operator:
+//     applying several architectures to the same components yields a
+//     meaningful composition exactly when every characteristic property
+//     still holds and the result is not the bottom of the architecture
+//     lattice (i.e. it is deadlock-free);
+//   * the lattice order itself is checked with the simulation preorder
+//     (verify::simulates): A1 ≤ A2 iff A1's behaviours are a subset.
+//
+// Each apply* function mutates the system in place (adding coordinators /
+// connectors / priorities) and returns the applied-architecture record:
+// its name, its characteristic property as a state predicate, and the
+// coordinator instances it added.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/system.hpp"
+
+namespace cbip::arch {
+
+struct AppliedArchitecture {
+  std::string name;
+  std::string property;  // human-readable characteristic property
+  /// Characteristic property as a checkable state predicate.
+  std::function<bool(const GlobalState&)> holds;
+  /// Instances added by the architecture (coordinators D).
+  std::vector<int> coordinators;
+};
+
+/// One client of the mutual-exclusion architecture.
+struct MutexClient {
+  int instance = 0;
+  int beginPort = 0;  // port fired to enter the critical section
+  int endPort = 0;    // port fired to leave it
+  /// Locations of the instance that count as "inside".
+  std::vector<int> criticalLocations;
+};
+
+/// Mutual exclusion via a single-token coordinator: begin_i is joined with
+/// the coordinator's `acquire`, end_i with `release`. Characteristic
+/// property: at most one client is at a critical location.
+AppliedArchitecture applyMutex(System& system, const std::vector<MutexClient>& clients);
+
+/// Triple modular redundancy: the three replicas' result ports are joined
+/// with a majority voter (the connector's up/down computes the 2-of-3
+/// majority). Characteristic property: after every vote the voter output
+/// equals the majority of the replica outputs.
+///
+/// Each replica must export exactly one value on `resultPort`.
+struct TmrReplica {
+  int instance = 0;
+  int resultPort = 0;
+};
+AppliedArchitecture applyTmr(System& system, const std::array<TmrReplica, 3>& replicas);
+
+/// Index of the voter's "last vote" variable within the voter instance
+/// added by applyTmr (exposed for tests/examples).
+int tmrVoterOutputVar();
+
+/// Fixed-priority scheduling: pure priority glue — connector named
+/// `ordered[i]` loses to every connector later in the list. No
+/// coordinator components (priorities are glue, not behaviour).
+/// The characteristic property (a trace property — checked by the engine
+/// tests rather than a state predicate) is: a lower-priority interaction
+/// never fires while a higher-priority one is enabled.
+AppliedArchitecture applyFixedPriority(System& system,
+                                       const std::vector<std::string>& lowToHigh);
+
+/// Operational check of the composition ⊕: explores the composed system
+/// and verifies that (1) every characteristic property holds in every
+/// reachable state and (2) the composition is not "bottom" (no deadlock).
+struct CompositionResult {
+  bool propertiesHold = false;
+  bool deadlockFree = false;
+  std::uint64_t statesChecked = 0;
+  std::string firstViolation;  // architecture name, when propertiesHold is false
+};
+
+CompositionResult verifyComposition(const System& system,
+                                    const std::vector<AppliedArchitecture>& applied,
+                                    std::uint64_t maxStates = 200'000);
+
+}  // namespace cbip::arch

@@ -1,0 +1,231 @@
+#include "core/atomic.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace cbip {
+
+int AtomicType::addLocation(const std::string& name) {
+  locations_.push_back(name);
+  bySource_.clear();
+  return static_cast<int>(locations_.size()) - 1;
+}
+
+int AtomicType::addVariable(const std::string& name, Value init) {
+  variables_.push_back(VarDecl{name, init});
+  return static_cast<int>(variables_.size()) - 1;
+}
+
+int AtomicType::addPort(const std::string& name, std::vector<int> exports) {
+  ports_.push_back(PortDecl{name, std::move(exports)});
+  return static_cast<int>(ports_.size()) - 1;
+}
+
+void AtomicType::addTransition(int from, int port, Expr guard,
+                               std::vector<expr::Assign> actions, int to) {
+  transitions_.push_back(Transition{from, port, std::move(guard), std::move(actions), to});
+  bySource_.clear();
+}
+
+void AtomicType::setInitialLocation(int loc) {
+  require(loc >= 0 && static_cast<std::size_t>(loc) < locations_.size(),
+          name_ + ": initial location out of range");
+  initial_ = loc;
+}
+
+void AtomicType::validate() const {
+  require(!locations_.empty(), name_ + ": component has no locations");
+  require(initial_ >= 0 && static_cast<std::size_t>(initial_) < locations_.size(),
+          name_ + ": initial location out of range");
+  for (const PortDecl& p : ports_) {
+    for (int v : p.exports) {
+      require(v >= 0 && static_cast<std::size_t>(v) < variables_.size(),
+              name_ + "." + p.name + ": exported variable index out of range");
+    }
+  }
+  auto checkLocal = [this](const Expr& e, const std::string& where) {
+    std::vector<expr::VarRef> refs;
+    e.collectVars(refs);
+    for (const expr::VarRef& r : refs) {
+      require(r.scope == 0, name_ + " " + where + ": non-local variable scope");
+      require(r.index >= 0 && static_cast<std::size_t>(r.index) < variables_.size(),
+              name_ + " " + where + ": variable index out of range");
+    }
+  };
+  for (std::size_t i = 0; i < transitions_.size(); ++i) {
+    const Transition& t = transitions_[i];
+    const std::string where = "transition #" + std::to_string(i);
+    require(t.from >= 0 && static_cast<std::size_t>(t.from) < locations_.size(),
+            name_ + " " + where + ": source location out of range");
+    require(t.to >= 0 && static_cast<std::size_t>(t.to) < locations_.size(),
+            name_ + " " + where + ": target location out of range");
+    require(t.port >= kInternalPort && t.port < static_cast<int>(ports_.size()),
+            name_ + " " + where + ": port index out of range");
+    checkLocal(t.guard, where + " guard");
+    for (const expr::Assign& a : t.actions) {
+      require(a.target.scope == 0, name_ + " " + where + ": action writes non-local scope");
+      require(a.target.index >= 0 &&
+                  static_cast<std::size_t>(a.target.index) < variables_.size(),
+              name_ + " " + where + ": action target out of range");
+      checkLocal(a.value, where + " action");
+    }
+  }
+  // Unique names within each namespace.
+  auto checkUnique = [this](auto getName, std::size_t n, const char* what) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        require(getName(i) != getName(j),
+                name_ + ": duplicate " + what + " name '" + getName(i) + "'");
+      }
+    }
+  };
+  checkUnique([this](std::size_t i) { return locations_[i]; }, locations_.size(), "location");
+  checkUnique([this](std::size_t i) { return variables_[i].name; }, variables_.size(),
+              "variable");
+  checkUnique([this](std::size_t i) { return ports_[i].name; }, ports_.size(), "port");
+}
+
+const std::string& AtomicType::locationName(int i) const {
+  require(i >= 0 && static_cast<std::size_t>(i) < locations_.size(),
+          name_ + ": location index out of range");
+  return locations_[static_cast<std::size_t>(i)];
+}
+
+const VarDecl& AtomicType::variable(int i) const {
+  require(i >= 0 && static_cast<std::size_t>(i) < variables_.size(),
+          name_ + ": variable index out of range");
+  return variables_[static_cast<std::size_t>(i)];
+}
+
+const PortDecl& AtomicType::port(int i) const {
+  require(i >= 0 && static_cast<std::size_t>(i) < ports_.size(),
+          name_ + ": port index out of range");
+  return ports_[static_cast<std::size_t>(i)];
+}
+
+const Transition& AtomicType::transition(int i) const {
+  require(i >= 0 && static_cast<std::size_t>(i) < transitions_.size(),
+          name_ + ": transition index out of range");
+  return transitions_[static_cast<std::size_t>(i)];
+}
+
+namespace {
+
+template <typename F>
+int indexOf(F getName, std::size_t n, const std::string& name) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (getName(i) == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace
+
+int AtomicType::locationIndex(const std::string& name) const {
+  const auto i = findLocation(name);
+  require(i.has_value(), name_ + ": unknown location '" + name + "'");
+  return *i;
+}
+
+int AtomicType::variableIndex(const std::string& name) const {
+  const auto i = findVariable(name);
+  require(i.has_value(), name_ + ": unknown variable '" + name + "'");
+  return *i;
+}
+
+int AtomicType::portIndex(const std::string& name) const {
+  const auto i = findPort(name);
+  require(i.has_value(), name_ + ": unknown port '" + name + "'");
+  return *i;
+}
+
+std::optional<int> AtomicType::findLocation(const std::string& name) const {
+  const int i = indexOf([this](std::size_t k) { return locations_[k]; }, locations_.size(), name);
+  if (i < 0) return std::nullopt;
+  return i;
+}
+
+std::optional<int> AtomicType::findVariable(const std::string& name) const {
+  const int i =
+      indexOf([this](std::size_t k) { return variables_[k].name; }, variables_.size(), name);
+  if (i < 0) return std::nullopt;
+  return i;
+}
+
+std::optional<int> AtomicType::findPort(const std::string& name) const {
+  const int i = indexOf([this](std::size_t k) { return ports_[k].name; }, ports_.size(), name);
+  if (i < 0) return std::nullopt;
+  return i;
+}
+
+void AtomicType::rebuildIndexIfNeeded() const {
+  if (!bySource_.empty()) return;
+  bySource_.assign(locations_.size(),
+                   std::vector<std::vector<int>>(ports_.size() + 1));
+  for (std::size_t i = 0; i < transitions_.size(); ++i) {
+    const Transition& t = transitions_[i];
+    bySource_[static_cast<std::size_t>(t.from)][static_cast<std::size_t>(t.port + 1)].push_back(
+        static_cast<int>(i));
+  }
+}
+
+const std::vector<int>& AtomicType::transitionsFrom(int location, int port) const {
+  rebuildIndexIfNeeded();
+  require(location >= 0 && static_cast<std::size_t>(location) < locations_.size(),
+          name_ + ": location index out of range");
+  require(port >= kInternalPort && port < static_cast<int>(ports_.size()),
+          name_ + ": port index out of range");
+  return bySource_[static_cast<std::size_t>(location)][static_cast<std::size_t>(port + 1)];
+}
+
+AtomicState initialState(const AtomicType& type) {
+  AtomicState s;
+  s.location = type.initialLocation();
+  s.vars.reserve(type.variableCount());
+  for (std::size_t i = 0; i < type.variableCount(); ++i) {
+    s.vars.push_back(type.variable(static_cast<int>(i)).init);
+  }
+  return s;
+}
+
+bool guardHolds(const AtomicType&, const AtomicState& state, const Transition& t) {
+  if (t.guard.isTrue()) return true;
+  auto& vars = const_cast<std::vector<Value>&>(state.vars);
+  expr::VecContext ctx(vars);
+  return t.guard.eval(ctx) != 0;
+}
+
+std::vector<int> enabledTransitions(const AtomicType& type, const AtomicState& state, int port) {
+  std::vector<int> out;
+  for (int ti : type.transitionsFrom(state.location, port)) {
+    if (guardHolds(type, state, type.transition(ti))) out.push_back(ti);
+  }
+  return out;
+}
+
+bool portEnabled(const AtomicType& type, const AtomicState& state, int port) {
+  for (int ti : type.transitionsFrom(state.location, port)) {
+    if (guardHolds(type, state, type.transition(ti))) return true;
+  }
+  return false;
+}
+
+void fire(const AtomicType& type, AtomicState& state, const Transition& t) {
+  require(t.from == state.location, type.name() + ": firing transition from wrong location");
+  expr::VecContext ctx(state.vars);
+  expr::applyAssignments(t.actions, ctx);
+  state.location = t.to;
+}
+
+void runInternal(const AtomicType& type, AtomicState& state, int maxSteps) {
+  for (int step = 0; step < maxSteps; ++step) {
+    const std::vector<int> enabled = enabledTransitions(type, state, kInternalPort);
+    if (enabled.empty()) return;
+    fire(type, state, type.transition(enabled.front()));
+  }
+  throw EvalError(type.name() + ": internal transitions diverge (> " +
+                  std::to_string(maxSteps) + " tau steps)");
+}
+
+}  // namespace cbip

@@ -1,0 +1,71 @@
+#include "core/composite.hpp"
+
+#include "util/require.hpp"
+
+namespace cbip {
+
+std::string CompositeBuilder::nestedConnectorName(const std::string& prefix,
+                                                  const std::string& name) {
+  return prefix + "." + name;
+}
+
+std::vector<int> CompositeBuilder::addSubsystem(const std::string& prefix, const System& sub) {
+  sub.validate();
+  require(!prefix.empty(), "CompositeBuilder: empty subsystem prefix");
+  std::vector<int> indexMap;
+  indexMap.reserve(sub.instanceCount());
+  for (const System::Instance& inst : sub.instances()) {
+    indexMap.push_back(system_.addInstance(prefix + "." + inst.name, inst.type));
+  }
+  for (const Connector& c : sub.connectors()) {
+    Connector copy = c;
+    copy.setName(nestedConnectorName(prefix, c.name()));
+    // Remap end instance indices into the flat space. End *positions* are
+    // unchanged, so guards/up/down expressions carry over verbatim.
+    Connector remapped(copy.name());
+    for (std::size_t e = 0; e < c.endCount(); ++e) {
+      const ConnectorEnd& end = c.end(e);
+      remapped.addEnd(PortRef{indexMap[static_cast<std::size_t>(end.port.instance)],
+                              end.port.port},
+                      end.trigger);
+    }
+    for (std::size_t v = 0; v < c.variableCount(); ++v) remapped.addVariable(c.variableName(v));
+    remapped.setGuard(c.guard());
+    for (const expr::Assign& up : c.ups()) remapped.addUp(up.target.index, up.value);
+    for (const DownAssign& d : c.downs()) remapped.addDown(d.end, d.exportIndex, d.value);
+    system_.addConnector(std::move(remapped));
+  }
+  for (const PriorityRule& rule : sub.priorities()) {
+    PriorityRule remapped;
+    remapped.low = nestedConnectorName(prefix, rule.low);
+    remapped.high = nestedConnectorName(prefix, rule.high);
+    if (rule.when.has_value()) {
+      remapped.when = rule.when->mapVars([&indexMap](expr::VarRef r) {
+        return expr::VarRef{indexMap[static_cast<std::size_t>(r.scope)], r.index};
+      });
+    }
+    system_.addPriority(std::move(remapped));
+  }
+  if (sub.maximalProgress()) system_.setMaximalProgress(true);
+  return indexMap;
+}
+
+int CompositeBuilder::addInstance(const std::string& name, AtomicTypePtr type) {
+  return system_.addInstance(name, std::move(type));
+}
+
+void CompositeBuilder::addConnector(Connector connector) {
+  system_.addConnector(std::move(connector));
+}
+
+void CompositeBuilder::addPriority(PriorityRule rule) { system_.addPriority(std::move(rule)); }
+
+void CompositeBuilder::setMaximalProgress(bool on) { system_.setMaximalProgress(on); }
+
+System CompositeBuilder::build() const {
+  System out = system_;
+  out.validate();
+  return out;
+}
+
+}  // namespace cbip

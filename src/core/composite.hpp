@@ -1,0 +1,59 @@
+// Hierarchical composition with flattening.
+//
+// The monograph requires glue operators to satisfy two laws (§5.3.2):
+//
+//   * Incrementality: coordination of n components can be expressed by
+//     first coordinating n−1 of them and then coordinating the result
+//     with the remaining one — gl(C1..Cn) ≈ gl1(C1, gl2(C2..Cn));
+//   * Flattening: conversely, nested glue can always be rewritten as one
+//     flat glue over the atomic components — this "is essential for
+//     separating behavior from glue".
+//
+// CompositeBuilder realizes both operationally: subsystems (already
+// composed Systems, with their own connectors and priorities) are nested
+// under a namespace prefix, new cross-subsystem connectors and priorities
+// are layered on top, and `build()` flattens everything into one plain
+// System — the representation every engine, verifier and transformation
+// in this library consumes. The law tests in test_composite.cpp check
+// bisimilarity of nested and flat constructions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/system.hpp"
+
+namespace cbip {
+
+class CompositeBuilder {
+ public:
+  /// Nests `sub` under `prefix`: instance "x" becomes "prefix.x",
+  /// connector "c" becomes "prefix.c" (priorities and maximal progress of
+  /// the subsystem are imported too). Returns, for each instance index of
+  /// `sub`, its index in the flat system being built.
+  std::vector<int> addSubsystem(const std::string& prefix, const System& sub);
+
+  /// Adds a direct atomic member; returns its flat index.
+  int addInstance(const std::string& name, AtomicTypePtr type);
+
+  /// Adds a top-level connector; its PortRefs use flat instance indices
+  /// (as returned by addSubsystem / addInstance).
+  void addConnector(Connector connector);
+
+  /// Adds a top-level priority rule. Connector names must be the flat
+  /// (prefixed) names; `when` scopes use flat instance indices.
+  void addPriority(PriorityRule rule);
+
+  void setMaximalProgress(bool on);
+
+  /// Flat connector name of a nested connector ("prefix.name").
+  static std::string nestedConnectorName(const std::string& prefix, const std::string& name);
+
+  /// Flattens into a validated System.
+  System build() const;
+
+ private:
+  System system_;
+};
+
+}  // namespace cbip

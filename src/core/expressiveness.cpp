@@ -1,0 +1,144 @@
+#include "core/expressiveness.hpp"
+
+#include "util/require.hpp"
+
+namespace cbip {
+
+namespace {
+
+AtomicTypePtr makeSender(bool counters) {
+  auto t = std::make_shared<AtomicType>("Sender");
+  const int idle = t->addLocation("idle");
+  const int snd = t->addPort("snd");
+  std::vector<expr::Assign> actions;
+  if (counters) {
+    const int sent = t->addVariable("sent", 0);
+    actions.push_back(
+        expr::Assign{expr::VarRef{0, sent}, Expr::local(sent) + Expr::lit(1)});
+  }
+  t->addTransition(idle, snd, Expr::top(), std::move(actions), idle);
+  t->setInitialLocation(idle);
+  return t;
+}
+
+/// Receiver for the priority-based broadcast: rcv in `ready`, work to
+/// return from `busy`.
+AtomicTypePtr makeReceiver(bool counters) {
+  auto t = std::make_shared<AtomicType>("Receiver");
+  const int ready = t->addLocation("ready");
+  const int busy = t->addLocation("busy");
+  const int rcv = t->addPort("rcv");
+  const int work = t->addPort("work");
+  std::vector<expr::Assign> actions;
+  if (counters) {
+    const int got = t->addVariable("got", 0);
+    actions.push_back(
+        expr::Assign{expr::VarRef{0, got}, Expr::local(got) + Expr::lit(1)});
+  }
+  t->addTransition(ready, rcv, Expr::top(), std::move(actions), busy);
+  t->addTransition(busy, work, ready);
+  t->setInitialLocation(ready);
+  return t;
+}
+
+/// Receiver for the rendezvous-only protocol: answers `yes` (deliver) in
+/// `ready`, `no` in `busy`.
+AtomicTypePtr makePollableReceiver(bool counters) {
+  auto t = std::make_shared<AtomicType>("PollReceiver");
+  const int ready = t->addLocation("ready");
+  const int busy = t->addLocation("busy");
+  const int yes = t->addPort("yes");
+  const int no = t->addPort("no");
+  const int work = t->addPort("work");
+  std::vector<expr::Assign> actions;
+  if (counters) {
+    const int got = t->addVariable("got", 0);
+    actions.push_back(
+        expr::Assign{expr::VarRef{0, got}, Expr::local(got) + Expr::lit(1)});
+  }
+  t->addTransition(ready, yes, Expr::top(), std::move(actions), busy);
+  t->addTransition(busy, no, busy);
+  t->addTransition(busy, work, ready);
+  t->setInitialLocation(ready);
+  return t;
+}
+
+/// Sequential polling arbiter with one location per stage: at stage i it
+/// offers port p_i (joined with receiver i's yes OR no), after the last
+/// stage it closes the round with the sender.
+AtomicTypePtr makeArbiter(int receivers) {
+  auto t = std::make_shared<AtomicType>("Arbiter");
+  std::vector<int> stages;
+  for (int i = 0; i <= receivers; ++i) {
+    stages.push_back(t->addLocation("stage" + std::to_string(i)));
+  }
+  for (int i = 0; i < receivers; ++i) {
+    const int p = t->addPort("p" + std::to_string(i));
+    t->addTransition(stages[static_cast<std::size_t>(i)], p,
+                     stages[static_cast<std::size_t>(i + 1)]);
+  }
+  const int done = t->addPort("done");
+  t->addTransition(stages[static_cast<std::size_t>(receivers)], done, stages[0]);
+  t->setInitialLocation(stages[0]);
+  return t;
+}
+
+}  // namespace
+
+BroadcastModel broadcastWithPriorities(int receivers, bool counters) {
+  require(receivers >= 1, "broadcastWithPriorities: need at least one receiver");
+  BroadcastModel m;
+  const int sender = m.system.addInstance("sender", makeSender(counters));
+  auto receiverType = makeReceiver(counters);
+  std::vector<PortRef> rcvPorts;
+  for (int i = 0; i < receivers; ++i) {
+    const int r = m.system.addInstance("r" + std::to_string(i), receiverType);
+    rcvPorts.push_back(PortRef{r, receiverType->portIndex("rcv")});
+  }
+  m.system.addConnector(
+      broadcast("bcast", PortRef{sender, 0 /* snd */}, rcvPorts));
+  for (int i = 0; i < receivers; ++i) {
+    m.system.addConnector(rendezvous(
+        "work" + std::to_string(i),
+        {PortRef{i + 1, receiverType->portIndex("work")}}));
+  }
+  m.system.setMaximalProgress(true);
+  m.system.validate();
+  m.auxiliaryComponents = 0;
+  m.stepsPerRound = 1;
+  return m;
+}
+
+BroadcastModel broadcastRendezvousOnly(int receivers, bool counters) {
+  require(receivers >= 1, "broadcastRendezvousOnly: need at least one receiver");
+  BroadcastModel m;
+  const int sender = m.system.addInstance("sender", makeSender(counters));
+  auto receiverType = makePollableReceiver(counters);
+  for (int i = 0; i < receivers; ++i) {
+    m.system.addInstance("r" + std::to_string(i), receiverType);
+  }
+  auto arbiterType = makeArbiter(receivers);
+  const int arbiter = m.system.addInstance("arbiter", arbiterType);
+
+  for (int i = 0; i < receivers; ++i) {
+    const int recv = i + 1;
+    const PortRef poll{arbiter, arbiterType->portIndex("p" + std::to_string(i))};
+    m.system.addConnector(rendezvous(
+        "yes" + std::to_string(i),
+        {poll, PortRef{recv, receiverType->portIndex("yes")}}));
+    m.system.addConnector(rendezvous(
+        "no" + std::to_string(i),
+        {poll, PortRef{recv, receiverType->portIndex("no")}}));
+    m.system.addConnector(rendezvous(
+        "work" + std::to_string(i),
+        {PortRef{recv, receiverType->portIndex("work")}}));
+  }
+  m.system.addConnector(rendezvous(
+      "done", {PortRef{arbiter, arbiterType->portIndex("done")}, PortRef{sender, 0}}));
+  m.system.validate();
+  m.auxiliaryComponents = 1;
+  m.stepsPerRound = receivers + 1;
+  return m;
+}
+
+}  // namespace cbip

@@ -1,0 +1,47 @@
+// Glue expressiveness constructions (monograph Section 5.3.2, results of
+// Bliudze & Sifakis [5]).
+//
+// The theorem: BIP glue (interactions + priorities) is as expressive as
+// the universal glue, and *interactions alone* are strictly weaker — to
+// realize the same coordination they need additional behaviour (extra
+// components), i.e. they are only "weakly" expressive.
+//
+// This module makes the gap measurable on the canonical example used in
+// the monograph (Section 5.3): broadcast. `broadcastWithPriorities`
+// realizes an atomic maximal broadcast with one trigger connector plus the
+// maximal-progress priority and zero extra components. `broadcastRendezvousOnly`
+// realizes the same observable coordination with rendezvous-only glue,
+// which forces an auxiliary arbiter component, extra connectors, and a
+// multi-step protocol per broadcast. Benchmarks (E8) report component,
+// connector, state-space and steps-per-broadcast counts for both.
+//
+// Common behaviour: one Sender and n Receivers. Each receiver alternates
+// between `ready` and `busy` (a `work` tau step returns it to ready).
+// A broadcast must atomically deliver to exactly the ready receivers.
+// Receivers count deliveries in `got`; the sender counts rounds in `sent`.
+#pragma once
+
+#include "core/system.hpp"
+
+namespace cbip {
+
+struct BroadcastModel {
+  System system;
+  /// Number of auxiliary (non sender/receiver) component instances.
+  int auxiliaryComponents = 0;
+  /// Engine steps needed per completed broadcast round (1 for the
+  /// priority-based version; n+1 for the polling protocol).
+  int stepsPerRound = 1;
+};
+
+/// Trigger connector + maximal progress: one interaction per round.
+/// `counters` adds the sent/got bookkeeping variables (unbounded; disable
+/// for exhaustive exploration).
+BroadcastModel broadcastWithPriorities(int receivers, bool counters = true);
+
+/// Rendezvous-only emulation: a polling arbiter component queries each
+/// receiver's readiness in sequence, then closes the round; delivery
+/// happens during polling (exactly the ready receivers receive).
+BroadcastModel broadcastRendezvousOnly(int receivers, bool counters = true);
+
+}  // namespace cbip

@@ -1,0 +1,56 @@
+// Static fusion of a composite into a single atomic component.
+//
+// The BIP backend statically composes the atomic components mapped to the
+// same processor into one observationally equivalent component "to reduce
+// coordination overhead at runtime" (monograph Section 5.6). This module
+// implements that source-to-source transformation:
+//
+//   * every instance's control location becomes an integer variable of the
+//     fused component (one control location remains);
+//   * every instance variable becomes a renamed fused variable;
+//   * every (connector, feasible mask, per-end transition tuple) becomes a
+//     fused transition labelled by a port named after the interaction,
+//     whose guard conjoins location tests, transition guards and the
+//     connector guard, and whose action performs up/down data transfer
+//     followed by the participants' actions and location updates;
+//   * priorities (rules + maximal progress) are *statically encoded* by
+//     strengthening low-priority guards with the negation of the
+//     high-priority interactions' enabling conditions — legal because BIP
+//     guards cannot be changed by the data transfer of the same step.
+//
+// The result is executable on its own (see `FusedComponent::step`) and
+// label-bisimilar to the engine-coordinated composite; tests check this on
+// explored state graphs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/semantics.hpp"
+#include "core/system.hpp"
+#include "util/rng.hpp"
+
+namespace cbip {
+
+struct FusedComponent {
+  AtomicTypePtr type;
+  /// Port index in `type` -> human-readable interaction label
+  /// (same labels as `interactionLabel` on the source system).
+  std::vector<std::string> portLabels;
+};
+
+/// Fuses all instances of `system` into one atomic component.
+/// Internal (tau) transitions of the sources stay internal.
+/// Throws ModelError if the system uses features fusion cannot encode.
+FusedComponent fuse(const System& system);
+
+/// One execution step of a fused component: collects enabled port-labelled
+/// transitions, picks one with `rng`, fires it (then runs tau steps).
+/// Returns the label of the fired interaction, or an empty string when the
+/// component is deadlocked.
+std::string step(const FusedComponent& fused, AtomicState& state, Rng& rng);
+
+/// Labels of all enabled interactions of the fused component (sorted).
+std::vector<std::string> enabledLabels(const FusedComponent& fused, const AtomicState& state);
+
+}  // namespace cbip

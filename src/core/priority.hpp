@@ -1,0 +1,31 @@
+// Priorities: the third layer of BIP glue.
+//
+// A priority rule `low ≺ high [when G]` disables every enabled interaction
+// of connector `low` whenever some interaction of connector `high` is also
+// enabled and the (optional) state predicate G holds. Rules only *filter*
+// the enabled set — they can never introduce new behaviour, which is why
+// priority application preserves component invariants (Section 5.5).
+//
+// Maximal progress — prefer larger interactions of the same connector —
+// is the built-in rule that turns trigger connectors into true broadcasts;
+// it can be switched on per system.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "expr/expr.hpp"
+
+namespace cbip {
+
+struct PriorityRule {
+  /// Connector whose interactions lose.
+  std::string low;
+  /// Connector whose interactions win.
+  std::string high;
+  /// Optional condition on the global state (scope = instance index,
+  /// index = variable index within the instance). Absent means "always".
+  std::optional<expr::Expr> when;
+};
+
+}  // namespace cbip

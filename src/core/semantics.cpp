@@ -1,0 +1,242 @@
+#include "core/semantics.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace cbip {
+
+namespace {
+
+/// Resolves connector expressions against a global state: scope >= 0 is
+/// the scope-th end's exported variable, kConnectorScope the connector's
+/// local variables.
+class InteractionContext final : public expr::EvalContext {
+ public:
+  InteractionContext(const System& system, const Connector& connector, GlobalState& state,
+                     std::vector<Value>& connectorVars)
+      : system_(&system), connector_(&connector), state_(&state), vars_(&connectorVars) {}
+
+  Value read(expr::VarRef ref) const override {
+    if (ref.scope == expr::kConnectorScope) {
+      requireEval(ref.index >= 0 && static_cast<std::size_t>(ref.index) < vars_->size(),
+                  "connector variable out of range");
+      return (*vars_)[static_cast<std::size_t>(ref.index)];
+    }
+    return componentVar(ref);
+  }
+
+  void write(expr::VarRef ref, Value value) override {
+    if (ref.scope == expr::kConnectorScope) {
+      requireEval(ref.index >= 0 && static_cast<std::size_t>(ref.index) < vars_->size(),
+                  "connector variable out of range");
+      (*vars_)[static_cast<std::size_t>(ref.index)] = value;
+      return;
+    }
+    componentVar(ref) = value;
+  }
+
+ private:
+  Value& componentVar(expr::VarRef ref) const {
+    requireEval(ref.scope >= 0 && static_cast<std::size_t>(ref.scope) < connector_->endCount(),
+                "connector expression: end scope out of range");
+    const ConnectorEnd& end = connector_->end(static_cast<std::size_t>(ref.scope));
+    const AtomicType& type =
+        *system_->instance(static_cast<std::size_t>(end.port.instance)).type;
+    const PortDecl& port = type.port(end.port.port);
+    requireEval(ref.index >= 0 && static_cast<std::size_t>(ref.index) < port.exports.size(),
+                "connector expression: export index out of range");
+    AtomicState& comp = state_->components[static_cast<std::size_t>(end.port.instance)];
+    return comp.vars[static_cast<std::size_t>(port.exports[static_cast<std::size_t>(ref.index)])];
+  }
+
+  const System* system_;
+  const Connector* connector_;
+  GlobalState* state_;
+  std::vector<Value>* vars_;
+};
+
+bool maskSubset(InteractionMask a, InteractionMask b) {  // a strictly inside b
+  return a != b && (a & b) == a;
+}
+
+}  // namespace
+
+std::vector<EnabledInteraction> enabledInteractions(const System& system,
+                                                    const GlobalState& state) {
+  std::vector<EnabledInteraction> out;
+  for (std::size_t ci = 0; ci < system.connectorCount(); ++ci) {
+    const Connector& c = system.connector(ci);
+    // Per-end enabled transitions, computed once per connector.
+    std::vector<std::vector<int>> endEnabled(c.endCount());
+    for (std::size_t e = 0; e < c.endCount(); ++e) {
+      const PortRef& p = c.end(e).port;
+      const AtomicType& type = *system.instance(static_cast<std::size_t>(p.instance)).type;
+      endEnabled[e] = enabledTransitions(
+          type, state.components[static_cast<std::size_t>(p.instance)], p.port);
+    }
+    for (InteractionMask mask : c.feasibleMasks()) {
+      bool allEnabled = true;
+      for (std::size_t e = 0; e < c.endCount(); ++e) {
+        if ((mask & (InteractionMask{1} << e)) != 0 && endEnabled[e].empty()) {
+          allEnabled = false;
+          break;
+        }
+      }
+      if (!allEnabled) continue;
+      if (!c.guard().isTrue()) {
+        // The guard reads current exported values; it never writes.
+        auto& mutableState = const_cast<GlobalState&>(state);
+        std::vector<Value> noVars;
+        InteractionContext ctx(system, c, mutableState, noVars);
+        if (c.guard().eval(ctx) == 0) continue;
+      }
+      EnabledInteraction ei;
+      ei.connector = static_cast<int>(ci);
+      ei.mask = mask;
+      for (std::size_t e = 0; e < c.endCount(); ++e) {
+        if ((mask & (InteractionMask{1} << e)) == 0) continue;
+        ei.ends.push_back(static_cast<int>(e));
+        ei.choices.push_back(endEnabled[e]);
+      }
+      out.push_back(std::move(ei));
+    }
+  }
+  return out;
+}
+
+std::vector<EnabledInteraction> applyPriorities(const System& system, const GlobalState& state,
+                                                std::vector<EnabledInteraction> enabled) {
+  if (enabled.empty()) return enabled;
+  const std::size_t n = enabled.size();
+  std::vector<bool> dominated(n, false);
+
+  if (system.maximalProgress()) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (i == j || enabled[i].connector != enabled[j].connector) continue;
+        if (maskSubset(enabled[i].mask, enabled[j].mask)) dominated[i] = true;
+      }
+    }
+  }
+
+  if (!system.priorities().empty()) {
+    auto& mutableState = const_cast<GlobalState&>(state);
+    GlobalContext ctx(mutableState);
+    for (const PriorityRule& rule : system.priorities()) {
+      if (rule.when.has_value() && rule.when->eval(ctx) == 0) continue;
+      // Does some interaction of `high` remain enabled at all?
+      bool highEnabled = false;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (system.connector(static_cast<std::size_t>(enabled[j].connector)).name() ==
+            rule.high) {
+          highEnabled = true;
+          break;
+        }
+      }
+      if (!highEnabled) continue;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (system.connector(static_cast<std::size_t>(enabled[i].connector)).name() ==
+            rule.low) {
+          dominated[i] = true;
+        }
+      }
+    }
+  }
+
+  std::vector<EnabledInteraction> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!dominated[i]) out.push_back(std::move(enabled[i]));
+  }
+  require(!out.empty(),
+          "applyPriorities: all enabled interactions dominated (cyclic priority rules?)");
+  return out;
+}
+
+std::size_t choiceCount(const EnabledInteraction& interaction) {
+  std::size_t n = 1;
+  for (const std::vector<int>& c : interaction.choices) n *= c.size();
+  return n;
+}
+
+void execute(const System& system, GlobalState& state, const EnabledInteraction& interaction,
+             std::span<const int> transitionChoice) {
+  const Connector& c = system.connector(static_cast<std::size_t>(interaction.connector));
+  require(transitionChoice.size() == interaction.ends.size(),
+          "execute: transition choice arity mismatch");
+
+  // Data transfer: up then down (down only to participating ends).
+  std::vector<Value> connectorVars(c.variableCount(), 0);
+  InteractionContext ctx(system, c, state, connectorVars);
+  expr::applyAssignments(c.ups(), ctx);
+  for (const DownAssign& d : c.downs()) {
+    const bool participates =
+        (interaction.mask & (InteractionMask{1} << static_cast<unsigned>(d.end))) != 0;
+    if (!participates) continue;
+    const Value v = d.value.eval(ctx);
+    ctx.write(expr::VarRef{d.end, d.exportIndex}, v);
+  }
+
+  // Fire one enabled transition per participant, then run tau steps.
+  for (std::size_t k = 0; k < interaction.ends.size(); ++k) {
+    const ConnectorEnd& end = c.end(static_cast<std::size_t>(interaction.ends[k]));
+    const AtomicType& type =
+        *system.instance(static_cast<std::size_t>(end.port.instance)).type;
+    AtomicState& comp = state.components[static_cast<std::size_t>(end.port.instance)];
+    const std::vector<int>& options = interaction.choices[k];
+    const int pick = transitionChoice[k];
+    require(pick >= 0 && static_cast<std::size_t>(pick) < options.size(),
+            "execute: transition choice out of range");
+    fire(type, comp, type.transition(options[static_cast<std::size_t>(pick)]));
+  }
+  for (std::size_t k = 0; k < interaction.ends.size(); ++k) {
+    const ConnectorEnd& end = c.end(static_cast<std::size_t>(interaction.ends[k]));
+    const AtomicType& type =
+        *system.instance(static_cast<std::size_t>(end.port.instance)).type;
+    runInternal(type, state.components[static_cast<std::size_t>(end.port.instance)]);
+  }
+}
+
+void executeDefault(const System& system, GlobalState& state,
+                    const EnabledInteraction& interaction) {
+  std::vector<int> zeros(interaction.ends.size(), 0);
+  execute(system, state, interaction, zeros);
+}
+
+std::vector<GlobalState> successors(const System& system, const GlobalState& state,
+                                    bool withPriorities) {
+  std::vector<EnabledInteraction> enabled = enabledInteractions(system, state);
+  if (withPriorities) {
+    if (enabled.empty()) return {};
+    enabled = applyPriorities(system, state, std::move(enabled));
+  }
+  std::vector<GlobalState> out;
+  for (const EnabledInteraction& ei : enabled) {
+    std::vector<int> choice(ei.ends.size(), 0);
+    while (true) {
+      GlobalState next = state;
+      execute(system, next, ei, choice);
+      out.push_back(std::move(next));
+      // Advance the mixed-radix choice vector.
+      std::size_t k = 0;
+      while (k < choice.size()) {
+        if (static_cast<std::size_t>(++choice[k]) < ei.choices[k].size()) break;
+        choice[k] = 0;
+        ++k;
+      }
+      if (k == choice.size()) break;
+    }
+  }
+  return out;
+}
+
+std::string interactionLabel(const System& system, const EnabledInteraction& interaction) {
+  const Connector& c = system.connector(static_cast<std::size_t>(interaction.connector));
+  return c.maskLabel(interaction.mask, system.endLabels(c));
+}
+
+bool isDeadlocked(const System& system, const GlobalState& state) {
+  return enabledInteractions(system, state).empty();
+}
+
+}  // namespace cbip

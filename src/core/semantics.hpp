@@ -1,0 +1,68 @@
+// Operational semantics of composite components (the engine kernel and the
+// verifier both call these functions — single semantic host, Section 5.4).
+//
+// An *enabled interaction* is a connector, a feasible mask of its ends such
+// that every selected end's port is enabled in the current state, no
+// non-selected end of an all-synchron connector is required (masks are
+// feasible by construction), and the connector guard holds. For each
+// participating end the component may have several enabled transitions;
+// `choices` records all of them so that schedulers / the verifier can
+// resolve the nondeterminism explicitly.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/system.hpp"
+
+namespace cbip {
+
+struct EnabledInteraction {
+  int connector = 0;
+  InteractionMask mask = 0;
+  /// Position i holds the enabled transition indices of the component
+  /// attached to the i-th *participating* end (ends listed in mask order).
+  std::vector<std::vector<int>> choices;
+  /// Participating end positions, ascending (parallel to `choices`).
+  std::vector<int> ends;
+};
+
+/// All enabled interactions of `system` in `state` (before priorities).
+std::vector<EnabledInteraction> enabledInteractions(const System& system,
+                                                    const GlobalState& state);
+
+/// Applies priority rules and (if enabled) maximal progress; keeps the
+/// maximal elements. Never empties a non-empty set.
+std::vector<EnabledInteraction> applyPriorities(const System& system, const GlobalState& state,
+                                                std::vector<EnabledInteraction> enabled);
+
+/// Executes `interaction` on `state`. `transitionChoice[i]` selects which
+/// enabled transition the i-th participating component fires (index into
+/// `interaction.choices[i]`). Runs the connector guard+up+down data
+/// transfer, fires the transitions, then runs internal (tau) steps of the
+/// involved components to quiescence.
+void execute(const System& system, GlobalState& state, const EnabledInteraction& interaction,
+             std::span<const int> transitionChoice);
+
+/// Executes with the first enabled transition for every participant.
+void executeDefault(const System& system, GlobalState& state,
+                    const EnabledInteraction& interaction);
+
+/// Number of distinct transition-choice vectors of an enabled interaction.
+std::size_t choiceCount(const EnabledInteraction& interaction);
+
+/// Enumerates all successor states (all interactions x all transition
+/// choices), with or without priority filtering.
+std::vector<GlobalState> successors(const System& system, const GlobalState& state,
+                                    bool withPriorities = true);
+
+/// Display label of an enabled interaction, e.g. "eat{p0.eat, f0.use}".
+std::string interactionLabel(const System& system, const EnabledInteraction& interaction);
+
+/// True iff no interaction is enabled (global deadlock; internal steps are
+/// run to quiescence by `execute`, so tau-availability does not count).
+bool isDeadlocked(const System& system, const GlobalState& state);
+
+}  // namespace cbip

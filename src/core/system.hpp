@@ -1,0 +1,91 @@
+// A System is a flat composite BIP component: instances + connectors +
+// priorities. (Hierarchy is handled by construction functions that flatten
+// into this representation — the monograph's "flattening" requirement for
+// glue, Section 5.3.2.)
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/atomic.hpp"
+#include "core/connector.hpp"
+#include "core/priority.hpp"
+
+namespace cbip {
+
+class System {
+ public:
+  struct Instance {
+    std::string name;
+    AtomicTypePtr type;
+  };
+
+  // ---- construction ----
+  /// Adds an instance; returns its index.
+  int addInstance(const std::string& name, AtomicTypePtr type);
+  /// Adds a connector; returns its index.
+  int addConnector(Connector connector);
+  void addPriority(PriorityRule rule);
+  /// Enables maximal-progress filtering among interactions of the same
+  /// connector (prefer strictly larger port sets).
+  void setMaximalProgress(bool on) { maximalProgress_ = on; }
+
+  /// Validates the whole system (types, connector ends, expressions);
+  /// throws ModelError on any inconsistency.
+  void validate() const;
+
+  // ---- queries ----
+  std::size_t instanceCount() const { return instances_.size(); }
+  const Instance& instance(std::size_t i) const { return instances_[i]; }
+  const std::vector<Instance>& instances() const { return instances_; }
+  std::size_t connectorCount() const { return connectors_.size(); }
+  const Connector& connector(std::size_t i) const { return connectors_[i]; }
+  const std::vector<Connector>& connectors() const { return connectors_; }
+  const std::vector<PriorityRule>& priorities() const { return priorities_; }
+  bool maximalProgress() const { return maximalProgress_; }
+
+  /// Index of the instance with the given name; throws if unknown.
+  int instanceIndex(const std::string& name) const;
+  /// PortRef for "instance.port" names; throws if unknown.
+  PortRef portRef(const std::string& instance, const std::string& port) const;
+
+  /// Label "instanceName.portName" for a connector end.
+  std::string endLabel(const ConnectorEnd& end) const;
+  /// Display labels for all ends of connector `c`.
+  std::vector<std::string> endLabels(const Connector& c) const;
+
+ private:
+  std::vector<Instance> instances_;
+  std::vector<Connector> connectors_;
+  std::vector<PriorityRule> priorities_;
+  bool maximalProgress_ = false;
+};
+
+/// Global state: one AtomicState per instance, by index.
+struct GlobalState {
+  std::vector<AtomicState> components;
+  friend bool operator==(const GlobalState&, const GlobalState&) = default;
+};
+
+GlobalState initialState(const System& system);
+
+/// Stable 64-bit hash (FNV-1a over the encoded state).
+std::uint64_t hashState(const GlobalState& state);
+
+/// Compact printable form "loc0(v=..),loc1(..)" for debugging/traces.
+std::string formatState(const System& system, const GlobalState& state);
+
+/// Evaluation context over a global state: scope = instance index.
+class GlobalContext final : public expr::EvalContext {
+ public:
+  explicit GlobalContext(GlobalState& state) : state_(&state) {}
+  Value read(expr::VarRef ref) const override;
+  void write(expr::VarRef ref, Value value) override;
+
+ private:
+  GlobalState* state_;
+};
+
+}  // namespace cbip

@@ -1,0 +1,950 @@
+#include "distributed/srbip.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "core/semantics.hpp"
+#include "util/require.hpp"
+
+namespace cbip::dist {
+
+namespace {
+
+enum MsgType : int {
+  kOffer = 1,
+  kExecute,
+  kReserve,
+  kReserveOk,
+  kReserveFail,
+  kToken,
+  kForkReq,
+  kFork,
+  kForkReturn,
+  // naive refinement
+  kStart,
+  kAgree,
+  kCommitDone,
+};
+
+// ---------- payload encoding helpers ----------
+
+struct OfferPayload {
+  std::int64_t count = 0;
+  std::vector<Value> vars;
+  /// port -> enabled transition indices (global, in the type)
+  std::vector<std::pair<int, std::vector<int>>> enabled;
+
+  std::vector<std::int64_t> encode() const {
+    std::vector<std::int64_t> p;
+    p.push_back(count);
+    p.push_back(static_cast<std::int64_t>(vars.size()));
+    for (const Value v : vars) p.push_back(v);
+    p.push_back(static_cast<std::int64_t>(enabled.size()));
+    for (const auto& [port, ts] : enabled) {
+      p.push_back(port);
+      p.push_back(static_cast<std::int64_t>(ts.size()));
+      for (const int t : ts) p.push_back(t);
+    }
+    return p;
+  }
+
+  static OfferPayload decode(const std::vector<std::int64_t>& p) {
+    OfferPayload o;
+    std::size_t k = 0;
+    o.count = p[k++];
+    const auto nVars = static_cast<std::size_t>(p[k++]);
+    for (std::size_t i = 0; i < nVars; ++i) o.vars.push_back(p[k++]);
+    const auto nPorts = static_cast<std::size_t>(p[k++]);
+    for (std::size_t i = 0; i < nPorts; ++i) {
+      const int port = static_cast<int>(p[k++]);
+      const auto nTs = static_cast<std::size_t>(p[k++]);
+      std::vector<int> ts;
+      for (std::size_t j = 0; j < nTs; ++j) ts.push_back(static_cast<int>(p[k++]));
+      o.enabled.emplace_back(port, std::move(ts));
+    }
+    return o;
+  }
+};
+
+struct ExecutePayload {
+  std::int64_t count = 0;
+  int transition = 0;
+  std::vector<std::pair<int, Value>> writes;  // (variable index, value)
+
+  std::vector<std::int64_t> encode() const {
+    std::vector<std::int64_t> p{count, transition,
+                                static_cast<std::int64_t>(writes.size())};
+    for (const auto& [var, value] : writes) {
+      p.push_back(var);
+      p.push_back(value);
+    }
+    return p;
+  }
+  static ExecutePayload decode(const std::vector<std::int64_t>& p) {
+    ExecutePayload e;
+    e.count = p[0];
+    e.transition = static_cast<int>(p[1]);
+    const auto n = static_cast<std::size_t>(p[2]);
+    for (std::size_t i = 0; i < n; ++i) {
+      e.writes.emplace_back(static_cast<int>(p[3 + 2 * i]), p[4 + 2 * i]);
+    }
+    return e;
+  }
+};
+
+// ---------- component layer ----------
+
+class ComponentNode final : public net::Node {
+ public:
+  ComponentNode(const System& system, int instance, std::vector<net::NodeId> ipTargets)
+      : system_(&system),
+        instance_(instance),
+        ipTargets_(std::move(ipTargets)),
+        state_(initialState(*system.instance(static_cast<std::size_t>(instance)).type)) {}
+
+  void onStart(net::Context& ctx) override {
+    runInternal(type(), state_);
+    sendOffer(ctx);
+  }
+
+  void onMessage(const net::Message& m, net::Context& ctx) override {
+    require(m.type == kExecute, "ComponentNode: unexpected message");
+    const ExecutePayload e = ExecutePayload::decode(m.payload);
+    require(e.count == count_, "ComponentNode: EXECUTE for a stale offer count");
+    for (const auto& [var, value] : e.writes) {
+      state_.vars[static_cast<std::size_t>(var)] = value;
+    }
+    fire(type(), state_, type().transition(e.transition));
+    runInternal(type(), state_);
+    ++count_;
+    sendOffer(ctx);
+  }
+
+ private:
+  const AtomicType& type() const {
+    return *system_->instance(static_cast<std::size_t>(instance_)).type;
+  }
+
+  void sendOffer(net::Context& ctx) {
+    OfferPayload o;
+    o.count = count_;
+    o.vars = state_.vars;
+    for (std::size_t p = 0; p < type().portCount(); ++p) {
+      std::vector<int> ts = enabledTransitions(type(), state_, static_cast<int>(p));
+      if (!ts.empty()) o.enabled.emplace_back(static_cast<int>(p), std::move(ts));
+    }
+    const auto payload = o.encode();
+    for (const net::NodeId ip : ipTargets_) ctx.send(ip, kOffer, payload);
+  }
+
+  const System* system_;
+  int instance_;
+  std::vector<net::NodeId> ipTargets_;
+  AtomicState state_;
+  std::int64_t count_ = 0;
+};
+
+// ---------- interaction protocol layer ----------
+
+struct IpConfig {
+  std::vector<int> connectors;           // block
+  int blockIndex = 0;
+  CrpKind crp = CrpKind::kCentralized;
+  net::NodeId arbiter = -1;              // centralized
+  net::NodeId nextInRing = -1;           // token ring
+  bool startsWithToken = false;
+  std::set<int> sharedInstances;         // instances shared across blocks
+  std::map<int, net::NodeId> forkHome;   // shared instance -> home IP node
+  std::map<int, net::NodeId> componentNode;  // instance -> node id
+  std::uint64_t seed = 1;
+};
+
+class IpNode final : public net::Node {
+ public:
+  IpNode(const System& system, IpConfig config, std::vector<Commit>* commits)
+      : system_(&system), cfg_(std::move(config)), commits_(commits), rng_(cfg_.seed) {}
+
+  void setSelf(net::NodeId self) { self_ = self; }
+
+  void onStart(net::Context& ctx) override {
+    if (cfg_.crp == CrpKind::kTokenRing && cfg_.startsWithToken) {
+      sendToken(ctx);
+    }
+    for (const auto& [inst, home] : cfg_.forkHome) {
+      if (home == self_) forkHomes_[inst] = ForkHome{};
+    }
+  }
+
+  void onMessage(const net::Message& m, net::Context& ctx) override {
+    switch (m.type) {
+      case kOffer: {
+        const OfferPayload o = OfferPayload::decode(m.payload);
+        Offer& slot = offers_[m.from];
+        slot.valid = true;
+        slot.count = o.count;
+        slot.vars = o.vars;
+        slot.enabled.clear();
+        for (const auto& [port, ts] : o.enabled) slot.enabled[port] = ts;
+        tryCommit(ctx);
+        break;
+      }
+      case kReserveOk: {
+        require(inFlight_.has_value(), "IpNode: OK without reservation");
+        Candidate cand = std::move(*inFlight_);
+        inFlight_.reset();
+        // The grant is authoritative for shared parts; exclusive parts
+        // were validated at send time and cannot have moved (only this
+        // block executes them).
+        commitNow(cand, ctx);
+        tryCommit(ctx);
+        break;
+      }
+      case kReserveFail: {
+        require(inFlight_.has_value(), "IpNode: FAIL without reservation");
+        inFlight_.reset();
+        tryCommit(ctx);
+        break;
+      }
+      case kToken: {
+        // Install the table, serve pending reservations, pass it on.
+        tokenTable_.clear();
+        const auto& p = m.payload;
+        const auto n = static_cast<std::size_t>(p[0]);
+        for (std::size_t i = 0; i < n; ++i) {
+          tokenTable_[static_cast<int>(p[1 + 2 * i])] = p[2 + 2 * i];
+        }
+        for (Candidate& cand : tokenPending_) {
+          if (!stillFresh(cand)) continue;
+          bool ok = true;
+          for (const auto& [inst, count] : cand.parts) {
+            if (cfg_.sharedInstances.count(inst) == 0) continue;
+            const auto it = tokenTable_.find(inst);
+            const std::int64_t last = it == tokenTable_.end() ? -1 : it->second;
+            if (last >= count) {
+              ok = false;
+              break;
+            }
+          }
+          if (!ok) continue;
+          for (const auto& [inst, count] : cand.parts) {
+            if (cfg_.sharedInstances.count(inst) > 0) tokenTable_[inst] = count;
+          }
+          commitNow(cand, ctx);
+        }
+        tokenPending_.clear();
+        pendingInstances_.clear();
+        sendToken(ctx);
+        tryCommit(ctx);
+        break;
+      }
+      case kForkReq: {
+        auto it = forkHomes_.find(static_cast<int>(m.payload[0]));
+        require(it != forkHomes_.end(), "IpNode: fork request for foreign fork");
+        ForkHome& home = it->second;
+        if (home.atHome) {
+          home.atHome = false;
+          ctx.send(m.from, kFork, {m.payload[0], home.entry});
+        } else {
+          home.queue.push_back(m.from);
+        }
+        break;
+      }
+      case kFork: {
+        require(acquiring_.has_value(), "IpNode: fork without acquisition");
+        const int inst = static_cast<int>(m.payload[0]);
+        heldForks_[inst] = m.payload[1];
+        advanceAcquisition(ctx);
+        break;
+      }
+      case kForkReturn: {
+        auto it = forkHomes_.find(static_cast<int>(m.payload[0]));
+        require(it != forkHomes_.end(), "IpNode: fork return to foreign home");
+        ForkHome& home = it->second;
+        home.entry = m.payload[1];
+        if (!home.queue.empty()) {
+          const net::NodeId next = home.queue.front();
+          home.queue.pop_front();
+          ctx.send(next, kFork, {m.payload[0], home.entry});
+        } else {
+          home.atHome = true;
+        }
+        break;
+      }
+      default:
+        throw ModelError("IpNode: unexpected message type");
+    }
+  }
+
+ private:
+  struct Offer {
+    bool valid = false;
+    std::int64_t count = 0;
+    std::vector<Value> vars;
+    std::map<int, std::vector<int>> enabled;  // port -> transitions
+  };
+
+  struct Candidate {
+    int connector = 0;
+    InteractionMask mask = 0;
+    std::vector<int> ends;                           // participating end positions
+    std::vector<int> transitions;                    // chosen per end (global idx)
+    std::vector<std::pair<int, std::int64_t>> parts;  // (instance, offer count)
+  };
+
+  struct ForkHome {
+    bool atHome = true;
+    std::int64_t entry = -1;  // last committed count
+    std::deque<net::NodeId> queue;
+  };
+
+  const Offer* offerOf(int instance) const {
+    const auto nodeIt = cfg_.componentNode.find(instance);
+    if (nodeIt == cfg_.componentNode.end()) return nullptr;
+    const auto it = offers_.find(nodeIt->second);
+    return it == offers_.end() ? nullptr : &it->second;
+  }
+
+  bool stillFresh(const Candidate& cand) const {
+    for (const auto& [inst, count] : cand.parts) {
+      const Offer* o = offerOf(inst);
+      if (o == nullptr || !o->valid || o->count != count) return false;
+    }
+    return true;
+  }
+
+  /// Evaluation context over offered snapshots for connector expressions.
+  class OfferContext final : public expr::EvalContext {
+   public:
+    OfferContext(const System& system, const Connector& connector,
+                 std::map<int, std::vector<Value>>& snapshot, std::vector<Value>& connVars)
+        : system_(&system), connector_(&connector), snapshot_(&snapshot), conn_(&connVars) {}
+    Value read(expr::VarRef r) const override {
+      if (r.scope == expr::kConnectorScope) return (*conn_)[static_cast<std::size_t>(r.index)];
+      return slot(r);
+    }
+    void write(expr::VarRef r, Value v) override {
+      if (r.scope == expr::kConnectorScope) {
+        (*conn_)[static_cast<std::size_t>(r.index)] = v;
+        return;
+      }
+      slot(r) = v;
+    }
+
+   private:
+    Value& slot(expr::VarRef r) const {
+      const ConnectorEnd& end = connector_->end(static_cast<std::size_t>(r.scope));
+      const AtomicType& type =
+          *system_->instance(static_cast<std::size_t>(end.port.instance)).type;
+      const int var = type.port(end.port.port).exports[static_cast<std::size_t>(r.index)];
+      return (*snapshot_)[end.port.instance][static_cast<std::size_t>(var)];
+    }
+    const System* system_;
+    const Connector* connector_;
+    std::map<int, std::vector<Value>>* snapshot_;
+    std::vector<Value>* conn_;
+  };
+
+  /// Finds the next committable candidate not touching busy instances.
+  std::optional<Candidate> findCandidate() {
+    std::set<int> busy = pendingInstances_;
+    if (inFlight_.has_value()) {
+      for (const auto& [inst, c] : inFlight_->parts) busy.insert(inst);
+    }
+    if (acquiring_.has_value()) {
+      for (const auto& [inst, c] : acquiring_->parts) busy.insert(inst);
+    }
+    for (const int ci : cfg_.connectors) {
+      const Connector& c = system_->connector(static_cast<std::size_t>(ci));
+      Candidate cand;
+      cand.connector = ci;
+      cand.mask = c.fullMask();
+      bool feasible = true;
+      std::map<int, std::vector<Value>> snapshot;
+      for (std::size_t e = 0; e < c.endCount(); ++e) {
+        const PortRef& p = c.end(e).port;
+        if (busy.count(p.instance) > 0) {
+          feasible = false;
+          break;
+        }
+        const Offer* o = offerOf(p.instance);
+        if (o == nullptr || !o->valid) {
+          feasible = false;
+          break;
+        }
+        const auto en = o->enabled.find(p.port);
+        if (en == o->enabled.end()) {
+          feasible = false;
+          break;
+        }
+        cand.ends.push_back(static_cast<int>(e));
+        cand.transitions.push_back(
+            en->second[rng_.index(en->second.size())]);
+        cand.parts.emplace_back(p.instance, o->count);
+        snapshot[p.instance] = o->vars;
+      }
+      if (!feasible) continue;
+      if (!c.guard().isTrue()) {
+        std::vector<Value> connVars(c.variableCount(), 0);
+        OfferContext gctx(*system_, c, snapshot, connVars);
+        if (c.guard().eval(gctx) == 0) continue;
+      }
+      return cand;
+    }
+    return std::nullopt;
+  }
+
+  void tryCommit(net::Context& ctx) {
+    while (true) {
+      std::optional<Candidate> cand = findCandidate();
+      if (!cand.has_value()) return;
+      const bool needsCrp = std::any_of(
+          cand->parts.begin(), cand->parts.end(), [this](const auto& part) {
+            return cfg_.sharedInstances.count(part.first) > 0;
+          });
+      if (!needsCrp) {
+        commitNow(*cand, ctx);
+        continue;  // further candidates may be enabled
+      }
+      switch (cfg_.crp) {
+        case CrpKind::kCentralized: {
+          if (inFlight_.has_value()) return;
+          std::vector<std::int64_t> payload{0 /* reqId unused */};
+          std::int64_t nShared = 0;
+          std::vector<std::int64_t> parts;
+          for (const auto& [inst, count] : cand->parts) {
+            if (cfg_.sharedInstances.count(inst) > 0) {
+              parts.push_back(inst);
+              parts.push_back(count);
+              ++nShared;
+            }
+          }
+          payload.push_back(nShared);
+          payload.insert(payload.end(), parts.begin(), parts.end());
+          inFlight_ = std::move(*cand);
+          ctx.send(cfg_.arbiter, kReserve, std::move(payload));
+          return;
+        }
+        case CrpKind::kTokenRing: {
+          for (const auto& [inst, count] : cand->parts) pendingInstances_.insert(inst);
+          tokenPending_.push_back(std::move(*cand));
+          // Processed when the token arrives.
+          break;
+        }
+        case CrpKind::kPhilosophers: {
+          if (acquiring_.has_value()) return;
+          acquiring_ = std::move(*cand);
+          forksNeeded_.clear();
+          for (const auto& [inst, count] : acquiring_->parts) {
+            if (cfg_.sharedInstances.count(inst) > 0) forksNeeded_.push_back(inst);
+          }
+          std::sort(forksNeeded_.begin(), forksNeeded_.end());
+          heldForks_.clear();
+          advanceAcquisition(ctx);
+          return;
+        }
+      }
+    }
+  }
+
+  void advanceAcquisition(net::Context& ctx) {
+    require(acquiring_.has_value(), "advanceAcquisition without candidate");
+    if (heldForks_.size() < forksNeeded_.size()) {
+      const int next = forksNeeded_[heldForks_.size()];
+      ctx.send(cfg_.forkHome.at(next), kForkReq, {next});
+      return;
+    }
+    // All forks held: validate and commit or abort.
+    Candidate cand = std::move(*acquiring_);
+    acquiring_.reset();
+    bool ok = stillFresh(cand);
+    if (ok) {
+      for (const auto& [inst, count] : cand.parts) {
+        const auto fork = heldForks_.find(inst);
+        if (fork != heldForks_.end() && fork->second >= count) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (ok) {
+      for (auto& [inst, entry] : heldForks_) {
+        for (const auto& [pInst, pCount] : cand.parts) {
+          if (pInst == inst) entry = pCount;
+        }
+      }
+      commitNow(cand, ctx);
+    }
+    // Return every fork to its home (updated entries on commit).
+    for (const auto& [inst, entry] : heldForks_) {
+      ctx.send(cfg_.forkHome.at(inst), kForkReturn, {inst, entry});
+    }
+    heldForks_.clear();
+    tryCommit(ctx);
+  }
+
+  void commitNow(const Candidate& cand, net::Context& ctx) {
+    const Connector& c = system_->connector(static_cast<std::size_t>(cand.connector));
+    // Data transfer on the offered snapshots.
+    std::map<int, std::vector<Value>> snapshot;
+    for (const auto& [inst, count] : cand.parts) snapshot[inst] = offerOf(inst)->vars;
+    std::vector<Value> connVars(c.variableCount(), 0);
+    OfferContext tctx(*system_, c, snapshot, connVars);
+    expr::applyAssignments(c.ups(), tctx);
+    for (const DownAssign& d : c.downs()) {
+      tctx.write(expr::VarRef{d.end, d.exportIndex}, d.value.eval(tctx));
+    }
+    // Dispatch EXECUTE to every participant with its writes.
+    for (std::size_t k = 0; k < cand.ends.size(); ++k) {
+      const ConnectorEnd& end = c.end(static_cast<std::size_t>(cand.ends[k]));
+      const int inst = end.port.instance;
+      ExecutePayload e;
+      e.count = cand.parts[k].second;
+      e.transition = cand.transitions[k];
+      const Offer* o = offerOf(inst);
+      const std::vector<Value>& after = snapshot[inst];
+      for (std::size_t v = 0; v < after.size(); ++v) {
+        if (after[v] != o->vars[v]) e.writes.emplace_back(static_cast<int>(v), after[v]);
+      }
+      ctx.send(cfg_.componentNode.at(inst), kExecute, e.encode());
+    }
+    // Mark offers consumed.
+    for (const auto& [inst, count] : cand.parts) {
+      offers_[cfg_.componentNode.at(inst)].valid = false;
+    }
+    commits_->push_back(Commit{ctx.now(), cand.connector, cand.mask, cand.transitions});
+    ctx.commit();
+  }
+
+  void sendToken(net::Context& ctx) {
+    std::vector<std::int64_t> payload;
+    payload.push_back(static_cast<std::int64_t>(tokenTable_.size()));
+    for (const auto& [inst, count] : tokenTable_) {
+      payload.push_back(inst);
+      payload.push_back(count);
+    }
+    ctx.send(cfg_.nextInRing, kToken, std::move(payload));
+  }
+
+  const System* system_;
+  IpConfig cfg_;
+  std::vector<Commit>* commits_;
+  Rng rng_;
+  net::NodeId self_ = -1;
+
+  std::map<net::NodeId, Offer> offers_;
+  std::optional<Candidate> inFlight_;       // centralized
+  std::deque<Candidate> tokenPending_;      // token ring
+  std::set<int> pendingInstances_;
+  std::map<int, std::int64_t> tokenTable_;  // while holding the token
+  std::optional<Candidate> acquiring_;      // philosophers
+  std::vector<int> forksNeeded_;
+  std::map<int, std::int64_t> heldForks_;
+  std::map<int, ForkHome> forkHomes_;
+};
+
+/// Centralized conflict-resolution arbiter.
+class ArbiterNode final : public net::Node {
+ public:
+  void onMessage(const net::Message& m, net::Context& ctx) override {
+    require(m.type == kReserve, "ArbiterNode: unexpected message");
+    const auto n = static_cast<std::size_t>(m.payload[1]);
+    bool ok = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      const int inst = static_cast<int>(m.payload[2 + 2 * i]);
+      const std::int64_t count = m.payload[3 + 2 * i];
+      auto it = lastCommitted_.find(inst);
+      if (it != lastCommitted_.end() && it->second >= count) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      for (std::size_t i = 0; i < n; ++i) {
+        lastCommitted_[static_cast<int>(m.payload[2 + 2 * i])] = m.payload[3 + 2 * i];
+      }
+    }
+    ctx.send(m.from, ok ? kReserveOk : kReserveFail, {m.payload[0]});
+  }
+
+ private:
+  std::map<int, std::int64_t> lastCommitted_;
+};
+
+void checkDistributable(const System& system) {
+  system.validate();
+  require(system.priorities().empty() && !system.maximalProgress(),
+          "runDistributed: priorities are not supported by the S/R transformation");
+  for (const Connector& c : system.connectors()) {
+    require(!c.hasTrigger(),
+            "runDistributed: trigger connectors are not supported (rendezvous only)");
+  }
+}
+
+}  // namespace
+
+Partition singleBlock(const System& system) {
+  Partition p(1);
+  for (std::size_t i = 0; i < system.connectorCount(); ++i) p[0].push_back(static_cast<int>(i));
+  return p;
+}
+
+Partition blockPerConnector(const System& system) {
+  Partition p;
+  for (std::size_t i = 0; i < system.connectorCount(); ++i) {
+    p.push_back({static_cast<int>(i)});
+  }
+  return p;
+}
+
+Partition roundRobinBlocks(const System& system, int k) {
+  require(k >= 1, "roundRobinBlocks: need k >= 1");
+  Partition p(static_cast<std::size_t>(k));
+  for (std::size_t i = 0; i < system.connectorCount(); ++i) {
+    p[i % static_cast<std::size_t>(k)].push_back(static_cast<int>(i));
+  }
+  while (!p.empty() && p.back().empty()) p.pop_back();
+  return p;
+}
+
+DistributedResult runDistributed(const System& system, const Partition& partition,
+                                 const DistributedOptions& options) {
+  checkDistributable(system);
+  // Partition sanity: each connector in exactly one block.
+  {
+    std::vector<int> seen(system.connectorCount(), 0);
+    for (const auto& block : partition) {
+      for (const int ci : block) {
+        require(ci >= 0 && static_cast<std::size_t>(ci) < system.connectorCount(),
+                "runDistributed: connector index out of range");
+        ++seen[static_cast<std::size_t>(ci)];
+      }
+    }
+    for (const int s : seen) require(s == 1, "runDistributed: partition must cover each connector once");
+  }
+
+  const std::size_t nComp = system.instanceCount();
+  const std::size_t nBlocks = partition.size();
+
+  // Which blocks touch each instance?
+  std::vector<std::set<int>> blocksOfInstance(nComp);
+  for (std::size_t b = 0; b < nBlocks; ++b) {
+    for (const int ci : partition[b]) {
+      for (const ConnectorEnd& e : system.connector(static_cast<std::size_t>(ci)).ends()) {
+        blocksOfInstance[static_cast<std::size_t>(e.port.instance)].insert(static_cast<int>(b));
+      }
+    }
+  }
+  std::set<int> shared;
+  for (std::size_t i = 0; i < nComp; ++i) {
+    if (blocksOfInstance[i].size() > 1) shared.insert(static_cast<int>(i));
+  }
+
+  // Node ids: components first, then blocks, then (optional) arbiter.
+  std::vector<Commit> commits;
+  net::Network network(options.seed, options.latency, options.processing);
+  std::map<int, net::NodeId> componentNode;
+  for (std::size_t i = 0; i < nComp; ++i) componentNode[static_cast<int>(i)] = static_cast<int>(i);
+  const net::NodeId firstBlock = static_cast<net::NodeId>(nComp);
+  const net::NodeId arbiter = static_cast<net::NodeId>(nComp + nBlocks);
+
+  // Fork homes: lowest block sharing the instance.
+  std::map<int, net::NodeId> forkHome;
+  for (const int inst : shared) {
+    forkHome[inst] =
+        firstBlock + *blocksOfInstance[static_cast<std::size_t>(inst)].begin();
+  }
+
+  // Component nodes.
+  for (std::size_t i = 0; i < nComp; ++i) {
+    std::vector<net::NodeId> targets;
+    for (const int b : blocksOfInstance[i]) targets.push_back(firstBlock + b);
+    network.addNode(std::make_unique<ComponentNode>(system, static_cast<int>(i),
+                                                    std::move(targets)));
+  }
+  // Block (IP) nodes.
+  std::vector<IpNode*> ipNodes;
+  for (std::size_t b = 0; b < nBlocks; ++b) {
+    IpConfig cfg;
+    cfg.connectors = partition[b];
+    cfg.blockIndex = static_cast<int>(b);
+    cfg.crp = options.crp;
+    cfg.arbiter = arbiter;
+    cfg.nextInRing = firstBlock + static_cast<int>((b + 1) % nBlocks);
+    cfg.startsWithToken = (b == 0);
+    cfg.sharedInstances = shared;
+    cfg.forkHome = forkHome;
+    cfg.componentNode = componentNode;
+    cfg.seed = options.seed * 7919 + b;
+    auto node = std::make_unique<IpNode>(system, std::move(cfg), &commits);
+    IpNode* raw = node.get();
+    const net::NodeId id = network.addNode(std::move(node));
+    raw->setSelf(id);
+    ipNodes.push_back(raw);
+  }
+  if (options.crp == CrpKind::kCentralized) {
+    network.addNode(std::make_unique<ArbiterNode>());
+  }
+
+  net::RunLimits limits;
+  limits.commitTarget = options.commitTarget;
+  limits.maxEvents = options.maxEvents;
+  const net::RunStats stats = network.run(limits);
+
+  DistributedResult result;
+  result.commits = std::move(commits);
+  result.messages = stats.deliveredMessages;
+  result.virtualTime = stats.finalTime;
+  result.reachedTarget = stats.commits >= options.commitTarget;
+  result.deadlocked = stats.quiescent && !result.reachedTarget;
+  for (std::size_t node = nComp; node < network.nodeCount(); ++node) {
+    result.coordinationMessages += network.deliveredPerNode()[node];
+  }
+  return result;
+}
+
+bool replayAgainstReference(const System& system, const std::vector<Commit>& commits) {
+  GlobalState state = initialState(system);
+  for (std::size_t i = 0; i < system.instanceCount(); ++i) {
+    runInternal(*system.instance(i).type, state.components[i]);
+  }
+  for (const Commit& commit : commits) {
+    const std::vector<EnabledInteraction> enabled = enabledInteractions(system, state);
+    bool fired = false;
+    for (const EnabledInteraction& ei : enabled) {
+      if (ei.connector != commit.connector || ei.mask != commit.mask) continue;
+      if (ei.choices.size() != commit.transitions.size()) continue;
+      // Map the recorded global transition indices to choice positions.
+      std::vector<int> choice(ei.choices.size());
+      bool valid = true;
+      for (std::size_t k = 0; k < ei.choices.size() && valid; ++k) {
+        const auto& options = ei.choices[k];
+        const auto it = std::find(options.begin(), options.end(), commit.transitions[k]);
+        if (it == options.end()) {
+          valid = false;
+        } else {
+          choice[k] = static_cast<int>(it - options.begin());
+        }
+      }
+      if (!valid) continue;
+      execute(system, state, ei, choice);
+      fired = true;
+      break;
+    }
+    if (!fired) return false;
+  }
+  return true;
+}
+
+// ---------- naive refinement (Fig 5.4 bottom) ----------
+
+namespace {
+
+/// Component that unilaterally initiates the connectors where it is the
+/// first end; peers acknowledge only while idle.
+class NaiveNode final : public net::Node {
+ public:
+  NaiveNode(const System& system, int instance, std::vector<Commit>* commits,
+            std::uint64_t seed)
+      : system_(&system),
+        instance_(instance),
+        commits_(commits),
+        rng_(seed),
+        state_(initialState(*system.instance(static_cast<std::size_t>(instance)).type)) {}
+
+  void onStart(net::Context& ctx) override {
+    runInternal(type(), state_);
+    tryInitiate(ctx);
+  }
+
+  void onMessage(const net::Message& m, net::Context& ctx) override {
+    switch (m.type) {
+      case kStart: {
+        if (phase_ != Phase::kIdle) {
+          deferred_.push_back(m);  // answered after returning to idle
+          return;
+        }
+        const int connector = static_cast<int>(m.payload[0]);
+        engagedConnector_ = connector;
+        phase_ = Phase::kEngaged;
+        ctx.send(m.from, kAgree, {m.payload[0]});
+        break;
+      }
+      case kAgree: {
+        require(phase_ == Phase::kInitiating, "NaiveNode: stray agree");
+        ++agrees_;
+        if (agrees_ == peersNeeded_) {
+          // Commit: everyone (including us) fires its transition.
+          const Connector& c =
+              system_->connector(static_cast<std::size_t>(initiatedConnector_));
+          std::vector<int> transitions;
+          for (std::size_t e = 0; e < c.endCount(); ++e) {
+            const PortRef& p = c.end(e).port;
+            if (p.instance == instance_) {
+              transitions.push_back(firstEnabled(p.port));
+            } else {
+              transitions.push_back(-1);  // filled in by the peer
+            }
+          }
+          for (std::size_t e = 0; e < c.endCount(); ++e) {
+            const PortRef& p = c.end(e).port;
+            if (p.instance != instance_) {
+              ctx.send(p.instance, kCommitDone,
+                       {static_cast<std::int64_t>(initiatedConnector_)});
+            }
+          }
+          fireOn(initiatedConnector_);
+          commits_->push_back(
+              Commit{ctx.now(), initiatedConnector_,
+                     system_->connector(static_cast<std::size_t>(initiatedConnector_))
+                         .fullMask(),
+                     {}});
+          ctx.commit();
+          backToIdle(ctx);
+        }
+        break;
+      }
+      case kCommitDone: {
+        require(phase_ == Phase::kEngaged, "NaiveNode: stray commit");
+        fireOn(engagedConnector_);
+        backToIdle(ctx);
+        break;
+      }
+      default:
+        throw ModelError("NaiveNode: unexpected message");
+    }
+  }
+
+ private:
+  enum class Phase { kIdle, kInitiating, kEngaged };
+
+  const AtomicType& type() const {
+    return *system_->instance(static_cast<std::size_t>(instance_)).type;
+  }
+
+  int firstEnabled(int port) const {
+    const auto ts = enabledTransitions(type(), state_, port);
+    require(!ts.empty(), "NaiveNode: commit on a disabled port");
+    return ts.front();
+  }
+
+  void fireOn(int connector) {
+    const Connector& c = system_->connector(static_cast<std::size_t>(connector));
+    for (const ConnectorEnd& e : c.ends()) {
+      if (e.port.instance != instance_) continue;
+      fire(type(), state_, type().transition(firstEnabled(e.port.port)));
+      runInternal(type(), state_);
+    }
+  }
+
+  void backToIdle(net::Context& ctx) {
+    phase_ = Phase::kIdle;
+    agrees_ = 0;
+    // Serve one deferred request, if any is still relevant.
+    while (!deferred_.empty()) {
+      const net::Message m = deferred_.front();
+      deferred_.pop_front();
+      const int connector = static_cast<int>(m.payload[0]);
+      const Connector& c = system_->connector(static_cast<std::size_t>(connector));
+      bool enabled = true;
+      for (const ConnectorEnd& e : c.ends()) {
+        if (e.port.instance == instance_ &&
+            enabledTransitions(type(), state_, e.port.port).empty()) {
+          enabled = false;
+        }
+      }
+      if (enabled) {
+        engagedConnector_ = connector;
+        phase_ = Phase::kEngaged;
+        ctx.send(m.from, kAgree, {m.payload[0]});
+        return;
+      }
+    }
+    tryInitiate(ctx);
+  }
+
+  void tryInitiate(net::Context& ctx) {
+    std::vector<int> candidates;
+    for (std::size_t ci = 0; ci < system_->connectorCount(); ++ci) {
+      const Connector& c = system_->connector(ci);
+      if (c.end(0).port.instance != instance_) continue;  // not the initiator
+      bool enabled = true;
+      for (const ConnectorEnd& e : c.ends()) {
+        if (e.port.instance == instance_ &&
+            enabledTransitions(type(), state_, e.port.port).empty()) {
+          enabled = false;
+        }
+      }
+      if (enabled) candidates.push_back(static_cast<int>(ci));
+    }
+    if (candidates.empty()) return;  // passive: only answers requests
+    initiatedConnector_ = candidates[rng_.index(candidates.size())];
+    const Connector& c = system_->connector(static_cast<std::size_t>(initiatedConnector_));
+    phase_ = Phase::kInitiating;
+    peersNeeded_ = 0;
+    for (const ConnectorEnd& e : c.ends()) {
+      if (e.port.instance != instance_) {
+        ctx.send(e.port.instance, kStart,
+                 {static_cast<std::int64_t>(initiatedConnector_)});
+        ++peersNeeded_;
+      }
+    }
+  }
+
+  const System* system_;
+  int instance_;
+  std::vector<Commit>* commits_;
+  Rng rng_;
+  AtomicState state_;
+  Phase phase_ = Phase::kIdle;
+  int initiatedConnector_ = -1;
+  int engagedConnector_ = -1;
+  int peersNeeded_ = 0;
+  int agrees_ = 0;
+  std::deque<net::Message> deferred_;
+};
+
+}  // namespace
+
+DistributedResult runNaiveRefinement(const System& system, const DistributedOptions& options) {
+  checkDistributable(system);
+  std::vector<Commit> commits;
+  net::Network network(options.seed, options.latency, options.processing);
+  for (std::size_t i = 0; i < system.instanceCount(); ++i) {
+    network.addNode(std::make_unique<NaiveNode>(system, static_cast<int>(i), &commits,
+                                                options.seed * 31 + i));
+  }
+  net::RunLimits limits;
+  limits.commitTarget = options.commitTarget;
+  limits.maxEvents = options.maxEvents;
+  const net::RunStats stats = network.run(limits);
+
+  DistributedResult result;
+  result.commits = std::move(commits);
+  result.messages = stats.deliveredMessages;
+  result.virtualTime = stats.finalTime;
+  result.reachedTarget = stats.commits >= options.commitTarget;
+  result.deadlocked = stats.quiescent && !result.reachedTarget;
+  return result;
+}
+
+System conflictTriangle() {
+  System sys;
+  auto node = std::make_shared<AtomicType>("Peer");
+  const int l0 = node->addLocation("l");
+  const int left = node->addPort("left");
+  const int right = node->addPort("right");
+  node->addTransition(l0, left, l0);
+  node->addTransition(l0, right, l0);
+  node->setInitialLocation(l0);
+  for (int i = 0; i < 3; ++i) sys.addInstance("c" + std::to_string(i), node);
+  sys.addConnector(rendezvous("a", {PortRef{0, right}, PortRef{1, left}}));
+  sys.addConnector(rendezvous("b", {PortRef{1, right}, PortRef{2, left}}));
+  sys.addConnector(rendezvous("c", {PortRef{2, right}, PortRef{0, left}}));
+  sys.validate();
+  return sys;
+}
+
+}  // namespace cbip::dist

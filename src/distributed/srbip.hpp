@@ -1,0 +1,128 @@
+// Three-layer distributed implementation of BIP systems (S/R-BIP),
+// following the transformation of monograph Section 5.6 / Fig 5.4 and [7]
+// ("From high-level component-based models to distributed
+// implementations").
+//
+// The multiparty-rendezvous composite is refined into Send/Receive
+// protocol layers running on the simulated network (src/net):
+//
+//   1. Component layer — one node per atomic component. After every
+//      transition the component broadcasts an OFFER (its variable
+//      snapshot, its offer *count*, and the enabled port/transition sets)
+//      to every interaction-protocol node that manages an interaction it
+//      participates in, then waits for an EXECUTE.
+//
+//   2. Interaction protocol layer — one node per *block* of the
+//      user-chosen interaction partition. A block node detects enabled
+//      interactions from fresh offers, evaluates connector guards on the
+//      offered snapshots, resolves conflicts *locally* when all
+//      participants are exclusive to the block, and otherwise reserves
+//      the shared participants through the conflict-resolution layer.
+//      Commits perform the connector data transfer centrally and send
+//      each participant an EXECUTE with its transition and down-values.
+//
+//   3. Conflict resolution layer — Bagrodia-style offer-count
+//      reservations with three interchangeable protocols:
+//        * kCentralized — a single arbiter node holds the last-committed
+//          count of every shared component; RESERVE/OK/FAIL round trips.
+//        * kTokenRing — the count table circulates in a token around the
+//          block nodes; a block commits its pending reservations when it
+//          holds the token.
+//        * kPhilosophers — one "fork" per shared component (the dining
+//          philosophers resource scheme): forks carry the count entries,
+//          are acquired in ascending component order (deadlock-free), are
+//          routed through the component's home block, and are returned
+//          immediately after the commit or abort.
+//
+// Correctness argument (tested in test_distributed.cpp): a component
+// executes exactly one transition per offer count, a reservation is
+// granted at most once per (component, count), and committed interactions
+// replay as a valid run of the centralized semantics (observational
+// equivalence in the sense of Fig 5.4).
+//
+// Restrictions, as in [7]: no triggers (rendezvous connectors only) and
+// no priorities — the transformation rejects such systems.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/system.hpp"
+#include "net/network.hpp"
+
+namespace cbip::dist {
+
+enum class CrpKind { kCentralized, kTokenRing, kPhilosophers };
+
+/// Partition of connector indices into blocks; every connector index of
+/// the system must appear in exactly one block.
+using Partition = std::vector<std::vector<int>>;
+
+/// Everything in one block (fully centralized interaction layer).
+Partition singleBlock(const System& system);
+/// One block per connector (maximal distribution).
+Partition blockPerConnector(const System& system);
+/// `k` round-robin blocks.
+Partition roundRobinBlocks(const System& system, int k);
+
+/// One committed interaction, with enough detail to replay it on the
+/// centralized semantics.
+struct Commit {
+  net::Time time = 0;
+  int connector = 0;
+  InteractionMask mask = 0;
+  /// Global transition index per participating end (mask order).
+  std::vector<int> transitions;
+};
+
+struct DistributedOptions {
+  CrpKind crp = CrpKind::kCentralized;
+  std::uint64_t seed = 1;
+  net::Latency latency{1, 1};
+  /// Per-message processing time at every node (finite node capacity).
+  net::Time processing = 1;
+  /// Stop after this many committed interactions.
+  std::uint64_t commitTarget = 100;
+  std::uint64_t maxEvents = 2'000'000;
+};
+
+struct DistributedResult {
+  std::vector<Commit> commits;
+  std::uint64_t messages = 0;
+  net::Time virtualTime = 0;
+  bool reachedTarget = false;
+  /// Network went quiescent before the target: distributed deadlock
+  /// (never happens for the 3-layer runtime on deadlock-free systems).
+  bool deadlocked = false;
+  /// Messages delivered to interaction-protocol + CRP nodes only
+  /// (coordination overhead, excluding component traffic).
+  std::uint64_t coordinationMessages = 0;
+};
+
+/// Runs `system` distributed with the given partition and CRP.
+/// Throws ModelError if the system uses triggers or priorities.
+DistributedResult runDistributed(const System& system, const Partition& partition,
+                                 const DistributedOptions& options);
+
+/// Replays `commits` against the centralized operational semantics;
+/// returns true iff the sequence is a valid centralized run (the
+/// observational-equivalence check of experiment E4).
+bool replayAgainstReference(const System& system, const std::vector<Commit>& commits);
+
+// ---- the naive refinement of Fig 5.4 (bottom) ----
+
+/// Per-interaction refinement WITHOUT a conflict-resolution layer: the
+/// first end of every connector unilaterally commits (sends `start` to
+/// its peers and waits for all acknowledgements; peers defer answering
+/// while waiting on their own initiation). On systems with a conflict
+/// cycle this deadlocks — the instability of unmediated interaction
+/// refinement shown at the bottom of Fig 5.4.
+DistributedResult runNaiveRefinement(const System& system, const DistributedOptions& options);
+
+/// Three pairwise rendezvous in a cycle (a = {c0,c1}, b = {c1,c2},
+/// c = {c2,c0}), each component always willing: deadlock-free centrally,
+/// deadlocks under the naive refinement.
+System conflictTriangle();
+
+}  // namespace cbip::dist

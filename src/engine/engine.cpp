@@ -1,0 +1,66 @@
+#include "engine/engine.hpp"
+
+#include "util/require.hpp"
+
+namespace cbip {
+
+std::pair<std::size_t, std::vector<int>> RandomPolicy::pick(
+    const System&, const GlobalState&, const std::vector<EnabledInteraction>& enabled) {
+  const std::size_t i = rng_.index(enabled.size());
+  const EnabledInteraction& ei = enabled[i];
+  std::vector<int> choice;
+  choice.reserve(ei.choices.size());
+  for (const std::vector<int>& options : ei.choices) {
+    choice.push_back(static_cast<int>(rng_.index(options.size())));
+  }
+  return {i, std::move(choice)};
+}
+
+std::pair<std::size_t, std::vector<int>> FirstPolicy::pick(
+    const System&, const GlobalState&, const std::vector<EnabledInteraction>& enabled) {
+  return {0, std::vector<int>(enabled.front().choices.size(), 0)};
+}
+
+SequentialEngine::SequentialEngine(const System& system, SchedulingPolicy& policy)
+    : system_(&system), policy_(&policy) {
+  system.validate();
+}
+
+RunResult SequentialEngine::run(const RunOptions& options) {
+  return run(initialState(*system_), options);
+}
+
+RunResult SequentialEngine::run(GlobalState start, const RunOptions& options) {
+  RunResult result;
+  result.finalState = std::move(start);
+  // Settle initial tau steps so offers reflect stable states.
+  for (std::size_t i = 0; i < system_->instanceCount(); ++i) {
+    runInternal(*system_->instance(i).type, result.finalState.components[i]);
+  }
+  for (std::uint64_t step = 0; step < options.maxSteps; ++step) {
+    std::vector<EnabledInteraction> enabled =
+        enabledInteractions(*system_, result.finalState);
+    if (enabled.empty()) {
+      result.reason = StopReason::kDeadlock;
+      return result;
+    }
+    enabled = applyPriorities(*system_, result.finalState, std::move(enabled));
+    const auto [idx, choice] = policy_->pick(*system_, result.finalState, enabled);
+    require(idx < enabled.size(), "SchedulingPolicy returned out-of-range interaction");
+    const EnabledInteraction& ei = enabled[idx];
+    execute(*system_, result.finalState, ei, choice);
+    ++result.steps;
+    if (options.recordTrace) {
+      result.trace.events.push_back(TraceEvent{
+          step, ei.connector, ei.mask, interactionLabel(*system_, ei)});
+    }
+    if (options.stopWhen && options.stopWhen(result.finalState)) {
+      result.reason = StopReason::kPredicate;
+      return result;
+    }
+  }
+  result.reason = StopReason::kStepLimit;
+  return result;
+}
+
+}  // namespace cbip

@@ -1,0 +1,92 @@
+// Execution engines for composite BIP systems.
+//
+// The engine implements the monograph's run-time (Section 5.6): it
+// repeatedly computes the enabled interactions from component offers,
+// applies priorities, resolves the remaining nondeterminism with a
+// scheduling policy, and executes the chosen interaction.
+//
+// Two engines are provided, mirroring the BIP toolset:
+//   * SequentialEngine — single-threaded reference implementation;
+//   * MultiThreadEngine (engine_mt.hpp) — one worker thread per component,
+//     communicating exclusively with the engine thread (components never
+//     talk to each other directly).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/semantics.hpp"
+#include "core/system.hpp"
+#include "engine/trace.hpp"
+#include "util/rng.hpp"
+
+namespace cbip {
+
+/// Resolves scheduler nondeterminism: picks one enabled interaction and
+/// one transition per participant.
+class SchedulingPolicy {
+ public:
+  virtual ~SchedulingPolicy() = default;
+  /// `enabled` is non-empty. Returns (interaction index, per-participant
+  /// transition-choice vector).
+  virtual std::pair<std::size_t, std::vector<int>> pick(
+      const System& system, const GlobalState& state,
+      const std::vector<EnabledInteraction>& enabled) = 0;
+};
+
+/// Uniformly random choice among interactions and transition options.
+class RandomPolicy final : public SchedulingPolicy {
+ public:
+  explicit RandomPolicy(std::uint64_t seed) : rng_(seed) {}
+  std::pair<std::size_t, std::vector<int>> pick(
+      const System& system, const GlobalState& state,
+      const std::vector<EnabledInteraction>& enabled) override;
+
+ private:
+  Rng rng_;
+};
+
+/// Deterministic: first interaction, first transitions.
+class FirstPolicy final : public SchedulingPolicy {
+ public:
+  std::pair<std::size_t, std::vector<int>> pick(
+      const System& system, const GlobalState& state,
+      const std::vector<EnabledInteraction>& enabled) override;
+};
+
+/// Why a run stopped.
+enum class StopReason { kStepLimit, kDeadlock, kPredicate };
+
+struct RunResult {
+  StopReason reason = StopReason::kStepLimit;
+  std::uint64_t steps = 0;
+  Trace trace;
+  GlobalState finalState;
+};
+
+struct RunOptions {
+  std::uint64_t maxSteps = 1000;
+  bool recordTrace = true;
+  /// Optional stop predicate checked after every step.
+  std::function<bool(const GlobalState&)> stopWhen;
+};
+
+/// Single-threaded reference engine.
+class SequentialEngine {
+ public:
+  /// The system must outlive the engine.
+  SequentialEngine(const System& system, SchedulingPolicy& policy);
+
+  /// Runs from the system's initial state.
+  RunResult run(const RunOptions& options);
+  /// Runs from a caller-provided state (consumed).
+  RunResult run(GlobalState start, const RunOptions& options);
+
+ private:
+  const System* system_;
+  SchedulingPolicy* policy_;
+};
+
+}  // namespace cbip

@@ -1,0 +1,260 @@
+#include "engine/engine_mt.hpp"
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace cbip {
+
+namespace {
+
+/// Command sent from the engine to a component worker thread.
+struct ExecuteCommand {
+  int transition = 0;                // global transition index in the type
+  std::vector<Value> varsAfterDown;  // component vars after connector "down"
+};
+
+/// One worker thread per component instance. The worker owns the mutable
+/// AtomicState; the engine only ever sees copies it reports back.
+class Worker {
+ public:
+  Worker(const AtomicType& type, AtomicState initial, std::uint64_t grain)
+      : type_(&type), state_(std::move(initial)), grain_(grain) {
+    runInternal(*type_, state_);
+    thread_ = std::jthread([this](std::stop_token st) { loop(st); });
+  }
+
+  /// Snapshot of the worker's state; only called by the engine when no
+  /// command is in flight for this worker.
+  AtomicState snapshot() {
+    const std::scoped_lock lock(mutex_);
+    return state_;
+  }
+
+  void dispatch(ExecuteCommand cmd) {
+    {
+      const std::scoped_lock lock(mutex_);
+      require(!command_.has_value() && !busy_, "Worker: command already in flight");
+      command_ = std::move(cmd);
+    }
+    cv_.notify_all();
+  }
+
+  /// Blocks until the last dispatched command finished.
+  void wait() {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [this] { return !command_.has_value() && !busy_; });
+  }
+
+  void stop() {
+    thread_.request_stop();
+    cv_.notify_all();
+  }
+
+ private:
+  void loop(const std::stop_token& st) {
+    while (true) {
+      ExecuteCommand cmd;
+      AtomicState work;
+      {
+        std::unique_lock lock(mutex_);
+        cv_.wait(lock, [this, &st] { return command_.has_value() || st.stop_requested(); });
+        if (!command_.has_value()) return;  // stop requested
+        cmd = std::move(*command_);
+        command_.reset();
+        busy_ = true;
+        work = state_;
+      }
+      // Execute outside the lock: this is the parallel section.
+      work.vars = std::move(cmd.varsAfterDown);
+      fire(*type_, work, type_->transition(cmd.transition));
+      runInternal(*type_, work);
+      spin();
+      {
+        const std::scoped_lock lock(mutex_);
+        state_ = std::move(work);
+        busy_ = false;
+      }
+      cv_.notify_all();
+    }
+  }
+
+  void spin() const {
+    volatile std::uint64_t sink = 0;
+    for (std::uint64_t i = 0; i < grain_; ++i) sink = sink + i;
+  }
+
+  const AtomicType* type_;
+  AtomicState state_;
+  std::uint64_t grain_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::optional<ExecuteCommand> command_;
+  bool busy_ = false;
+  std::jthread thread_;
+};
+
+/// Evaluation context for connector data transfer over the engine's
+/// snapshot (scope >= 0: end's exported variable; kConnectorScope: the
+/// connector-local scratch variables).
+class TransferContext final : public expr::EvalContext {
+ public:
+  TransferContext(const System& system, const Connector& connector, GlobalState& state,
+                  std::vector<Value>& connectorVars)
+      : system_(&system), connector_(&connector), state_(&state), cvars_(&connectorVars) {}
+
+  Value read(expr::VarRef r) const override {
+    if (r.scope == expr::kConnectorScope) return (*cvars_)[static_cast<std::size_t>(r.index)];
+    return slot(r);
+  }
+  void write(expr::VarRef r, Value v) override {
+    if (r.scope == expr::kConnectorScope) {
+      (*cvars_)[static_cast<std::size_t>(r.index)] = v;
+      return;
+    }
+    slot(r) = v;
+  }
+
+ private:
+  Value& slot(expr::VarRef r) const {
+    const ConnectorEnd& end = connector_->end(static_cast<std::size_t>(r.scope));
+    const AtomicType& type =
+        *system_->instance(static_cast<std::size_t>(end.port.instance)).type;
+    const int localVar = type.port(end.port.port).exports[static_cast<std::size_t>(r.index)];
+    return state_->components[static_cast<std::size_t>(end.port.instance)]
+        .vars[static_cast<std::size_t>(localVar)];
+  }
+
+  const System* system_;
+  const Connector* connector_;
+  GlobalState* state_;
+  std::vector<Value>* cvars_;
+};
+
+/// Footprint of an interaction = every instance attached to its connector
+/// (guards may read non-participating ends, so the whole connector
+/// conflicts).
+std::vector<int> footprint(const System& system, const EnabledInteraction& ei) {
+  std::vector<int> out;
+  const Connector& c = system.connector(static_cast<std::size_t>(ei.connector));
+  out.reserve(c.endCount());
+  for (const ConnectorEnd& e : c.ends()) out.push_back(e.port.instance);
+  return out;
+}
+
+bool overlaps(const std::vector<int>& instances, const std::vector<bool>& used) {
+  for (int i : instances) {
+    if (used[static_cast<std::size_t>(i)]) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+MultiThreadEngine::MultiThreadEngine(const System& system, SchedulingPolicy& policy)
+    : system_(&system), policy_(&policy) {
+  system.validate();
+}
+
+RunResult MultiThreadEngine::run(const MtOptions& options) {
+  const System& system = *system_;
+  const std::size_t n = system.instanceCount();
+
+  std::vector<std::unique_ptr<Worker>> workers;
+  workers.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers.push_back(std::make_unique<Worker>(
+        *system.instance(i).type, initialState(*system.instance(i).type), options.workGrain));
+  }
+
+  const bool hasPriorities = system.maximalProgress() || !system.priorities().empty();
+  const std::size_t maxBatch =
+      hasPriorities ? 1 : (options.maxBatch == 0 ? n : options.maxBatch);
+
+  RunResult result;
+  GlobalState snapshot;
+  snapshot.components.resize(n);
+  for (std::size_t i = 0; i < n; ++i) snapshot.components[i] = workers[i]->snapshot();
+
+  std::uint64_t executed = 0;
+  result.reason = StopReason::kStepLimit;
+  while (executed < options.maxSteps) {
+    std::vector<EnabledInteraction> enabled = enabledInteractions(system, snapshot);
+    if (enabled.empty()) {
+      result.reason = StopReason::kDeadlock;
+      break;
+    }
+    enabled = applyPriorities(system, snapshot, std::move(enabled));
+
+    // Select a batch of pairwise-independent interactions.
+    struct Selected {
+      EnabledInteraction interaction;
+      std::vector<int> choice;
+    };
+    std::vector<Selected> batch;
+    std::vector<bool> used(n, false);
+    std::vector<EnabledInteraction> candidates = std::move(enabled);
+    while (!candidates.empty() && batch.size() < maxBatch &&
+           executed + batch.size() < options.maxSteps) {
+      const auto [idx, choice] = policy_->pick(system, snapshot, candidates);
+      require(idx < candidates.size(), "SchedulingPolicy returned out-of-range interaction");
+      const EnabledInteraction picked = candidates[idx];
+      for (int i : footprint(system, picked)) used[static_cast<std::size_t>(i)] = true;
+      batch.push_back(Selected{picked, choice});
+      std::vector<EnabledInteraction> rest;
+      for (std::size_t k = 0; k < candidates.size(); ++k) {
+        if (k == idx) continue;
+        if (!overlaps(footprint(system, candidates[k]), used)) {
+          rest.push_back(std::move(candidates[k]));
+        }
+      }
+      candidates = std::move(rest);
+    }
+
+    // Connector data transfer centrally, then parallel dispatch.
+    std::vector<int> dispatched;
+    for (const Selected& sel : batch) {
+      const EnabledInteraction& ei = sel.interaction;
+      const Connector& c = system.connector(static_cast<std::size_t>(ei.connector));
+      std::vector<Value> connectorVars(c.variableCount(), 0);
+      TransferContext ctx(system, c, snapshot, connectorVars);
+      expr::applyAssignments(c.ups(), ctx);
+      for (const DownAssign& d : c.downs()) {
+        if ((ei.mask & (InteractionMask{1} << static_cast<unsigned>(d.end))) == 0) continue;
+        ctx.write(expr::VarRef{d.end, d.exportIndex}, d.value.eval(ctx));
+      }
+      for (std::size_t k = 0; k < ei.ends.size(); ++k) {
+        const ConnectorEnd& end = c.end(static_cast<std::size_t>(ei.ends[k]));
+        const int inst = end.port.instance;
+        const int transition = ei.choices[k][static_cast<std::size_t>(sel.choice[k])];
+        workers[static_cast<std::size_t>(inst)]->dispatch(ExecuteCommand{
+            transition, snapshot.components[static_cast<std::size_t>(inst)].vars});
+        dispatched.push_back(inst);
+      }
+      if (options.recordTrace) {
+        result.trace.events.push_back(
+            TraceEvent{executed, ei.connector, ei.mask, interactionLabel(system, ei)});
+      }
+      ++executed;
+    }
+
+    // Barrier: wait for all dispatched workers, then refresh their states.
+    for (int inst : dispatched) workers[static_cast<std::size_t>(inst)]->wait();
+    for (int inst : dispatched) {
+      snapshot.components[static_cast<std::size_t>(inst)] =
+          workers[static_cast<std::size_t>(inst)]->snapshot();
+    }
+  }
+
+  for (auto& w : workers) w->stop();
+  result.steps = executed;
+  result.finalState = std::move(snapshot);
+  return result;
+}
+
+}  // namespace cbip

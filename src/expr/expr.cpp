@@ -1,0 +1,321 @@
+#include "expr/expr.hpp"
+
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace cbip::expr {
+
+struct Expr::Node {
+  Op op = Op::kLit;
+  Value lit = 0;
+  VarRef ref;
+  std::vector<Expr> kids;
+};
+
+namespace {
+Value toBool(Value v) { return v != 0 ? 1 : 0; }
+}  // namespace
+
+Value VecContext::read(VarRef ref) const {
+  requireEval(ref.scope == 0, "VecContext: only scope 0 is bound");
+  requireEval(ref.index >= 0 && static_cast<std::size_t>(ref.index) < vars_->size(),
+              "VecContext: variable index out of range");
+  return (*vars_)[static_cast<std::size_t>(ref.index)];
+}
+
+void VecContext::write(VarRef ref, Value value) {
+  requireEval(ref.scope == 0, "VecContext: only scope 0 is bound");
+  requireEval(ref.index >= 0 && static_cast<std::size_t>(ref.index) < vars_->size(),
+              "VecContext: variable index out of range");
+  (*vars_)[static_cast<std::size_t>(ref.index)] = value;
+}
+
+Expr::Expr() {
+  static const std::shared_ptr<const Node> zero = [] {
+    auto n = std::make_shared<Node>();
+    n->op = Op::kLit;
+    n->lit = 0;
+    return n;
+  }();
+  node_ = zero;
+}
+
+Expr Expr::make(Op op, std::vector<Expr> kids) {
+  auto n = std::make_shared<Node>();
+  n->op = op;
+  n->kids = std::move(kids);
+  return Expr(std::move(n));
+}
+
+Expr Expr::lit(Value v) {
+  auto n = std::make_shared<Node>();
+  n->op = Op::kLit;
+  n->lit = v;
+  return Expr(std::move(n));
+}
+
+Expr Expr::var(VarRef ref) {
+  auto n = std::make_shared<Node>();
+  n->op = Op::kVar;
+  n->ref = ref;
+  return Expr(std::move(n));
+}
+
+Expr Expr::ite(Expr cond, Expr thenE, Expr elseE) {
+  return make(Op::kIte, {std::move(cond), std::move(thenE), std::move(elseE)});
+}
+Expr Expr::min(Expr a, Expr b) { return make(Op::kMin, {std::move(a), std::move(b)}); }
+Expr Expr::max(Expr a, Expr b) { return make(Op::kMax, {std::move(a), std::move(b)}); }
+Expr Expr::abs(Expr a) { return make(Op::kAbs, {std::move(a)}); }
+
+Op Expr::op() const { return node_->op; }
+
+Value Expr::literal() const {
+  require(node_->op == Op::kLit, "Expr::literal on non-literal");
+  return node_->lit;
+}
+
+VarRef Expr::ref() const {
+  require(node_->op == Op::kVar, "Expr::ref on non-variable");
+  return node_->ref;
+}
+
+std::size_t Expr::arity() const { return node_->kids.size(); }
+
+const Expr& Expr::child(std::size_t i) const {
+  require(i < node_->kids.size(), "Expr::child index out of range");
+  return node_->kids[i];
+}
+
+bool Expr::isTrue() const { return node_->op == Op::kLit && node_->lit == 1; }
+
+Value Expr::eval(const EvalContext& ctx) const {
+  const Node& n = *node_;
+  switch (n.op) {
+    case Op::kLit: return n.lit;
+    case Op::kVar: return ctx.read(n.ref);
+    case Op::kAdd: return n.kids[0].eval(ctx) + n.kids[1].eval(ctx);
+    case Op::kSub: return n.kids[0].eval(ctx) - n.kids[1].eval(ctx);
+    case Op::kMul: return n.kids[0].eval(ctx) * n.kids[1].eval(ctx);
+    case Op::kDiv: {
+      const Value d = n.kids[1].eval(ctx);
+      requireEval(d != 0, "division by zero");
+      return n.kids[0].eval(ctx) / d;
+    }
+    case Op::kMod: {
+      const Value d = n.kids[1].eval(ctx);
+      requireEval(d != 0, "modulo by zero");
+      return n.kids[0].eval(ctx) % d;
+    }
+    case Op::kNeg: return -n.kids[0].eval(ctx);
+    case Op::kMin: {
+      const Value a = n.kids[0].eval(ctx), b = n.kids[1].eval(ctx);
+      return a < b ? a : b;
+    }
+    case Op::kMax: {
+      const Value a = n.kids[0].eval(ctx), b = n.kids[1].eval(ctx);
+      return a > b ? a : b;
+    }
+    case Op::kAbs: {
+      const Value a = n.kids[0].eval(ctx);
+      return a < 0 ? -a : a;
+    }
+    case Op::kEq: return toBool(n.kids[0].eval(ctx) == n.kids[1].eval(ctx));
+    case Op::kNe: return toBool(n.kids[0].eval(ctx) != n.kids[1].eval(ctx));
+    case Op::kLt: return toBool(n.kids[0].eval(ctx) < n.kids[1].eval(ctx));
+    case Op::kLe: return toBool(n.kids[0].eval(ctx) <= n.kids[1].eval(ctx));
+    case Op::kGt: return toBool(n.kids[0].eval(ctx) > n.kids[1].eval(ctx));
+    case Op::kGe: return toBool(n.kids[0].eval(ctx) >= n.kids[1].eval(ctx));
+    case Op::kAnd: return n.kids[0].eval(ctx) != 0 && n.kids[1].eval(ctx) != 0 ? 1 : 0;
+    case Op::kOr: return n.kids[0].eval(ctx) != 0 || n.kids[1].eval(ctx) != 0 ? 1 : 0;
+    case Op::kNot: return toBool(n.kids[0].eval(ctx) == 0);
+    case Op::kIte:
+      return n.kids[0].eval(ctx) != 0 ? n.kids[1].eval(ctx) : n.kids[2].eval(ctx);
+  }
+  throw EvalError("Expr::eval: unknown operator");
+}
+
+Value Expr::eval(std::vector<Value>& vars) const {
+  VecContext ctx(vars);
+  return eval(ctx);
+}
+
+Expr Expr::mapVars(const std::function<VarRef(VarRef)>& f) const {
+  const Node& n = *node_;
+  if (n.op == Op::kLit) return *this;
+  if (n.op == Op::kVar) return var(f(n.ref));
+  std::vector<Expr> kids;
+  kids.reserve(n.kids.size());
+  for (const Expr& k : n.kids) kids.push_back(k.mapVars(f));
+  return make(n.op, std::move(kids));
+}
+
+Expr Expr::simplified() const {
+  const Node& n = *node_;
+  if (n.op == Op::kLit || n.op == Op::kVar) return *this;
+  std::vector<Expr> kids;
+  kids.reserve(n.kids.size());
+  bool allConst = true;
+  for (const Expr& k : n.kids) {
+    kids.push_back(k.simplified());
+    allConst = allConst && kids.back().isConst();
+  }
+  // Full constant folding — except division/modulo by zero, which must
+  // stay (it is a runtime error, not a value).
+  if (allConst) {
+    const bool divByZero =
+        (n.op == Op::kDiv || n.op == Op::kMod) && kids[1].literal() == 0;
+    if (!divByZero) {
+      std::vector<Value> noVars;
+      VecContext ctx(noVars);
+      return lit(make(n.op, kids).eval(ctx));
+    }
+  }
+  auto isLit = [](const Expr& e, Value v) { return e.isConst() && e.literal() == v; };
+  switch (n.op) {
+    case Op::kAdd:
+      if (isLit(kids[0], 0)) return kids[1];
+      if (isLit(kids[1], 0)) return kids[0];
+      break;
+    case Op::kSub:
+      if (isLit(kids[1], 0)) return kids[0];
+      break;
+    case Op::kMul:
+      if (isLit(kids[0], 1)) return kids[1];
+      if (isLit(kids[1], 1)) return kids[0];
+      if (isLit(kids[0], 0) || isLit(kids[1], 0)) return lit(0);
+      break;
+    case Op::kAnd:
+      // Both operands may have side conditions (division); only the
+      // short-circuit-safe direction folds: a constant *left* operand.
+      if (isLit(kids[0], 0)) return lit(0);
+      if (kids[0].isConst()) return make(Op::kNe, {kids[1], lit(0)}).simplified();
+      if (isLit(kids[1], 1)) return make(Op::kNe, {kids[0], lit(0)}).simplified();
+      break;
+    case Op::kOr:
+      if (kids[0].isConst() && kids[0].literal() != 0) return lit(1);
+      if (isLit(kids[0], 0)) return make(Op::kNe, {kids[1], lit(0)}).simplified();
+      if (isLit(kids[1], 0)) return make(Op::kNe, {kids[0], lit(0)}).simplified();
+      break;
+    case Op::kNot:
+      if (kids[0].op() == Op::kNot) {
+        return make(Op::kNe, {kids[0].child(0), lit(0)}).simplified();
+      }
+      break;
+    case Op::kNe:
+      // x != 0 where x is already boolean-valued: keep as is (cheap).
+      break;
+    case Op::kIte:
+      if (kids[0].isConst()) return kids[0].literal() != 0 ? kids[1] : kids[2];
+      break;
+    default:
+      break;
+  }
+  return make(n.op, std::move(kids));
+}
+
+void Expr::collectVars(std::vector<VarRef>& out) const {
+  const Node& n = *node_;
+  if (n.op == Op::kVar) {
+    out.push_back(n.ref);
+    return;
+  }
+  for (const Expr& k : n.kids) k.collectVars(out);
+}
+
+bool Expr::equals(const Expr& other) const {
+  const Node& a = *node_;
+  const Node& b = *other.node_;
+  if (a.op != b.op) return false;
+  switch (a.op) {
+    case Op::kLit: return a.lit == b.lit;
+    case Op::kVar: return a.ref == b.ref;
+    default: break;
+  }
+  if (a.kids.size() != b.kids.size()) return false;
+  for (std::size_t i = 0; i < a.kids.size(); ++i) {
+    if (!a.kids[i].equals(b.kids[i])) return false;
+  }
+  return true;
+}
+
+namespace {
+
+const char* opSymbol(Op op) {
+  switch (op) {
+    case Op::kAdd: return "+";
+    case Op::kSub: return "-";
+    case Op::kMul: return "*";
+    case Op::kDiv: return "/";
+    case Op::kMod: return "%";
+    case Op::kEq: return "==";
+    case Op::kNe: return "!=";
+    case Op::kLt: return "<";
+    case Op::kLe: return "<=";
+    case Op::kGt: return ">";
+    case Op::kGe: return ">=";
+    case Op::kAnd: return "&&";
+    case Op::kOr: return "||";
+    default: return "?";
+  }
+}
+
+}  // namespace
+
+std::string Expr::toString(const std::function<std::string(VarRef)>& name) const {
+  std::ostringstream os;
+  const Node& n = *node_;
+  switch (n.op) {
+    case Op::kLit: os << n.lit; break;
+    case Op::kVar: os << name(n.ref); break;
+    case Op::kNeg: os << "(-" << n.kids[0].toString(name) << ")"; break;
+    case Op::kNot: os << "(!" << n.kids[0].toString(name) << ")"; break;
+    case Op::kAbs: os << "abs(" << n.kids[0].toString(name) << ")"; break;
+    case Op::kMin:
+      os << "min(" << n.kids[0].toString(name) << ", " << n.kids[1].toString(name) << ")";
+      break;
+    case Op::kMax:
+      os << "max(" << n.kids[0].toString(name) << ", " << n.kids[1].toString(name) << ")";
+      break;
+    case Op::kIte:
+      os << "(" << n.kids[0].toString(name) << " ? " << n.kids[1].toString(name) << " : "
+         << n.kids[2].toString(name) << ")";
+      break;
+    default:
+      os << "(" << n.kids[0].toString(name) << " " << opSymbol(n.op) << " "
+         << n.kids[1].toString(name) << ")";
+      break;
+  }
+  return os.str();
+}
+
+std::string Expr::toString() const {
+  return toString([](VarRef r) {
+    std::ostringstream os;
+    os << "v" << r.scope << "_" << r.index;
+    return os.str();
+  });
+}
+
+Expr operator+(Expr a, Expr b) { return Expr::make(Op::kAdd, {std::move(a), std::move(b)}); }
+Expr operator-(Expr a, Expr b) { return Expr::make(Op::kSub, {std::move(a), std::move(b)}); }
+Expr operator*(Expr a, Expr b) { return Expr::make(Op::kMul, {std::move(a), std::move(b)}); }
+Expr operator/(Expr a, Expr b) { return Expr::make(Op::kDiv, {std::move(a), std::move(b)}); }
+Expr operator%(Expr a, Expr b) { return Expr::make(Op::kMod, {std::move(a), std::move(b)}); }
+Expr operator-(Expr a) { return Expr::make(Op::kNeg, {std::move(a)}); }
+Expr operator==(Expr a, Expr b) { return Expr::make(Op::kEq, {std::move(a), std::move(b)}); }
+Expr operator!=(Expr a, Expr b) { return Expr::make(Op::kNe, {std::move(a), std::move(b)}); }
+Expr operator<(Expr a, Expr b) { return Expr::make(Op::kLt, {std::move(a), std::move(b)}); }
+Expr operator<=(Expr a, Expr b) { return Expr::make(Op::kLe, {std::move(a), std::move(b)}); }
+Expr operator>(Expr a, Expr b) { return Expr::make(Op::kGt, {std::move(a), std::move(b)}); }
+Expr operator>=(Expr a, Expr b) { return Expr::make(Op::kGe, {std::move(a), std::move(b)}); }
+Expr operator&&(Expr a, Expr b) { return Expr::make(Op::kAnd, {std::move(a), std::move(b)}); }
+Expr operator||(Expr a, Expr b) { return Expr::make(Op::kOr, {std::move(a), std::move(b)}); }
+Expr operator!(Expr a) { return Expr::make(Op::kNot, {std::move(a)}); }
+
+void applyAssignments(const std::vector<Assign>& assigns, EvalContext& ctx) {
+  for (const Assign& a : assigns) ctx.write(a.target, a.value.eval(ctx));
+}
+
+}  // namespace cbip::expr

@@ -1,0 +1,162 @@
+// Integer expression / predicate AST.
+//
+// This is the data sub-language of the component framework: transition
+// guards, update actions, connector guards and data-transfer functions are
+// all Expr trees over 64-bit integer variables (booleans are 0/1).
+// Keeping data symbolic — rather than opaque C++ callbacks, as in the
+// original BIP engine — is what lets the verification layer inspect and
+// abstract the very same objects the engines execute ("semantic
+// coherency", monograph Section 5.4).
+//
+// Variables are referred to by (scope, index) pairs whose meaning is
+// supplied by the evaluation context:
+//   * inside an atomic component, scope 0 = the component's variable table;
+//   * inside a connector, scope i >= 0 = the i-th attached port's exported
+//     variables, and scope kConnectorScope = the connector's own variables;
+//   * in global (system-level) predicates, scope i = instance i.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cbip::expr {
+
+using Value = std::int64_t;
+
+/// Scope of connector-local variables in connector expressions.
+inline constexpr int kConnectorScope = -1;
+
+/// A (scope, index) reference to a variable; resolution is
+/// context-dependent (see file comment).
+struct VarRef {
+  int scope = 0;
+  int index = 0;
+  friend bool operator==(const VarRef&, const VarRef&) = default;
+};
+
+/// Resolves variable reads/writes during evaluation.
+class EvalContext {
+ public:
+  virtual ~EvalContext() = default;
+  virtual Value read(VarRef ref) const = 0;
+  virtual void write(VarRef ref, Value value) = 0;
+};
+
+/// Evaluation context over a single flat variable vector (scope must be 0).
+class VecContext final : public EvalContext {
+ public:
+  explicit VecContext(std::vector<Value>& vars) : vars_(&vars) {}
+  Value read(VarRef ref) const override;
+  void write(VarRef ref, Value value) override;
+
+ private:
+  std::vector<Value>* vars_;
+};
+
+enum class Op {
+  kLit,   // literal constant
+  kVar,   // variable reference
+  kAdd, kSub, kMul, kDiv, kMod, kNeg,
+  kMin, kMax, kAbs,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr, kNot,
+  kIte,   // if-then-else
+};
+
+/// Immutable expression; cheap to copy (shared subtrees).
+class Expr {
+ public:
+  /// Default-constructed expression is the literal 0; the "absent guard"
+  /// convention uses Expr::top() (literal 1 = true).
+  Expr();
+
+  static Expr lit(Value v);
+  static Expr var(VarRef ref);
+  static Expr var(int scope, int index) { return var(VarRef{scope, index}); }
+  static Expr local(int index) { return var(VarRef{0, index}); }
+  /// The always-true guard.
+  static Expr top() { return lit(1); }
+
+  static Expr ite(Expr cond, Expr thenE, Expr elseE);
+  static Expr min(Expr a, Expr b);
+  static Expr max(Expr a, Expr b);
+  static Expr abs(Expr a);
+
+  Op op() const;
+  Value literal() const;       // requires op() == kLit
+  VarRef ref() const;          // requires op() == kVar
+  std::size_t arity() const;
+  const Expr& child(std::size_t i) const;
+
+  /// Evaluates the expression in `ctx`. Throws EvalError on division by
+  /// zero / modulo by zero.
+  Value eval(const EvalContext& ctx) const;
+
+  /// Evaluates a closed expression over a flat local variable vector.
+  Value eval(std::vector<Value>& vars) const;
+
+  /// True iff the expression is the literal 1 (used to skip trivial guards).
+  bool isTrue() const;
+  /// True iff the expression is a literal constant.
+  bool isConst() const { return op() == Op::kLit; }
+
+  /// Returns a copy with every variable reference rewritten by `f`.
+  Expr mapVars(const std::function<VarRef(VarRef)>& f) const;
+
+  /// Constant folding and algebraic identities (x+0, x*1, x&&true,
+  /// ite(const, a, b), ...). Semantics-preserving: for every context the
+  /// simplified expression evaluates to the same value, with the single
+  /// exception that folding may *remove* a division by zero that the
+  /// original would have raised inside a dead branch.
+  Expr simplified() const;
+
+  /// Appends all variable references (with repetition) to `out`.
+  void collectVars(std::vector<VarRef>& out) const;
+
+  /// Renders the expression; `name` maps references to display names.
+  std::string toString(const std::function<std::string(VarRef)>& name) const;
+  std::string toString() const;
+
+  /// Structural equality.
+  bool equals(const Expr& other) const;
+
+  // Operator sugar (arithmetic / comparison / boolean).
+  friend Expr operator+(Expr a, Expr b);
+  friend Expr operator-(Expr a, Expr b);
+  friend Expr operator*(Expr a, Expr b);
+  friend Expr operator/(Expr a, Expr b);
+  friend Expr operator%(Expr a, Expr b);
+  friend Expr operator-(Expr a);
+  friend Expr operator==(Expr a, Expr b);
+  friend Expr operator!=(Expr a, Expr b);
+  friend Expr operator<(Expr a, Expr b);
+  friend Expr operator<=(Expr a, Expr b);
+  friend Expr operator>(Expr a, Expr b);
+  friend Expr operator>=(Expr a, Expr b);
+  friend Expr operator&&(Expr a, Expr b);
+  friend Expr operator||(Expr a, Expr b);
+  friend Expr operator!(Expr a);
+
+ private:
+  struct Node;
+  explicit Expr(std::shared_ptr<const Node> node) : node_(std::move(node)) {}
+  static Expr make(Op op, std::vector<Expr> kids);
+
+  std::shared_ptr<const Node> node_;
+};
+
+/// An assignment `target := value`.
+struct Assign {
+  VarRef target;
+  Expr value;
+};
+
+/// Applies a block of assignments *sequentially* (each assignment sees the
+/// writes of earlier ones) — the semantics of action blocks in BIP, which
+/// is preserved by source-to-source fusion of components.
+void applyAssignments(const std::vector<Assign>& assigns, EvalContext& ctx);
+
+}  // namespace cbip::expr

@@ -1,0 +1,208 @@
+#include "expr/parser.hpp"
+
+#include <cctype>
+
+namespace cbip::expr {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, const NameResolver& resolve)
+      : text_(text), resolve_(resolve) {}
+
+  Expr parse() {
+    Expr e = ternary();
+    skipSpace();
+    if (pos_ != text_.size()) fail("trailing characters after expression");
+    return e;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ParseError(message + " at offset " + std::to_string(pos_), pos_);
+  }
+
+  void skipSpace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+  }
+
+  bool eat(std::string_view token) {
+    skipSpace();
+    if (text_.substr(pos_, token.size()) != token) return false;
+    // Avoid matching a prefix of a longer operator (e.g. '<' of '<=')
+    // or of an identifier keyword.
+    if (!token.empty() && (std::isalpha(static_cast<unsigned char>(token.back())))) {
+      const std::size_t after = pos_ + token.size();
+      if (after < text_.size() &&
+          (std::isalnum(static_cast<unsigned char>(text_[after])) || text_[after] == '_')) {
+        return false;
+      }
+    }
+    pos_ += token.size();
+    return true;
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  Expr ternary() {
+    Expr cond = orExpr();
+    skipSpace();
+    if (eat("?")) {
+      Expr t = ternary();
+      skipSpace();
+      if (!eat(":")) fail("expected ':' in conditional");
+      Expr e = ternary();
+      return Expr::ite(std::move(cond), std::move(t), std::move(e));
+    }
+    return cond;
+  }
+
+  Expr orExpr() {
+    Expr e = andExpr();
+    while (true) {
+      skipSpace();
+      if (eat("||")) {
+        e = std::move(e) || andExpr();
+      } else {
+        return e;
+      }
+    }
+  }
+
+  Expr andExpr() {
+    Expr e = cmp();
+    while (true) {
+      skipSpace();
+      if (eat("&&")) {
+        e = std::move(e) && cmp();
+      } else {
+        return e;
+      }
+    }
+  }
+
+  Expr cmp() {
+    Expr e = sum();
+    skipSpace();
+    if (eat("==")) return std::move(e) == sum();
+    if (eat("!=")) return std::move(e) != sum();
+    if (eat("<=")) return std::move(e) <= sum();
+    if (eat(">=")) return std::move(e) >= sum();
+    if (eat("<")) return std::move(e) < sum();
+    if (eat(">")) return std::move(e) > sum();
+    return e;
+  }
+
+  Expr sum() {
+    Expr e = term();
+    while (true) {
+      skipSpace();
+      if (eat("+")) {
+        e = std::move(e) + term();
+      } else if (peekMinus()) {
+        eat("-");
+        e = std::move(e) - term();
+      } else {
+        return e;
+      }
+    }
+  }
+
+  // '-' is a binary minus here; never part of '->' (not in this grammar).
+  bool peekMinus() {
+    skipSpace();
+    return peek() == '-';
+  }
+
+  Expr term() {
+    Expr e = unary();
+    while (true) {
+      skipSpace();
+      if (eat("*")) {
+        e = std::move(e) * unary();
+      } else if (eat("/")) {
+        e = std::move(e) / unary();
+      } else if (eat("%")) {
+        e = std::move(e) % unary();
+      } else {
+        return e;
+      }
+    }
+  }
+
+  Expr unary() {
+    skipSpace();
+    if (eat("!")) return !unary();
+    if (eat("-")) return -unary();
+    return primary();
+  }
+
+  Expr primary() {
+    skipSpace();
+    if (eat("(")) {
+      Expr e = ternary();
+      skipSpace();
+      if (!eat(")")) fail("expected ')'");
+      return e;
+    }
+    const char c = peek();
+    if (std::isdigit(static_cast<unsigned char>(c))) return number();
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') return identifier();
+    fail("expected literal, identifier or '('");
+  }
+
+  Expr number() {
+    std::size_t start = pos_;
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    return Expr::lit(std::stoll(std::string(text_.substr(start, pos_ - start))));
+  }
+
+  Expr identifier() {
+    std::size_t start = pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    std::string name(text_.substr(start, pos_ - start));
+    if (name == "true") return Expr::lit(1);
+    if (name == "false") return Expr::lit(0);
+    skipSpace();
+    if (peek() == '(') {
+      // Builtin function call.
+      ++pos_;
+      std::vector<Expr> args;
+      skipSpace();
+      if (peek() != ')') {
+        args.push_back(ternary());
+        skipSpace();
+        while (eat(",")) {
+          args.push_back(ternary());
+          skipSpace();
+        }
+      }
+      if (!eat(")")) fail("expected ')' after arguments");
+      if (name == "min" && args.size() == 2) return Expr::min(args[0], args[1]);
+      if (name == "max" && args.size() == 2) return Expr::max(args[0], args[1]);
+      if (name == "abs" && args.size() == 1) return Expr::abs(args[0]);
+      fail("unknown function '" + name + "' (arity " + std::to_string(args.size()) + ")");
+    }
+    return Expr::var(resolve_(name));
+  }
+
+  std::string_view text_;
+  const NameResolver& resolve_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Expr parseExpr(std::string_view text, const NameResolver& resolve) {
+  return Parser(text, resolve).parse();
+}
+
+}  // namespace cbip::expr

@@ -1,0 +1,47 @@
+// Recursive-descent parser for the expression sub-language.
+//
+// Grammar (C-like precedence, lowest first):
+//   expr     := ternary
+//   ternary  := or ('?' expr ':' expr)?
+//   or       := and ('||' and)*
+//   and      := cmp ('&&' cmp)*
+//   cmp      := sum (('=='|'!='|'<'|'<='|'>'|'>=') sum)?
+//   sum      := term (('+'|'-') term)*
+//   term     := unary (('*'|'/'|'%') unary)*
+//   unary    := ('-'|'!') unary | primary
+//   primary  := INT | IDENT | IDENT '(' expr (',' expr)* ')'   -- min/max/abs
+//             | '(' expr ')' | 'true' | 'false'
+//
+// Identifiers (including dotted forms like `port.x`) are resolved to
+// VarRefs by a caller-supplied resolver, so the same parser serves
+// component guards, connector expressions and global predicates.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "expr/expr.hpp"
+
+namespace cbip::expr {
+
+/// Maps an identifier (e.g. "x" or "left.count") to a variable reference.
+/// Should throw cbip::ModelError for unknown names.
+using NameResolver = std::function<VarRef(const std::string&)>;
+
+/// Error thrown on malformed expression text; carries the offset.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& what, std::size_t offset)
+      : std::runtime_error(what), offset_(offset) {}
+  std::size_t offset() const { return offset_; }
+
+ private:
+  std::size_t offset_ = 0;
+};
+
+/// Parses `text` completely into an expression. Throws ParseError on
+/// syntax errors and propagates resolver exceptions for unknown names.
+Expr parseExpr(std::string_view text, const NameResolver& resolve);
+
+}  // namespace cbip::expr

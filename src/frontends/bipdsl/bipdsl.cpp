@@ -1,0 +1,336 @@
+#include "frontends/bipdsl/bipdsl.hpp"
+
+#include <cctype>
+#include <set>
+#include <vector>
+
+#include "expr/parser.hpp"
+#include "util/require.hpp"
+
+namespace cbip::dsl {
+
+namespace {
+
+struct Token {
+  enum Kind { kWord, kInt, kSym, kEnd } kind = kEnd;
+  std::string text;
+  int line = 1;
+};
+
+/// Lexer: words may contain dots (`p0.meals`); '#' starts a line comment;
+/// ':=' is one symbol.
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) { advance(); }
+
+  const Token& peek() const { return tok_; }
+  Token take() {
+    Token t = tok_;
+    advance();
+    return t;
+  }
+  bool eat(const std::string& text) {
+    if (tok_.kind != Token::kEnd && tok_.text == text) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+  void expect(const std::string& text) {
+    require(eat(text), "bip: expected '" + text + "' at line " + std::to_string(tok_.line) +
+                           " (got '" + tok_.text + "')");
+  }
+  int line() const { return tok_.line; }
+
+ private:
+  void advance() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '#') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ >= src_.size()) {
+      tok_ = Token{Token::kEnd, "", line_};
+      return;
+    }
+    const char c = src_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = pos_;
+      while (pos_ < src_.size() &&
+             (std::isalnum(static_cast<unsigned char>(src_[pos_])) || src_[pos_] == '_' ||
+              src_[pos_] == '.')) {
+        ++pos_;
+      }
+      tok_ = Token{Token::kWord, std::string(src_.substr(start, pos_ - start)), line_};
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t start = pos_;
+      while (pos_ < src_.size() && std::isdigit(static_cast<unsigned char>(src_[pos_]))) ++pos_;
+      tok_ = Token{Token::kInt, std::string(src_.substr(start, pos_ - start)), line_};
+      return;
+    }
+    for (const char* sym : {":=", "==", "!=", "<=", ">=", "&&", "||"}) {
+      if (src_.substr(pos_, 2) == sym) {
+        tok_ = Token{Token::kSym, sym, line_};
+        pos_ += 2;
+        return;
+      }
+    }
+    tok_ = Token{Token::kSym, std::string(1, c), line_};
+    ++pos_;
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  Token tok_;
+};
+
+const std::set<std::string> kStopWords = {"do",   "goto",  "when",     "down", "end",
+                                          "from", "port",  "location", "var",  "connector",
+                                          "instance", "priority", "maximal", "system",
+                                          "atom", "exports"};
+
+class ModelParser {
+ public:
+  explicit ModelParser(std::string_view src) : lex_(src) {}
+
+  ParseResult parse() {
+    ParseResult result;
+    bool sawSystem = false;
+    while (lex_.peek().kind != Token::kEnd) {
+      if (lex_.eat("atom")) {
+        auto type = parseAtom();
+        require(result.atoms.emplace(type->name(), type).second,
+                "bip: duplicate atom '" + type->name() + "'");
+      } else if (lex_.eat("system")) {
+        require(!sawSystem, "bip: multiple system sections");
+        sawSystem = true;
+        parseSystemSection(result);
+      } else {
+        throw ModelError("bip: expected 'atom' or 'system' at line " +
+                         std::to_string(lex_.line()) + " (got '" + lex_.peek().text + "')");
+      }
+    }
+    if (sawSystem) result.system.validate();
+    return result;
+  }
+
+ private:
+  std::string word(const std::string& what) {
+    require(lex_.peek().kind == Token::kWord,
+            "bip: expected " + what + " at line " + std::to_string(lex_.line()));
+    return lex_.take().text;
+  }
+
+  /// Collects token text until one of the stop words / symbols appears at
+  /// paren depth zero, then parses it with the expression grammar.
+  Expr expression(const expr::NameResolver& resolve,
+                  const std::set<std::string>& extraStops = {}) {
+    std::string text;
+    int depth = 0;
+    while (lex_.peek().kind != Token::kEnd) {
+      const Token& t = lex_.peek();
+      if (depth == 0 && (kStopWords.count(t.text) > 0 || extraStops.count(t.text) > 0)) break;
+      if (t.text == "(") ++depth;
+      if (t.text == ")") {
+        if (depth == 0) break;
+        --depth;
+      }
+      if (!text.empty()) text += ' ';
+      text += lex_.take().text;
+    }
+    require(!text.empty(), "bip: expected expression at line " + std::to_string(lex_.line()));
+    try {
+      return expr::parseExpr(text, resolve);
+    } catch (const expr::ParseError& e) {
+      throw ModelError("bip: bad expression '" + text + "' near line " +
+                       std::to_string(lex_.line()) + ": " + e.what());
+    }
+  }
+
+  AtomicTypePtr parseAtom() {
+    auto type = std::make_shared<AtomicType>(word("atom name"));
+    bool haveInit = false;
+    const expr::NameResolver localResolver = [&type](const std::string& name) {
+      const auto v = type->findVariable(name);
+      require(v.has_value(), "bip: unknown variable '" + name + "'");
+      return expr::VarRef{0, *v};
+    };
+    while (!lex_.eat("end")) {
+      if (lex_.eat("var")) {
+        const std::string name = word("variable name");
+        Value init = 0;
+        if (lex_.eat("=")) {
+          const bool negative = lex_.eat("-");
+          require(lex_.peek().kind == Token::kInt,
+                  "bip: expected integer initializer at line " + std::to_string(lex_.line()));
+          init = std::stoll(lex_.take().text);
+          if (negative) init = -init;
+        }
+        type->addVariable(name, init);
+      } else if (lex_.eat("port")) {
+        const std::string name = word("port name");
+        std::vector<int> exports;
+        if (lex_.eat("exports")) {
+          exports.push_back(type->variableIndex(word("exported variable")));
+          while (lex_.eat(",")) exports.push_back(type->variableIndex(word("exported variable")));
+        }
+        type->addPort(name, std::move(exports));
+      } else if (lex_.eat("location")) {
+        const int loc = type->addLocation(word("location name"));
+        if (lex_.eat("init")) {
+          require(!haveInit, "bip: multiple init locations in " + type->name());
+          haveInit = true;
+          type->setInitialLocation(loc);
+        }
+      } else if (lex_.eat("from")) {
+        const int from = type->locationIndex(word("source location"));
+        lex_.expect("on");
+        const std::string portName = word("port name");
+        const int port = portName == "tau" ? kInternalPort : type->portIndex(portName);
+        Expr guard = Expr::top();
+        if (lex_.eat("when")) guard = expression(localResolver);
+        std::vector<expr::Assign> actions;
+        if (lex_.eat("do")) {
+          while (true) {
+            const int target = type->variableIndex(word("assignment target"));
+            lex_.expect(":=");
+            actions.push_back(
+                expr::Assign{expr::VarRef{0, target}, expression(localResolver, {";"})});
+            if (!lex_.eat(";")) break;
+          }
+        }
+        lex_.expect("goto");
+        const int to = type->locationIndex(word("target location"));
+        type->addTransition(from, port, std::move(guard), std::move(actions), to);
+      } else {
+        throw ModelError("bip: unexpected '" + lex_.peek().text + "' in atom at line " +
+                         std::to_string(lex_.line()));
+      }
+    }
+    type->validate();
+    return type;
+  }
+
+  void parseSystemSection(ParseResult& result) {
+    System& sys = result.system;
+    while (!lex_.eat("end")) {
+      if (lex_.eat("instance")) {
+        const std::string name = word("instance name");
+        lex_.expect(":");
+        const std::string typeName = word("atom name");
+        const auto it = result.atoms.find(typeName);
+        require(it != result.atoms.end(), "bip: unknown atom '" + typeName + "'");
+        sys.addInstance(name, it->second);
+      } else if (lex_.eat("connector")) {
+        sys.addConnector(parseConnector(sys));
+      } else if (lex_.eat("priority")) {
+        const std::string low = word("connector name");
+        lex_.expect("<");
+        const std::string high = word("connector name");
+        std::optional<Expr> when;
+        if (lex_.eat("when")) {
+          when = expression([&sys](const std::string& name) {
+            return globalRef(sys, name);
+          });
+        }
+        sys.addPriority(PriorityRule{low, high, std::move(when)});
+      } else if (lex_.eat("maximal")) {
+        lex_.expect("progress");
+        sys.setMaximalProgress(true);
+      } else {
+        throw ModelError("bip: unexpected '" + lex_.peek().text + "' in system at line " +
+                         std::to_string(lex_.line()));
+      }
+    }
+  }
+
+  /// `instance.variable` -> global VarRef (scope = instance index).
+  static expr::VarRef globalRef(const System& sys, const std::string& dotted) {
+    const auto dot = dotted.find('.');
+    require(dot != std::string::npos, "bip: expected 'instance.variable', got '" + dotted + "'");
+    const int inst = sys.instanceIndex(dotted.substr(0, dot));
+    const int var = sys.instance(static_cast<std::size_t>(inst))
+                        .type->variableIndex(dotted.substr(dot + 1));
+    return expr::VarRef{inst, var};
+  }
+
+  Connector parseConnector(System& sys) {
+    Connector c(word("connector name"));
+    lex_.expect("=");
+    bool isBroadcast = false;
+    if (lex_.eat("broadcast")) {
+      isBroadcast = true;
+    } else {
+      lex_.expect("sync");
+    }
+    lex_.expect("(");
+    std::vector<std::string> endInstances;
+    bool first = true;
+    while (!lex_.eat(")")) {
+      if (!first) lex_.expect(",");
+      first = false;
+      const std::string dotted = word("instance.port");
+      const auto dot = dotted.find('.');
+      require(dot != std::string::npos, "bip: expected 'instance.port', got '" + dotted + "'");
+      const PortRef ref = sys.portRef(dotted.substr(0, dot), dotted.substr(dot + 1));
+      c.addEnd(ref, /*trigger=*/isBroadcast && endInstances.empty());
+      endInstances.push_back(dotted.substr(0, dot));
+    }
+    // Connector expressions: `instance.variable` over *exported* variables.
+    const expr::NameResolver endResolver = [&sys, &c, &endInstances](const std::string& dotted) {
+      const auto dot = dotted.find('.');
+      require(dot != std::string::npos,
+              "bip: expected 'instance.variable', got '" + dotted + "'");
+      const std::string inst = dotted.substr(0, dot);
+      const std::string varName = dotted.substr(dot + 1);
+      for (std::size_t e = 0; e < endInstances.size(); ++e) {
+        if (endInstances[e] != inst) continue;
+        const ConnectorEnd& end = c.end(e);
+        const AtomicType& type =
+            *sys.instance(static_cast<std::size_t>(end.port.instance)).type;
+        const PortDecl& port = type.port(end.port.port);
+        for (std::size_t k = 0; k < port.exports.size(); ++k) {
+          if (type.variable(port.exports[k]).name == varName) {
+            return expr::VarRef{static_cast<int>(e), static_cast<int>(k)};
+          }
+        }
+        throw ModelError("bip: '" + varName + "' is not exported by " + inst + "." + port.name);
+      }
+      throw ModelError("bip: instance '" + inst + "' is not an end of this connector");
+    };
+    if (lex_.eat("when")) c.setGuard(expression(endResolver));
+    while (lex_.eat("down")) {
+      const std::string dotted = word("instance.variable");
+      lex_.expect(":=");
+      const expr::VarRef target = endResolver(dotted);
+      c.addDown(target.scope, target.index, expression(endResolver, {";"}));
+      lex_.eat(";");
+    }
+    return c;
+  }
+
+  Lexer lex_;
+};
+
+}  // namespace
+
+ParseResult parseModel(std::string_view source) { return ModelParser(source).parse(); }
+
+System parseSystem(std::string_view source) {
+  ParseResult r = parseModel(source);
+  require(r.system.instanceCount() > 0, "bip: program has no system section");
+  return std::move(r.system);
+}
+
+}  // namespace cbip::dsl

@@ -1,0 +1,65 @@
+// Textual syntax for BIP models — the "single host component language" of
+// the rigorous design flow (monograph Section 5.4). Systems written as
+// text are parsed into exactly the same core objects the engines,
+// verifier, fusion and distributed backend consume.
+//
+// Syntax (line comments start with '#'):
+//
+//   atom Philosopher
+//     var meals = 0
+//     port eat
+//     port done
+//     location thinking init
+//     location eating
+//     from thinking on eat do meals := meals + 1 goto eating
+//     from eating on done goto thinking
+//   end
+//
+//   atom Buffer
+//     var head = 0
+//     port put exports head
+//     location b init
+//     from b on put when head < 4 do head := head + 1 goto b
+//     from b on tau when head > 9 do head := 0 goto b      # internal step
+//   end
+//
+//   system
+//     instance p0 : Philosopher
+//     instance buf : Buffer
+//     connector c0 = sync(p0.eat, buf.put)
+//     connector bc = broadcast(p0.done, buf.put)           # first end triggers
+//     connector tr = sync(p0.eat, buf.put) when buf.head < 3
+//                    down buf.head := buf.head + p0.meals  # data transfer
+//     priority c0 < bc when p0.meals > 2
+//     maximal progress
+//   end
+//
+// Guard/action expressions use the library expression grammar
+// (src/expr/parser.hpp). In atoms, identifiers are local variables; in
+// connectors, `instance.variable` resolves to an *exported* variable of
+// that instance's end; in priorities, `instance.variable` is any variable
+// of the instance.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "core/system.hpp"
+
+namespace cbip::dsl {
+
+struct ParseResult {
+  System system;
+  std::map<std::string, AtomicTypePtr> atoms;
+};
+
+/// Parses a full model (atoms + one optional system section).
+/// Throws cbip::ModelError with a line-tagged message on errors.
+ParseResult parseModel(std::string_view source);
+
+/// Convenience: parse and return the system (must contain a `system`
+/// section).
+System parseSystem(std::string_view source);
+
+}  // namespace cbip::dsl

@@ -1,0 +1,146 @@
+#include "frontends/bipdsl/printer.hpp"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace cbip::dsl {
+
+namespace {
+
+std::string localName(const AtomicType& type, expr::VarRef r) {
+  require(r.scope == 0, "printAtom: non-local variable in component expression");
+  return type.variable(r.index).name;
+}
+
+/// Connector expressions: end scope -> "instance.exportedVariable".
+std::string endName(const System& system, const Connector& c, expr::VarRef r) {
+  require(r.scope != expr::kConnectorScope,
+          "printModel: connector-local variables are not expressible in the DSL");
+  const ConnectorEnd& end = c.end(static_cast<std::size_t>(r.scope));
+  const System::Instance& inst = system.instance(static_cast<std::size_t>(end.port.instance));
+  const PortDecl& port = inst.type->port(end.port.port);
+  return inst.name + "." +
+         inst.type->variable(port.exports[static_cast<std::size_t>(r.index)]).name;
+}
+
+}  // namespace
+
+std::string printAtom(const AtomicType& type) {
+  std::ostringstream os;
+  os << "atom " << type.name() << "\n";
+  for (std::size_t v = 0; v < type.variableCount(); ++v) {
+    const VarDecl& d = type.variable(static_cast<int>(v));
+    os << "  var " << d.name;
+    if (d.init != 0) os << " = " << d.init;
+    os << "\n";
+  }
+  for (std::size_t p = 0; p < type.portCount(); ++p) {
+    const PortDecl& d = type.port(static_cast<int>(p));
+    os << "  port " << d.name;
+    if (!d.exports.empty()) {
+      os << " exports ";
+      for (std::size_t k = 0; k < d.exports.size(); ++k) {
+        if (k > 0) os << ", ";
+        os << type.variable(d.exports[k]).name;
+      }
+    }
+    os << "\n";
+  }
+  for (std::size_t l = 0; l < type.locationCount(); ++l) {
+    os << "  location " << type.locationName(static_cast<int>(l));
+    if (static_cast<int>(l) == type.initialLocation()) os << " init";
+    os << "\n";
+  }
+  const auto name = [&type](expr::VarRef r) { return localName(type, r); };
+  for (std::size_t t = 0; t < type.transitionCount(); ++t) {
+    const Transition& tr = type.transition(static_cast<int>(t));
+    os << "  from " << type.locationName(tr.from) << " on "
+       << (tr.port == kInternalPort ? "tau" : type.port(tr.port).name);
+    if (!tr.guard.isTrue()) os << " when " << tr.guard.toString(name);
+    if (!tr.actions.empty()) {
+      os << " do ";
+      for (std::size_t a = 0; a < tr.actions.size(); ++a) {
+        if (a > 0) os << "; ";
+        os << localName(type, tr.actions[a].target) << " := "
+           << tr.actions[a].value.toString(name);
+      }
+    }
+    os << " goto " << type.locationName(tr.to) << "\n";
+  }
+  os << "end\n";
+  return os.str();
+}
+
+std::string printModel(const System& system) {
+  system.validate();
+  std::ostringstream os;
+
+  // Atom declarations: one per distinct type object; name collisions
+  // between distinct objects are disambiguated by suffixing.
+  std::map<const AtomicType*, std::string> atomName;
+  std::set<std::string> usedNames;
+  for (const System::Instance& inst : system.instances()) {
+    const AtomicType* type = inst.type.get();
+    if (atomName.count(type) > 0) continue;
+    std::string name = type->name();
+    int suffix = 2;
+    while (!usedNames.insert(name).second) name = type->name() + std::to_string(suffix++);
+    atomName[type] = name;
+    std::string text = printAtom(*type);
+    if (name != type->name()) {
+      // Patch the declared name (first line).
+      text = "atom " + name + text.substr(text.find('\n'));
+    }
+    os << text << "\n";
+  }
+
+  os << "system\n";
+  for (const System::Instance& inst : system.instances()) {
+    os << "  instance " << inst.name << " : " << atomName.at(inst.type.get()) << "\n";
+  }
+  for (const Connector& c : system.connectors()) {
+    require(c.ups().empty() && c.variableCount() == 0,
+            "printModel: connector-local variables are not expressible in the DSL");
+    bool isBroadcast = false;
+    for (std::size_t e = 0; e < c.endCount(); ++e) {
+      if (c.end(e).trigger) {
+        require(e == 0, "printModel: only first-end triggers are expressible");
+        isBroadcast = true;
+      }
+    }
+    os << "  connector " << c.name() << " = " << (isBroadcast ? "broadcast" : "sync") << "(";
+    for (std::size_t e = 0; e < c.endCount(); ++e) {
+      if (e > 0) os << ", ";
+      const System::Instance& inst =
+          system.instance(static_cast<std::size_t>(c.end(e).port.instance));
+      os << inst.name << "." << inst.type->port(c.end(e).port.port).name;
+    }
+    os << ")";
+    const auto name = [&system, &c](expr::VarRef r) { return endName(system, c, r); };
+    if (!c.guard().isTrue()) os << " when " << c.guard().toString(name);
+    for (const DownAssign& d : c.downs()) {
+      os << " down " << endName(system, c, expr::VarRef{d.end, d.exportIndex}) << " := "
+         << d.value.toString(name) << ";";
+    }
+    os << "\n";
+  }
+  for (const PriorityRule& rule : system.priorities()) {
+    os << "  priority " << rule.low << " < " << rule.high;
+    if (rule.when.has_value()) {
+      os << " when "
+         << rule.when->toString([&system](expr::VarRef r) {
+              const System::Instance& inst = system.instance(static_cast<std::size_t>(r.scope));
+              return inst.name + "." + inst.type->variable(r.index).name;
+            });
+    }
+    os << "\n";
+  }
+  if (system.maximalProgress()) os << "  maximal progress\n";
+  os << "end\n";
+  return os.str();
+}
+
+}  // namespace cbip::dsl

@@ -1,0 +1,26 @@
+// Pretty-printer: System -> BIP DSL text.
+//
+// Together with the parser this gives the flow a round-trippable concrete
+// syntax: models built programmatically (or produced by transformations)
+// can be serialized, inspected, diffed and re-loaded. `parse(print(s))`
+// yields a system with identical structure and bisimilar behaviour
+// (tested in test_bipdsl.cpp).
+//
+// Limitations (of the DSL, not the core): connectors must be plain
+// rendezvous or single-trigger broadcasts, and connector-local variables
+// (up-actions) are not expressible — printing such systems throws.
+#pragma once
+
+#include <string>
+
+#include "core/system.hpp"
+
+namespace cbip::dsl {
+
+/// Serializes one atomic component type.
+std::string printAtom(const AtomicType& type);
+
+/// Serializes a whole system (atom declarations + system section).
+std::string printModel(const System& system);
+
+}  // namespace cbip::dsl

@@ -1,0 +1,792 @@
+#include "frontends/lustre/lustre.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+#include "core/semantics.hpp"
+#include "util/require.hpp"
+
+namespace cbip::lustre {
+
+// ======================= lexer / parser =======================
+
+namespace {
+
+struct Token {
+  enum Kind { kIdent, kInt, kSym, kEnd } kind = kEnd;
+  std::string text;
+  int line = 1;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) { advance(); }
+
+  const Token& peek() const { return tok_; }
+
+  Token take() {
+    Token t = tok_;
+    advance();
+    return t;
+  }
+
+  bool eat(const std::string& text) {
+    if (tok_.text == text && tok_.kind != Token::kEnd) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+
+  void expect(const std::string& text) {
+    require(eat(text), "lustre: expected '" + text + "' at line " + std::to_string(tok_.line) +
+                           " (got '" + tok_.text + "')");
+  }
+
+ private:
+  void advance() {
+    // Skip whitespace and `--` comments.
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '-' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '-' &&
+                 (pos_ + 2 >= src_.size() || src_[pos_ + 2] != '>')) {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+    tok_.line = line_;
+    if (pos_ >= src_.size()) {
+      tok_ = Token{Token::kEnd, "", line_};
+      return;
+    }
+    const char c = src_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = pos_;
+      while (pos_ < src_.size() && (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+                                    src_[pos_] == '_')) {
+        ++pos_;
+      }
+      tok_ = Token{Token::kIdent, std::string(src_.substr(start, pos_ - start)), line_};
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t start = pos_;
+      while (pos_ < src_.size() && std::isdigit(static_cast<unsigned char>(src_[pos_]))) ++pos_;
+      tok_ = Token{Token::kInt, std::string(src_.substr(start, pos_ - start)), line_};
+      return;
+    }
+    // Multi-char symbols first.
+    for (const char* sym : {"->", "<=", ">=", "<>"}) {
+      if (src_.substr(pos_, 2) == sym) {
+        tok_ = Token{Token::kSym, sym, line_};
+        pos_ += 2;
+        return;
+      }
+    }
+    tok_ = Token{Token::kSym, std::string(1, c), line_};
+    ++pos_;
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  Token tok_;
+};
+
+std::unique_ptr<LExpr> makeNode(Op op, std::vector<std::unique_ptr<LExpr>> kids) {
+  auto e = std::make_unique<LExpr>();
+  e->op = op;
+  e->kids = std::move(kids);
+  return e;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view src) : lex_(src) {}
+
+  Program parse() {
+    Program p;
+    while (lex_.peek().kind != Token::kEnd) p.nodes.push_back(parseNode());
+    require(!p.nodes.empty(), "lustre: empty program");
+    return p;
+  }
+
+ private:
+  NodeDecl parseNode() {
+    lex_.expect("node");
+    NodeDecl n;
+    n.name = ident("node name");
+    lex_.expect("(");
+    parseParams(n.inputs);
+    lex_.expect(")");
+    lex_.expect("returns");
+    lex_.expect("(");
+    parseParams(n.outputs);
+    lex_.expect(")");
+    lex_.eat(";");
+    if (lex_.eat("var")) parseVarSection(n.locals);
+    lex_.expect("let");
+    while (!lex_.eat("tel")) {
+      const std::string lhs = ident("equation target");
+      lex_.expect("=");
+      auto rhs = parseExpr();
+      lex_.expect(";");
+      n.equations.emplace_back(lhs, std::move(rhs));
+    }
+    lex_.eat(";");
+    return n;
+  }
+
+  // One group: name (, name)* : type
+  void parseParamGroup(std::vector<std::string>& out) {
+    out.push_back(ident("parameter name"));
+    while (lex_.eat(",")) out.push_back(ident("parameter name"));
+    lex_.expect(":");
+    const std::string type = ident("type");
+    require(type == "int" || type == "bool", "lustre: unsupported type '" + type + "'");
+  }
+
+  // Inside parentheses: group (';' group)*
+  void parseParams(std::vector<std::string>& out) {
+    parseParamGroup(out);
+    while (lex_.eat(";")) parseParamGroup(out);
+  }
+
+  // After `var`: (group ';')+ — each group is ';'-terminated, and the
+  // section ends before `let`.
+  void parseVarSection(std::vector<std::string>& out) {
+    while (true) {
+      parseParamGroup(out);
+      lex_.expect(";");
+      if (lex_.peek().kind != Token::kIdent || lex_.peek().text == "let") break;
+    }
+  }
+
+  std::string ident(const std::string& what) {
+    require(lex_.peek().kind == Token::kIdent,
+            "lustre: expected " + what + " at line " + std::to_string(lex_.peek().line));
+    return lex_.take().text;
+  }
+
+  // expr := arrow (lowest precedence, right associative)
+  std::unique_ptr<LExpr> parseExpr() { return parseArrow(); }
+
+  std::unique_ptr<LExpr> parseArrow() {
+    auto lhs = parseOr();
+    if (lex_.eat("->")) {
+      auto rhs = parseArrow();
+      std::vector<std::unique_ptr<LExpr>> kids;
+      kids.push_back(std::move(lhs));
+      kids.push_back(std::move(rhs));
+      return makeNode(Op::kArrow, std::move(kids));
+    }
+    return lhs;
+  }
+
+  std::unique_ptr<LExpr> parseOr() {
+    auto e = parseAnd();
+    while (lex_.eat("or")) {
+      std::vector<std::unique_ptr<LExpr>> kids;
+      kids.push_back(std::move(e));
+      kids.push_back(parseAnd());
+      e = makeNode(Op::kOr, std::move(kids));
+    }
+    return e;
+  }
+
+  std::unique_ptr<LExpr> parseAnd() {
+    auto e = parseCmp();
+    while (lex_.eat("and")) {
+      std::vector<std::unique_ptr<LExpr>> kids;
+      kids.push_back(std::move(e));
+      kids.push_back(parseCmp());
+      e = makeNode(Op::kAnd, std::move(kids));
+    }
+    return e;
+  }
+
+  std::unique_ptr<LExpr> parseCmp() {
+    auto e = parseAdd();
+    Op op;
+    if (lex_.eat("=")) {
+      op = Op::kEq;
+    } else if (lex_.eat("<>")) {
+      op = Op::kNe;
+    } else if (lex_.eat("<=")) {
+      op = Op::kLe;
+    } else if (lex_.eat(">=")) {
+      op = Op::kGe;
+    } else if (lex_.eat("<")) {
+      op = Op::kLt;
+    } else if (lex_.eat(">")) {
+      op = Op::kGt;
+    } else {
+      return e;
+    }
+    std::vector<std::unique_ptr<LExpr>> kids;
+    kids.push_back(std::move(e));
+    kids.push_back(parseAdd());
+    return makeNode(op, std::move(kids));
+  }
+
+  std::unique_ptr<LExpr> parseAdd() {
+    auto e = parseMul();
+    while (true) {
+      Op op;
+      if (lex_.eat("+")) {
+        op = Op::kAdd;
+      } else if (lex_.peek().text == "-" && lex_.eat("-")) {
+        op = Op::kSub;
+      } else {
+        return e;
+      }
+      std::vector<std::unique_ptr<LExpr>> kids;
+      kids.push_back(std::move(e));
+      kids.push_back(parseMul());
+      e = makeNode(op, std::move(kids));
+    }
+  }
+
+  std::unique_ptr<LExpr> parseMul() {
+    auto e = parseUnary();
+    while (true) {
+      Op op;
+      if (lex_.eat("*")) {
+        op = Op::kMul;
+      } else if (lex_.eat("div")) {
+        op = Op::kDiv;
+      } else if (lex_.eat("mod")) {
+        op = Op::kMod;
+      } else {
+        return e;
+      }
+      std::vector<std::unique_ptr<LExpr>> kids;
+      kids.push_back(std::move(e));
+      kids.push_back(parseUnary());
+      e = makeNode(op, std::move(kids));
+    }
+  }
+
+  std::unique_ptr<LExpr> parseUnary() {
+    if (lex_.eat("-")) {
+      std::vector<std::unique_ptr<LExpr>> kids;
+      kids.push_back(parseUnary());
+      return makeNode(Op::kNeg, std::move(kids));
+    }
+    if (lex_.eat("not")) {
+      std::vector<std::unique_ptr<LExpr>> kids;
+      kids.push_back(parseUnary());
+      return makeNode(Op::kNot, std::move(kids));
+    }
+    return parsePrimary();
+  }
+
+  std::unique_ptr<LExpr> parsePrimary() {
+    const Token& t = lex_.peek();
+    if (t.kind == Token::kInt) {
+      auto e = std::make_unique<LExpr>();
+      e->op = Op::kConst;
+      e->konst = std::stoll(lex_.take().text);
+      return e;
+    }
+    if (t.text == "(") {
+      lex_.take();
+      auto e = parseExpr();
+      lex_.expect(")");
+      return e;
+    }
+    if (t.text == "if") {
+      lex_.take();
+      std::vector<std::unique_ptr<LExpr>> kids;
+      kids.push_back(parseExpr());
+      lex_.expect("then");
+      kids.push_back(parseExpr());
+      lex_.expect("else");
+      kids.push_back(parseExpr());
+      return makeNode(Op::kIte, std::move(kids));
+    }
+    if (t.text == "pre") {
+      lex_.take();
+      lex_.expect("(");
+      std::vector<std::unique_ptr<LExpr>> kids;
+      kids.push_back(parseExpr());
+      lex_.expect(")");
+      return makeNode(Op::kPre, std::move(kids));
+    }
+    if (t.text == "true" || t.text == "false") {
+      auto e = std::make_unique<LExpr>();
+      e->op = Op::kConst;
+      e->konst = t.text == "true" ? 1 : 0;
+      lex_.take();
+      return e;
+    }
+    if (t.kind == Token::kIdent) {
+      auto e = std::make_unique<LExpr>();
+      e->op = Op::kVar;
+      e->var = lex_.take().text;
+      return e;
+    }
+    throw ModelError("lustre: unexpected token '" + t.text + "' at line " +
+                     std::to_string(t.line));
+  }
+
+  Lexer lex_;
+};
+
+void collectPres(const LExpr& e, std::vector<const LExpr*>& out) {
+  if (e.op == Op::kPre) out.push_back(&e);
+  for (const auto& k : e.kids) collectPres(*k, out);
+}
+
+}  // namespace
+
+const NodeDecl& Program::node(const std::string& name) const {
+  for (const NodeDecl& n : nodes) {
+    if (n.name == name) return n;
+  }
+  throw ModelError("lustre: unknown node '" + name + "'");
+}
+
+Program parse(std::string_view source) { return Parser(source).parse(); }
+
+// ======================= interpreter =======================
+
+Interpreter::Interpreter(const NodeDecl& node) : node_(&node) {}
+
+std::int64_t Interpreter::eval(const LExpr& e) {
+  switch (e.op) {
+    case Op::kConst: return e.konst;
+    case Op::kVar: {
+      const auto it = current_.find(e.var);
+      if (it != current_.end()) return it->second;
+      // Find the defining equation; detect instantaneous cycles.
+      require(std::find(evaluating_.begin(), evaluating_.end(), e.var) == evaluating_.end(),
+              "lustre: instantaneous dependency cycle through '" + e.var + "'");
+      for (const auto& [lhs, rhs] : node_->equations) {
+        if (lhs == e.var) {
+          evaluating_.push_back(e.var);
+          const std::int64_t v = eval(*rhs);
+          evaluating_.pop_back();
+          current_[e.var] = v;
+          return v;
+        }
+      }
+      throw ModelError("lustre: undefined stream '" + e.var + "'");
+    }
+    case Op::kAdd: return eval(*e.kids[0]) + eval(*e.kids[1]);
+    case Op::kSub: return eval(*e.kids[0]) - eval(*e.kids[1]);
+    case Op::kMul: return eval(*e.kids[0]) * eval(*e.kids[1]);
+    case Op::kDiv: {
+      const std::int64_t d = eval(*e.kids[1]);
+      requireEval(d != 0, "lustre: division by zero");
+      return eval(*e.kids[0]) / d;
+    }
+    case Op::kMod: {
+      const std::int64_t d = eval(*e.kids[1]);
+      requireEval(d != 0, "lustre: modulo by zero");
+      return eval(*e.kids[0]) % d;
+    }
+    case Op::kNeg: return -eval(*e.kids[0]);
+    case Op::kEq: return eval(*e.kids[0]) == eval(*e.kids[1]) ? 1 : 0;
+    case Op::kNe: return eval(*e.kids[0]) != eval(*e.kids[1]) ? 1 : 0;
+    case Op::kLt: return eval(*e.kids[0]) < eval(*e.kids[1]) ? 1 : 0;
+    case Op::kLe: return eval(*e.kids[0]) <= eval(*e.kids[1]) ? 1 : 0;
+    case Op::kGt: return eval(*e.kids[0]) > eval(*e.kids[1]) ? 1 : 0;
+    case Op::kGe: return eval(*e.kids[0]) >= eval(*e.kids[1]) ? 1 : 0;
+    case Op::kAnd: return eval(*e.kids[0]) != 0 && eval(*e.kids[1]) != 0 ? 1 : 0;
+    case Op::kOr: return eval(*e.kids[0]) != 0 || eval(*e.kids[1]) != 0 ? 1 : 0;
+    case Op::kNot: return eval(*e.kids[0]) == 0 ? 1 : 0;
+    case Op::kIte: return eval(*e.kids[0]) != 0 ? eval(*e.kids[1]) : eval(*e.kids[2]);
+    case Op::kArrow: return firstCycle_ ? eval(*e.kids[0]) : eval(*e.kids[1]);
+    case Op::kPre: {
+      const auto it = preState_.find(&e);
+      return it == preState_.end() ? 0 : it->second;
+    }
+  }
+  throw ModelError("lustre: bad expression");
+}
+
+std::map<std::string, std::int64_t> Interpreter::step(
+    const std::map<std::string, std::int64_t>& inputs) {
+  current_.clear();
+  for (const std::string& in : node_->inputs) {
+    const auto it = inputs.find(in);
+    require(it != inputs.end(), "lustre: missing input '" + in + "'");
+    current_[in] = it->second;
+  }
+  std::map<std::string, std::int64_t> result;
+  for (const auto& [lhs, rhs] : node_->equations) {
+    if (current_.find(lhs) == current_.end()) {
+      evaluating_.push_back(lhs);
+      current_[lhs] = eval(*rhs);
+      evaluating_.pop_back();
+    }
+    result[lhs] = current_[lhs];
+  }
+  // Advance the pre state with this cycle's operand values.
+  std::vector<const LExpr*> pres;
+  for (const auto& [lhs, rhs] : node_->equations) collectPres(*rhs, pres);
+  preNext_.clear();
+  for (const LExpr* p : pres) preNext_[p] = eval(*p->kids[0]);
+  preState_ = preNext_;
+  firstCycle_ = false;
+  return result;
+}
+
+// ======================= BIP embedding =======================
+
+namespace {
+
+using expr::Assign;
+using expr::VarRef;
+
+/// One vertex of the dataflow graph.
+struct GraphNode {
+  enum class Kind { kOperator, kPre, kArrow, kSource, kSink } kind = Kind::kOperator;
+  Op op = Op::kConst;              // for kOperator
+  std::int64_t konst = 0;          // for kConst operators
+  InputStream stream;              // for kSource
+  std::string name;                // display / sink variable name
+  std::vector<int> inputs;         // producing node ids
+  int consumers = 0;
+};
+
+struct GraphBuilder {
+  const NodeDecl* node;
+  const std::map<std::string, InputStream>* streams;
+  std::vector<GraphNode> nodes;
+  std::map<std::string, int> varProducer;  // stream name -> node id
+  std::set<std::string> building;
+  std::vector<std::pair<int, const LExpr*>> deferredPre;  // (pre node id, operand)
+
+  int producerOfVar(const std::string& name) {
+    const auto memo = varProducer.find(name);
+    if (memo != varProducer.end()) return memo->second;
+    // Input?
+    if (std::find(node->inputs.begin(), node->inputs.end(), name) != node->inputs.end()) {
+      const auto s = streams->find(name);
+      require(s != streams->end(), "embed: no input stream for '" + name + "'");
+      GraphNode g;
+      g.kind = GraphNode::Kind::kSource;
+      g.stream = s->second;
+      g.name = name;
+      nodes.push_back(g);
+      const int id = static_cast<int>(nodes.size()) - 1;
+      varProducer[name] = id;
+      return id;
+    }
+    require(building.insert(name).second,
+            "embed: instantaneous dependency cycle through '" + name + "'");
+    const LExpr* rhs = nullptr;
+    for (const auto& [lhs, e] : node->equations) {
+      if (lhs == name) rhs = e.get();
+    }
+    require(rhs != nullptr, "embed: undefined stream '" + name + "'");
+    const int id = build(*rhs);
+    building.erase(name);
+    varProducer[name] = id;
+    return id;
+  }
+
+  int build(const LExpr& e) {
+    switch (e.op) {
+      case Op::kVar: return producerOfVar(e.var);
+      case Op::kPre: {
+        GraphNode g;
+        g.kind = GraphNode::Kind::kPre;
+        g.name = "pre";
+        nodes.push_back(g);
+        const int id = static_cast<int>(nodes.size()) - 1;
+        deferredPre.emplace_back(id, e.kids[0].get());
+        return id;
+      }
+      case Op::kArrow: {
+        GraphNode g;
+        g.kind = GraphNode::Kind::kArrow;
+        g.name = "arrow";
+        nodes.push_back(g);
+        const int id = static_cast<int>(nodes.size()) - 1;
+        nodes[static_cast<std::size_t>(id)].inputs.push_back(build(*e.kids[0]));
+        nodes[static_cast<std::size_t>(id)].inputs.push_back(build(*e.kids[1]));
+        return id;
+      }
+      default: {
+        GraphNode g;
+        g.kind = GraphNode::Kind::kOperator;
+        g.op = e.op;
+        g.konst = e.konst;
+        g.name = "op";
+        nodes.push_back(g);
+        const int id = static_cast<int>(nodes.size()) - 1;
+        std::vector<int> ins;
+        for (const auto& k : e.kids) ins.push_back(build(*k));
+        nodes[static_cast<std::size_t>(id)].inputs = std::move(ins);
+        return id;
+      }
+    }
+  }
+};
+
+/// f(in_0..in_{m-1}) as an Expr over the component's inval variables
+/// (inval_j is local variable index j by construction).
+Expr operatorFunction(const GraphNode& g) {
+  auto in = [](int j) { return Expr::local(j); };
+  switch (g.op) {
+    case Op::kConst: return Expr::lit(g.konst);
+    case Op::kAdd: return in(0) + in(1);
+    case Op::kSub: return in(0) - in(1);
+    case Op::kMul: return in(0) * in(1);
+    case Op::kDiv: return in(0) / in(1);
+    case Op::kMod: return in(0) % in(1);
+    case Op::kNeg: return -in(0);
+    case Op::kEq: return in(0) == in(1);
+    case Op::kNe: return in(0) != in(1);
+    case Op::kLt: return in(0) < in(1);
+    case Op::kLe: return in(0) <= in(1);
+    case Op::kGt: return in(0) > in(1);
+    case Op::kGe: return in(0) >= in(1);
+    case Op::kAnd: return in(0) && in(1);
+    case Op::kOr: return in(0) || in(1);
+    case Op::kNot: return !in(0);
+    case Op::kIte: return Expr::ite(in(0), in(1), in(2));
+    default: break;
+  }
+  throw ModelError("embed: unexpected operator");
+}
+
+/// Builds the atomic component for graph node `g` (see header: str / in_j
+/// / out / cmp protocol). Variable layout: inval_0..m-1 first, then the
+/// bookkeeping variables.
+AtomicTypePtr makeComponent(const GraphNode& g, int id) {
+  const int m = static_cast<int>(g.inputs.size());
+  auto t = std::make_shared<AtomicType>(g.name + std::to_string(id));
+  const int idle = t->addLocation("idle");
+  const int work = t->addLocation("work");
+  std::vector<int> inval, got;
+  for (int j = 0; j < m; ++j) inval.push_back(t->addVariable("in" + std::to_string(j), 0));
+  for (int j = 0; j < m; ++j) got.push_back(t->addVariable("got" + std::to_string(j), 0));
+  const int outval = t->addVariable("out", 0);
+  const int computed = t->addVariable("computed", 0);
+  const int sent = t->addVariable("sent", 0);
+  // Extra state per kind.
+  int extra = -1;  // prev (pre), first (arrow), t (source), last (sink)
+  switch (g.kind) {
+    case GraphNode::Kind::kPre: extra = t->addVariable("prev", 0); break;
+    case GraphNode::Kind::kArrow: extra = t->addVariable("first", 1); break;
+    case GraphNode::Kind::kSource: extra = t->addVariable("t", 0); break;
+    case GraphNode::Kind::kSink:
+      extra = t->addVariable("last", 0);
+      t->addVariable("cycles", 0);
+      break;
+    case GraphNode::Kind::kOperator: break;
+  }
+
+  const int strPort = t->addPort("str");
+  const int cmpPort = t->addPort("cmp");
+  std::vector<int> inPorts;
+  for (int j = 0; j < m; ++j) {
+    inPorts.push_back(t->addPort("in" + std::to_string(j), {inval[static_cast<std::size_t>(j)]}));
+  }
+  const int out = t->addPort("out", {outval});
+
+  // str: cycle start.
+  {
+    std::vector<Assign> actions;
+    if (g.kind == GraphNode::Kind::kPre) {
+      actions.push_back(Assign{VarRef{0, outval}, Expr::local(extra)});
+      actions.push_back(Assign{VarRef{0, computed}, Expr::lit(1)});
+    } else if (g.kind == GraphNode::Kind::kSource) {
+      Expr v = Expr::lit(g.stream.base) + Expr::lit(g.stream.slope) * Expr::local(extra);
+      if (g.stream.modulo > 0) v = std::move(v) % Expr::lit(g.stream.modulo);
+      actions.push_back(Assign{VarRef{0, outval}, std::move(v)});
+      actions.push_back(Assign{VarRef{0, computed}, Expr::lit(1)});
+    }
+    t->addTransition(idle, strPort, Expr::top(), std::move(actions), work);
+  }
+  // in_j: one delivery per cycle.
+  for (int j = 0; j < m; ++j) {
+    t->addTransition(work, inPorts[static_cast<std::size_t>(j)],
+                     Expr::local(got[static_cast<std::size_t>(j)]) == Expr::lit(0),
+                     {Assign{VarRef{0, got[static_cast<std::size_t>(j)]}, Expr::lit(1)}}, work);
+  }
+  // compute tau (operators and arrow; pre/source computed at str).
+  if (g.kind == GraphNode::Kind::kOperator || g.kind == GraphNode::Kind::kArrow) {
+    Expr allGot = Expr::local(computed) == Expr::lit(0);
+    for (int j = 0; j < m; ++j) {
+      allGot = std::move(allGot) && Expr::local(got[static_cast<std::size_t>(j)]) == Expr::lit(1);
+    }
+    Expr f = g.kind == GraphNode::Kind::kArrow
+                 ? Expr::ite(Expr::local(extra) == Expr::lit(1), Expr::local(inval[0]),
+                             Expr::local(inval[1]))
+                 : operatorFunction(g);
+    t->addTransition(work, kInternalPort, std::move(allGot),
+                     {Assign{VarRef{0, outval}, std::move(f)},
+                      Assign{VarRef{0, computed}, Expr::lit(1)}},
+                     work);
+  }
+  // out: deliver to each consumer once.
+  if (g.consumers > 0) {
+    t->addTransition(work, out,
+                     Expr::local(computed) == Expr::lit(1) &&
+                         Expr::local(sent) < Expr::lit(g.consumers),
+                     {Assign{VarRef{0, sent}, Expr::local(sent) + Expr::lit(1)}}, work);
+  }
+  // cmp: cycle end; per-kind epilogue + reset.
+  {
+    Expr guard = Expr::local(sent) == Expr::lit(g.consumers);
+    if (g.kind == GraphNode::Kind::kSink) {
+      guard = Expr::local(got[0]) == Expr::lit(1);
+    } else {
+      guard = Expr::local(computed) == Expr::lit(1) && std::move(guard);
+      for (int j = 0; j < m; ++j) {
+        guard = std::move(guard) && Expr::local(got[static_cast<std::size_t>(j)]) == Expr::lit(1);
+      }
+    }
+    std::vector<Assign> actions;
+    switch (g.kind) {
+      case GraphNode::Kind::kPre:
+        actions.push_back(Assign{VarRef{0, extra}, Expr::local(inval[0])});
+        break;
+      case GraphNode::Kind::kArrow:
+        actions.push_back(Assign{VarRef{0, extra}, Expr::lit(0)});
+        break;
+      case GraphNode::Kind::kSource:
+        actions.push_back(Assign{VarRef{0, extra}, Expr::local(extra) + Expr::lit(1)});
+        break;
+      case GraphNode::Kind::kSink:
+        actions.push_back(Assign{VarRef{0, extra}, Expr::local(inval[0])});
+        actions.push_back(Assign{VarRef{0, t->variableIndex("cycles")},
+                                 Expr::local(t->variableIndex("cycles")) + Expr::lit(1)});
+        break;
+      case GraphNode::Kind::kOperator: break;
+    }
+    for (int j = 0; j < m; ++j) {
+      actions.push_back(Assign{VarRef{0, got[static_cast<std::size_t>(j)]}, Expr::lit(0)});
+    }
+    actions.push_back(Assign{VarRef{0, computed}, Expr::lit(0)});
+    actions.push_back(Assign{VarRef{0, sent}, Expr::lit(0)});
+    t->addTransition(work, cmpPort, std::move(guard), std::move(actions), idle);
+  }
+  t->validate();
+  return t;
+}
+
+}  // namespace
+
+Embedding embed(const NodeDecl& node, const std::map<std::string, InputStream>& inputs) {
+  GraphBuilder builder{&node, &inputs, {}, {}, {}, {}};
+  // Build every output (and, transitively, everything it needs).
+  std::vector<std::pair<std::string, int>> sinks;
+  for (const std::string& out : node.outputs) {
+    sinks.emplace_back(out, builder.producerOfVar(out));
+  }
+  // Resolve deferred pre inputs (breaking instantaneous cycles); building
+  // an operand may register further pre nodes, so iterate by index.
+  for (std::size_t k = 0; k < builder.deferredPre.size(); ++k) {
+    const auto [preId, operand] = builder.deferredPre[k];
+    builder.nodes[static_cast<std::size_t>(preId)].inputs.push_back(builder.build(*operand));
+  }
+  // Sink nodes.
+  std::vector<int> sinkIds;
+  for (const auto& [name, producer] : sinks) {
+    GraphNode g;
+    g.kind = GraphNode::Kind::kSink;
+    g.name = "sink_" + name;
+    g.inputs.push_back(producer);
+    builder.nodes.push_back(g);
+    sinkIds.push_back(static_cast<int>(builder.nodes.size()) - 1);
+  }
+  // Consumer counts.
+  for (const GraphNode& g : builder.nodes) {
+    for (const int in : g.inputs) ++builder.nodes[static_cast<std::size_t>(in)].consumers;
+  }
+
+  Embedding result;
+  std::vector<int> instanceOf(builder.nodes.size());
+  for (std::size_t i = 0; i < builder.nodes.size(); ++i) {
+    const GraphNode& g = builder.nodes[i];
+    instanceOf[i] = result.system.addInstance(
+        g.name + "_" + std::to_string(i), makeComponent(g, static_cast<int>(i)));
+    if (g.kind == GraphNode::Kind::kOperator || g.kind == GraphNode::Kind::kPre ||
+        g.kind == GraphNode::Kind::kArrow) {
+      ++result.operatorComponents;
+    }
+  }
+  for (std::size_t i = 0; i < sinkIds.size(); ++i) {
+    result.outputSink[sinks[i].first] = instanceOf[static_cast<std::size_t>(sinkIds[i])];
+  }
+
+  // Global str / cmp rendezvous (Fig 5.2's `str` and `cmp`).
+  Connector strC("str");
+  Connector cmpC("cmp");
+  for (std::size_t i = 0; i < builder.nodes.size(); ++i) {
+    const AtomicTypePtr& type = result.system.instance(static_cast<std::size_t>(instanceOf[i])).type;
+    strC.addSynchron(PortRef{instanceOf[i], type->portIndex("str")});
+    cmpC.addSynchron(PortRef{instanceOf[i], type->portIndex("cmp")});
+  }
+  result.system.addConnector(std::move(strC));
+  result.system.addConnector(std::move(cmpC));
+
+  // Wires: producer.out --> consumer.in_j with a down copying the value.
+  for (std::size_t i = 0; i < builder.nodes.size(); ++i) {
+    const GraphNode& g = builder.nodes[i];
+    for (std::size_t j = 0; j < g.inputs.size(); ++j) {
+      const int producer = g.inputs[j];
+      const AtomicTypePtr& prodType =
+          result.system.instance(static_cast<std::size_t>(instanceOf[static_cast<std::size_t>(producer)])).type;
+      const AtomicTypePtr& consType =
+          result.system.instance(static_cast<std::size_t>(instanceOf[i])).type;
+      Connector wire("w" + std::to_string(producer) + "_" + std::to_string(i) + "_" +
+                     std::to_string(j));
+      const int eProd = wire.addSynchron(
+          PortRef{instanceOf[static_cast<std::size_t>(producer)], prodType->portIndex("out")});
+      const int eCons = wire.addSynchron(
+          PortRef{instanceOf[i], consType->portIndex("in" + std::to_string(j))});
+      wire.addDown(eCons, 0, Expr::var(eProd, 0));
+      result.system.addConnector(std::move(wire));
+      ++result.wires;
+    }
+  }
+  result.system.validate();
+  return result;
+}
+
+std::map<std::string, std::vector<std::int64_t>> runEmbedded(const Embedding& embedding,
+                                                             int cycles) {
+  const System& sys = embedding.system;
+  std::map<std::string, std::vector<std::int64_t>> out;
+  GlobalState state = initialState(sys);
+  int done = 0;
+  // Any scheduling order within a cycle is confluent; fire first-enabled.
+  std::uint64_t guardSteps = 0;
+  const std::uint64_t maxSteps = static_cast<std::uint64_t>(cycles) * 10'000 + 10'000;
+  while (done < cycles) {
+    const auto enabled = enabledInteractions(sys, state);
+    require(!enabled.empty(), "runEmbedded: embedded program deadlocked");
+    const EnabledInteraction& ei = enabled.front();
+    const bool isCmp =
+        sys.connector(static_cast<std::size_t>(ei.connector)).name() == "cmp";
+    executeDefault(sys, state, ei);
+    if (isCmp) {
+      ++done;
+      for (const auto& [name, sinkInstance] : embedding.outputSink) {
+        const AtomicTypePtr& type =
+            sys.instance(static_cast<std::size_t>(sinkInstance)).type;
+        out[name].push_back(
+            state.components[static_cast<std::size_t>(sinkInstance)]
+                .vars[static_cast<std::size_t>(type->variableIndex("last"))]);
+      }
+    }
+    require(++guardSteps < maxSteps, "runEmbedded: cycle did not converge");
+  }
+  return out;
+}
+
+}  // namespace cbip::lustre

@@ -1,0 +1,130 @@
+// A Lustre-like synchronous dataflow language: lexer, parser, reference
+// stream interpreter, and the structure-preserving embedding into BIP
+// (monograph Section 5.4, Figures 5.1 and 5.2).
+//
+// Supported subset (enough for the monograph's integrator and realistic
+// control programs):
+//
+//   node integrator(x: int) returns (y: int);
+//   let
+//     y = x + pre(y);
+//   tel
+//
+//   * integer and boolean streams; locals via `var`;
+//   * operators: + - * div mod, comparisons (= <> < <= > >=), and/or/not,
+//     if/then/else, the initialization arrow `a -> b`, unit delay `pre(e)`.
+//
+// Semantics are the standard synchronous ones: all equations step once per
+// cycle; `pre(e)` yields the previous cycle's value of e (0/false on the
+// first cycle unless guarded by `->`). Instantaneous dependency cycles are
+// rejected.
+//
+// The embedding (Fig 5.2) maps each *operator instance* to one atomic BIP
+// component (like B+ and Bpre in the figure): global `str` and `cmp`
+// rendezvous synchronize cycle start/completion, and every dataflow wire
+// becomes a binary connector with a down-action transferring the value.
+// The translation is structure-preserving (χ) and linear in the program
+// size — experiment E2 measures exactly that.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/system.hpp"
+
+namespace cbip::lustre {
+
+// ---------- AST ----------
+
+enum class Op {
+  kConst, kVar,
+  kAdd, kSub, kMul, kDiv, kMod, kNeg,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr, kNot,
+  kIte,    // if/then/else
+  kArrow,  // a -> b (a on the first cycle, b afterwards)
+  kPre,    // unit delay
+};
+
+struct LExpr {
+  Op op = Op::kConst;
+  std::int64_t konst = 0;
+  std::string var;
+  std::vector<std::unique_ptr<LExpr>> kids;
+};
+
+struct NodeDecl {
+  std::string name;
+  std::vector<std::string> inputs;
+  std::vector<std::string> outputs;
+  std::vector<std::string> locals;
+  /// lhs -> rhs, in source order.
+  std::vector<std::pair<std::string, std::unique_ptr<LExpr>>> equations;
+};
+
+struct Program {
+  std::vector<NodeDecl> nodes;
+  const NodeDecl& node(const std::string& name) const;
+};
+
+/// Parses a program; throws cbip::ModelError with a line/column message on
+/// syntax errors.
+Program parse(std::string_view source);
+
+// ---------- reference interpreter ----------
+
+/// Executes one node cycle-by-cycle (the language reference semantics the
+/// embedding is validated against).
+class Interpreter {
+ public:
+  explicit Interpreter(const NodeDecl& node);
+
+  /// Runs one cycle; `inputs` maps input names to values. Returns the
+  /// outputs (and locals) computed this cycle.
+  std::map<std::string, std::int64_t> step(const std::map<std::string, std::int64_t>& inputs);
+
+ private:
+  std::int64_t eval(const LExpr& e);
+
+  const NodeDecl* node_;
+  std::map<std::string, std::int64_t> current_;
+  std::map<const LExpr*, std::int64_t> preState_;   // pre -> previous value
+  std::map<const LExpr*, std::int64_t> preNext_;
+  std::vector<std::string> evaluating_;             // instantaneous-cycle check
+  bool firstCycle_ = true;
+};
+
+// ---------- embedding into BIP ----------
+
+/// A synthetic input stream: value(t) = base + slope * t, wrapped modulo
+/// `modulo` when modulo > 0 (keeps verification-facing systems finite).
+struct InputStream {
+  std::int64_t base = 0;
+  std::int64_t slope = 0;
+  std::int64_t modulo = 0;
+};
+
+struct Embedding {
+  System system;
+  /// Instance index of the sink component of each output variable; its
+  /// variable "last" holds the output of the most recent completed cycle.
+  std::map<std::string, int> outputSink;
+  /// Component count excluding sources and sinks (one per operator — the
+  /// structure-preservation measure of E2).
+  int operatorComponents = 0;
+  /// Total wires (dataflow connectors).
+  int wires = 0;
+};
+
+/// Embeds `node` into BIP with the given input streams (every input needs
+/// one). Throws on instantaneous dependency cycles.
+Embedding embed(const NodeDecl& node, const std::map<std::string, InputStream>& inputs);
+
+/// Runs the embedded system for `cycles` synchronous cycles and returns
+/// the per-cycle value of each output (by sink inspection after each cmp).
+std::map<std::string, std::vector<std::int64_t>> runEmbedded(const Embedding& embedding,
+                                                             int cycles);
+
+}  // namespace cbip::lustre

@@ -1,0 +1,79 @@
+#include "net/network.hpp"
+
+#include "util/require.hpp"
+
+namespace cbip::net {
+
+void Context::send(NodeId to, int type, std::vector<std::int64_t> payload) {
+  network_->post(self_, to, type, std::move(payload), now_);
+}
+
+void Context::commit() { ++network_->commits_; }
+
+Network::Network(std::uint64_t seed, Latency latency, Time processing)
+    : rng_(seed), latency_(latency), processing_(processing) {
+  require(latency.min >= 0 && latency.min <= latency.max, "Network: bad latency range");
+  require(processing >= 0, "Network: negative processing time");
+}
+
+NodeId Network::addNode(std::unique_ptr<Node> node) {
+  require(!started_, "Network: cannot add nodes after run()");
+  require(node != nullptr, "Network: null node");
+  nodes_.push_back(std::move(node));
+  return static_cast<NodeId>(nodes_.size()) - 1;
+}
+
+void Network::post(NodeId from, NodeId to, int type, std::vector<std::int64_t> payload,
+                   Time now) {
+  require(to >= 0 && static_cast<std::size_t>(to) < nodes_.size(),
+          "Network: message to unknown node");
+  const Time hop =
+      latency_.min == latency_.max
+          ? latency_.min
+          : static_cast<Time>(rng_.range(latency_.min, latency_.max));
+  Time at = now + hop;
+  // FIFO per ordered pair: never deliver before an earlier send.
+  Time& last = lastDelivery_[static_cast<std::size_t>(from)][static_cast<std::size_t>(to)];
+  if (at < last) at = last;
+  last = at;
+  queue_.push(Event{at, seq_++, Message{from, to, type, std::move(payload)}});
+}
+
+RunStats Network::run(const RunLimits& limits) {
+  RunStats stats;
+  if (!started_) {
+    started_ = true;
+    lastDelivery_.assign(nodes_.size() + 1, std::vector<Time>(nodes_.size(), 0));
+    deliveredPerNode_.assign(nodes_.size(), 0);
+    nodeFreeAt_.assign(nodes_.size(), 0);
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      Context ctx(*this, static_cast<NodeId>(i), 0);
+      nodes_[i]->onStart(ctx);
+    }
+  }
+  std::uint64_t events = 0;
+  while (!queue_.empty()) {
+    if (limits.commitTarget != 0 && commits_ >= limits.commitTarget) break;
+    if (events >= limits.maxEvents) {
+      stats.hitEventBudget = true;
+      break;
+    }
+    const Event ev = queue_.top();
+    queue_.pop();
+    // Finite node capacity: a busy node serves messages in arrival order.
+    Time& freeAt = nodeFreeAt_[static_cast<std::size_t>(ev.message.to)];
+    now_ = ev.at > freeAt ? ev.at : freeAt;
+    freeAt = now_ + processing_;
+    ++events;
+    ++deliveredPerNode_[static_cast<std::size_t>(ev.message.to)];
+    ++stats.deliveredMessages;
+    Context ctx(*this, ev.message.to, now_);
+    nodes_[static_cast<std::size_t>(ev.message.to)]->onMessage(ev.message, ctx);
+  }
+  stats.quiescent = queue_.empty();
+  stats.commits = commits_;
+  stats.finalTime = now_;
+  return stats;
+}
+
+}  // namespace cbip::net

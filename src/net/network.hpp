@@ -1,0 +1,139 @@
+// Deterministic discrete-event network simulator.
+//
+// Substrate substitution (see DESIGN.md): the BIP distributed backend
+// emits MPI / TCP C++ for clusters; this repository has no cluster, so the
+// three-layer S/R-BIP runtime executes on a simulated asynchronous
+// message-passing network instead. The simulator provides:
+//   * point-to-point FIFO channels between nodes (per-pair ordering is
+//     preserved even with randomized latency — matching TCP semantics);
+//   * configurable per-hop latency drawn from a seeded PRNG, so runs are
+//     exactly reproducible;
+//   * virtual time, message accounting and a commit counter, which the
+//     benchmarks report instead of wall-clock numbers.
+//
+// Handlers run atomically at their delivery instant (standard DES
+// semantics): a node's state is only ever touched from its own handlers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace cbip::net {
+
+using NodeId = int;
+using Time = std::int64_t;
+
+struct Message {
+  NodeId from = -1;
+  NodeId to = -1;
+  /// Message kind tag (protocol-defined).
+  int type = 0;
+  std::vector<std::int64_t> payload;
+};
+
+class Network;
+
+/// Handler-side interface to the network.
+class Context {
+ public:
+  Context(Network& network, NodeId self, Time now) : network_(&network), self_(self), now_(now) {}
+
+  /// Sends `message` from the current node; delivery is asynchronous.
+  void send(NodeId to, int type, std::vector<std::int64_t> payload = {});
+  Time now() const { return now_; }
+  NodeId self() const { return self_; }
+  /// Registers one unit of application progress (e.g. a committed
+  /// interaction); the run loop can stop on a progress target.
+  void commit();
+
+ private:
+  Network* network_;
+  NodeId self_;
+  Time now_;
+};
+
+/// A protocol participant. Implementations keep all their state private
+/// and react only to onStart / onMessage.
+class Node {
+ public:
+  virtual ~Node() = default;
+  virtual void onStart(Context& ctx) { (void)ctx; }
+  virtual void onMessage(const Message& message, Context& ctx) = 0;
+};
+
+struct Latency {
+  Time min = 1;
+  Time max = 1;
+};
+
+struct RunLimits {
+  /// Stop once this many commits were registered (0 = no target).
+  std::uint64_t commitTarget = 0;
+  /// Hard event budget (always enforced).
+  std::uint64_t maxEvents = 1'000'000;
+};
+
+struct RunStats {
+  std::uint64_t deliveredMessages = 0;
+  std::uint64_t commits = 0;
+  Time finalTime = 0;
+  bool hitEventBudget = false;
+  /// True if the event queue drained before reaching the commit target
+  /// (for protocols without periodic traffic this signals quiescence —
+  /// or a distributed deadlock; the caller decides which).
+  bool quiescent = false;
+};
+
+class Network {
+ public:
+  /// `processing` is the per-message handler occupancy: a node serves at
+  /// most one message per `processing` time units (0 = infinitely fast
+  /// nodes); queued messages are served in arrival order.
+  explicit Network(std::uint64_t seed, Latency latency = {}, Time processing = 0);
+
+  /// Adds a node; returns its id. All nodes must be added before run().
+  NodeId addNode(std::unique_ptr<Node> node);
+  std::size_t nodeCount() const { return nodes_.size(); }
+
+  /// Runs start handlers (first call only) then delivers events until a
+  /// limit is reached or the queue drains.
+  RunStats run(const RunLimits& limits);
+
+  /// Per-node delivered-message counts (index = NodeId).
+  const std::vector<std::uint64_t>& deliveredPerNode() const { return deliveredPerNode_; }
+
+ private:
+  friend class Context;
+  void post(NodeId from, NodeId to, int type, std::vector<std::int64_t> payload, Time now);
+
+  struct Event {
+    Time at = 0;
+    std::uint64_t seq = 0;  // tie-break: preserves determinism
+    Message message;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+
+  Rng rng_;
+  Latency latency_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  std::vector<std::vector<Time>> lastDelivery_;  // FIFO clamp per (from,to)
+  std::uint64_t seq_ = 0;
+  std::uint64_t commits_ = 0;
+  std::vector<std::uint64_t> deliveredPerNode_;
+  std::vector<Time> nodeFreeAt_;
+  Time processing_ = 0;
+  Time now_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace cbip::net

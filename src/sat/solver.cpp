@@ -1,0 +1,305 @@
+#include "sat/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace cbip::sat {
+
+namespace {
+constexpr double kVarDecay = 0.95;
+constexpr double kActivityLimit = 1e100;
+}  // namespace
+
+Solver::Solver() {
+  assign_.push_back(-1);  // index 0 unused
+  level_.push_back(0);
+  reason_.push_back(kUndef);
+  activity_.push_back(0.0);
+  seen_.push_back(0);
+  watches_.resize(2);
+}
+
+int Solver::newVar() {
+  assign_.push_back(-1);
+  level_.push_back(0);
+  reason_.push_back(kUndef);
+  activity_.push_back(0.0);
+  seen_.push_back(0);
+  watches_.resize(watches_.size() + 2);
+  return variableCount();
+}
+
+int Solver::litValue(Lit l) const {
+  const int v = l > 0 ? l : -l;
+  const int8_t a = assign_[static_cast<std::size_t>(v)];
+  if (a == -1) return -1;
+  return (l > 0) == (a == 1) ? 1 : 0;
+}
+
+bool Solver::addClause(std::vector<Lit> lits) {
+  require(decisionLevel() == 0, "Solver::addClause: only at root level");
+  if (rootUnsat_) return false;
+  // Normalize: remove duplicates and false literals, detect tautologies.
+  std::sort(lits.begin(), lits.end(),
+            [](Lit a, Lit b) { return std::abs(a) != std::abs(b) ? std::abs(a) < std::abs(b) : a < b; });
+  std::vector<Lit> out;
+  for (std::size_t i = 0; i < lits.size(); ++i) {
+    const Lit l = lits[i];
+    const int v = std::abs(l);
+    require(v >= 1 && v <= variableCount(), "Solver::addClause: unknown variable");
+    if (i + 1 < lits.size() && lits[i + 1] == -l) return true;  // tautology
+    if (!out.empty() && out.back() == l) continue;              // duplicate
+    if (litValue(l) == 1) return true;                          // already satisfied
+    if (litValue(l) == 0) continue;                             // already false
+    out.push_back(l);
+  }
+  if (out.empty()) {
+    rootUnsat_ = true;
+    return false;
+  }
+  if (out.size() == 1) {
+    enqueue(out[0], kUndef);
+    if (propagate() != kUndef) {
+      rootUnsat_ = true;
+      return false;
+    }
+    return true;
+  }
+  clauses_.push_back(Clause{std::move(out), false});
+  attachClause(static_cast<int>(clauses_.size()) - 1);
+  return true;
+}
+
+bool Solver::attachClause(int ci) {
+  Clause& c = clauses_[static_cast<std::size_t>(ci)];
+  watches_[watchIndex(c.lits[0])].push_back(ci);
+  watches_[watchIndex(c.lits[1])].push_back(ci);
+  return true;
+}
+
+void Solver::enqueue(Lit l, int reasonClause) {
+  const int v = std::abs(l);
+  assign_[static_cast<std::size_t>(v)] = l > 0 ? 1 : 0;
+  level_[static_cast<std::size_t>(v)] = decisionLevel();
+  reason_[static_cast<std::size_t>(v)] = reasonClause;
+  trail_.push_back(l);
+}
+
+int Solver::propagate() {
+  while (qhead_ < trail_.size()) {
+    const Lit p = trail_[qhead_++];
+    ++propagations_;
+    // Clauses watching ~p must be inspected.
+    std::vector<int>& watchers = watches_[watchIndex(-p)];
+    std::size_t keep = 0;
+    for (std::size_t wi = 0; wi < watchers.size(); ++wi) {
+      const int ci = watchers[wi];
+      Clause& c = clauses_[static_cast<std::size_t>(ci)];
+      // Ensure the false literal is at position 1.
+      if (c.lits[0] == -p) std::swap(c.lits[0], c.lits[1]);
+      if (litValue(c.lits[0]) == 1) {
+        watchers[keep++] = ci;  // clause satisfied, keep watch
+        continue;
+      }
+      // Look for a new literal to watch.
+      bool moved = false;
+      for (std::size_t k = 2; k < c.lits.size(); ++k) {
+        if (litValue(c.lits[k]) != 0) {
+          std::swap(c.lits[1], c.lits[k]);
+          watches_[watchIndex(c.lits[1])].push_back(ci);
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;  // watch moved; drop from this list
+      // Clause is unit or conflicting.
+      watchers[keep++] = ci;
+      if (litValue(c.lits[0]) == 0) {
+        // Conflict: restore remaining watchers and report.
+        for (std::size_t k = wi + 1; k < watchers.size(); ++k) watchers[keep++] = watchers[k];
+        watchers.resize(keep);
+        qhead_ = trail_.size();
+        return ci;
+      }
+      enqueue(c.lits[0], ci);
+    }
+    watchers.resize(keep);
+  }
+  return kUndef;
+}
+
+void Solver::bumpVar(int var) {
+  activity_[static_cast<std::size_t>(var)] += varInc_;
+  if (activity_[static_cast<std::size_t>(var)] > kActivityLimit) {
+    for (double& a : activity_) a *= 1e-100;
+    varInc_ *= 1e-100;
+  }
+}
+
+void Solver::decayActivities() { varInc_ /= kVarDecay; }
+
+void Solver::analyze(int conflictClause, std::vector<Lit>& learnt, int& backtrackLevel) {
+  learnt.clear();
+  learnt.push_back(0);  // placeholder for the asserting literal
+  int counter = 0;
+  Lit p = 0;
+  int ci = conflictClause;
+  std::size_t trailIndex = trail_.size();
+
+  while (true) {
+    const Clause& c = clauses_[static_cast<std::size_t>(ci)];
+    const std::size_t start = (p == 0) ? 0 : 1;
+    for (std::size_t k = start; k < c.lits.size(); ++k) {
+      const Lit q = c.lits[k];
+      const int v = std::abs(q);
+      if (seen_[static_cast<std::size_t>(v)] != 0 || level_[static_cast<std::size_t>(v)] == 0) {
+        continue;
+      }
+      seen_[static_cast<std::size_t>(v)] = 1;
+      bumpVar(v);
+      if (level_[static_cast<std::size_t>(v)] == decisionLevel()) {
+        ++counter;
+      } else {
+        learnt.push_back(q);
+      }
+    }
+    // Walk the trail backwards to the next marked literal.
+    while (true) {
+      --trailIndex;
+      p = trail_[trailIndex];
+      if (seen_[static_cast<std::size_t>(std::abs(p))] != 0) break;
+    }
+    seen_[static_cast<std::size_t>(std::abs(p))] = 0;
+    --counter;
+    if (counter == 0) break;
+    ci = reason_[static_cast<std::size_t>(std::abs(p))];
+  }
+  learnt[0] = -p;
+
+  backtrackLevel = 0;
+  if (learnt.size() > 1) {
+    // Put a literal of the highest remaining level at position 1.
+    std::size_t maxIdx = 1;
+    for (std::size_t k = 2; k < learnt.size(); ++k) {
+      if (level_[static_cast<std::size_t>(std::abs(learnt[k]))] >
+          level_[static_cast<std::size_t>(std::abs(learnt[maxIdx]))]) {
+        maxIdx = k;
+      }
+    }
+    std::swap(learnt[1], learnt[maxIdx]);
+    backtrackLevel = level_[static_cast<std::size_t>(std::abs(learnt[1]))];
+  }
+  for (const Lit l : learnt) seen_[static_cast<std::size_t>(std::abs(l))] = 0;
+}
+
+void Solver::backtrack(int targetLevel) {
+  if (decisionLevel() <= targetLevel) return;
+  const std::size_t bound = trailLim_[static_cast<std::size_t>(targetLevel)];
+  for (std::size_t i = trail_.size(); i > bound; --i) {
+    const int v = std::abs(trail_[i - 1]);
+    assign_[static_cast<std::size_t>(v)] = -1;
+    reason_[static_cast<std::size_t>(v)] = kUndef;
+  }
+  trail_.resize(bound);
+  trailLim_.resize(static_cast<std::size_t>(targetLevel));
+  qhead_ = trail_.size();
+}
+
+Lit Solver::pickBranchLit() {
+  int best = 0;
+  double bestActivity = -1.0;
+  for (int v = 1; v <= variableCount(); ++v) {
+    if (assign_[static_cast<std::size_t>(v)] == -1 &&
+        activity_[static_cast<std::size_t>(v)] > bestActivity) {
+      best = v;
+      bestActivity = activity_[static_cast<std::size_t>(v)];
+    }
+  }
+  if (best == 0) return 0;
+  return -best;  // negative polarity first (works well on our encodings)
+}
+
+Result Solver::solve(const std::vector<Lit>& assumptions) {
+  if (rootUnsat_) return Result::kUnsat;
+  backtrack(0);
+  if (propagate() != kUndef) {
+    rootUnsat_ = true;
+    return Result::kUnsat;
+  }
+
+  std::uint64_t conflictBudget = 256;
+  std::uint64_t conflictsThisRestart = 0;
+
+  while (true) {
+    const int confl = propagate();
+    if (confl != kUndef) {
+      ++conflicts_;
+      ++conflictsThisRestart;
+      if (decisionLevel() <= static_cast<int>(assumptions.size())) {
+        // Conflict under (or below) assumptions: check whether it is
+        // independent of them by backtracking to root and re-testing.
+        backtrack(0);
+        if (propagate() != kUndef) rootUnsat_ = true;
+        return Result::kUnsat;
+      }
+      std::vector<Lit> learnt;
+      int backLevel = 0;
+      analyze(confl, learnt, backLevel);
+      backtrack(std::max(backLevel, static_cast<int>(assumptions.size())));
+      if (learnt.size() == 1) {
+        if (litValue(learnt[0]) == 0) {
+          // Asserting literal contradicts the assumption prefix.
+          backtrack(0);
+          return Result::kUnsat;
+        }
+        if (litValue(learnt[0]) == -1) enqueue(learnt[0], kUndef);
+      } else {
+        clauses_.push_back(Clause{learnt, true});
+        const int ci = static_cast<int>(clauses_.size()) - 1;
+        attachClause(ci);
+        if (litValue(learnt[0]) == -1) enqueue(learnt[0], ci);
+      }
+      decayActivities();
+      continue;
+    }
+
+    if (conflictsThisRestart >= conflictBudget &&
+        decisionLevel() > static_cast<int>(assumptions.size())) {
+      conflictsThisRestart = 0;
+      conflictBudget += conflictBudget / 2;
+      backtrack(static_cast<int>(assumptions.size()));
+      continue;
+    }
+
+    // Apply pending assumptions as decisions.
+    if (decisionLevel() < static_cast<int>(assumptions.size())) {
+      const Lit a = assumptions[static_cast<std::size_t>(decisionLevel())];
+      require(std::abs(a) <= variableCount(), "solve: assumption on unknown variable");
+      if (litValue(a) == 0) return Result::kUnsat;  // conflicts with forced values
+      trailLim_.push_back(trail_.size());
+      if (litValue(a) == -1) enqueue(a, kUndef);
+      continue;
+    }
+
+    const Lit next = pickBranchLit();
+    if (next == 0) {
+      // Full assignment: record the model.
+      model_ = assign_;
+      backtrack(0);
+      return Result::kSat;
+    }
+    ++decisions_;
+    trailLim_.push_back(trail_.size());
+    enqueue(next, kUndef);
+  }
+}
+
+bool Solver::modelValue(int var) const {
+  require(var >= 1 && static_cast<std::size_t>(var) < model_.size(),
+          "modelValue: no model or unknown variable");
+  return model_[static_cast<std::size_t>(var)] == 1;
+}
+
+}  // namespace cbip::sat

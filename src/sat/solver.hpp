@@ -1,0 +1,96 @@
+// A small CDCL SAT solver.
+//
+// D-Finder's deadlock check reduces to the unsatisfiability of
+// CI ∧ II ∧ DIS (component invariants, interaction invariants, deadlock
+// states — monograph Section 5.6). The original tool delegates to
+// Yices/BDD packages; this repository builds the substrate from scratch:
+// a conflict-driven clause-learning solver with watched literals,
+// first-UIP conflict analysis, VSIDS-style activity, geometric restarts
+// and assumption-based incremental solving (used by the incremental
+// verification of [4] and by trap enumeration).
+//
+// Literals use the DIMACS convention: nonzero ints, -v is the negation of
+// variable v; variables are allocated with newVar() starting at 1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cbip::sat {
+
+using Lit = int;
+
+enum class Result { kSat, kUnsat };
+
+class Solver {
+ public:
+  Solver();
+
+  /// Allocates a fresh variable; returns its index (>= 1).
+  int newVar();
+  int variableCount() const { return static_cast<int>(assign_.size()) - 1; }
+
+  /// Adds a clause (disjunction of literals). An empty clause makes the
+  /// instance trivially unsatisfiable. Returns false if the solver is
+  /// already in an unsatisfiable root state.
+  bool addClause(std::vector<Lit> lits);
+
+  /// Solves under the given assumptions (literals forced true for this
+  /// call only). Clauses persist across calls (incremental use).
+  Result solve(const std::vector<Lit>& assumptions = {});
+
+  /// Model access after kSat: value of a variable in the found model.
+  bool modelValue(int var) const;
+
+  /// Statistics.
+  std::uint64_t conflicts() const { return conflicts_; }
+  std::uint64_t decisions() const { return decisions_; }
+  std::uint64_t propagations() const { return propagations_; }
+
+ private:
+  static constexpr int kUndef = -1;
+
+  struct Clause {
+    std::vector<Lit> lits;
+    bool learned = false;
+  };
+
+  static std::size_t watchIndex(Lit l) {
+    const int v = l > 0 ? l : -l;
+    return static_cast<std::size_t>(2 * v + (l < 0 ? 1 : 0));
+  }
+
+  // Current assignment of a literal: 1 true, 0 false, -1 unassigned.
+  int litValue(Lit l) const;
+  void enqueue(Lit l, int reasonClause);
+  /// Unit propagation; returns conflicting clause index or kUndef.
+  int propagate();
+  void analyze(int conflictClause, std::vector<Lit>& learnt, int& backtrackLevel);
+  void backtrack(int level);
+  Lit pickBranchLit();
+  void bumpVar(int var);
+  void decayActivities();
+  bool attachClause(int ci);
+
+  int decisionLevel() const { return static_cast<int>(trailLim_.size()); }
+
+  std::vector<Clause> clauses_;
+  std::vector<std::vector<int>> watches_;  // literal index -> clause indices
+  std::vector<int8_t> assign_;             // var -> -1/0/1 (index 0 unused)
+  std::vector<int> level_;                 // var -> decision level
+  std::vector<int> reason_;                // var -> clause index or kUndef
+  std::vector<double> activity_;           // var -> VSIDS activity
+  std::vector<int8_t> seen_;               // scratch for analyze()
+  std::vector<Lit> trail_;
+  std::vector<std::size_t> trailLim_;
+  std::size_t qhead_ = 0;
+  double varInc_ = 1.0;
+  bool rootUnsat_ = false;
+  std::vector<int8_t> model_;
+
+  std::uint64_t conflicts_ = 0;
+  std::uint64_t decisions_ = 0;
+  std::uint64_t propagations_ = 0;
+};
+
+}  // namespace cbip::sat

@@ -1,0 +1,142 @@
+#include "timed/dbm.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace cbip::timed {
+
+Dbm::Dbm(int clocks) : n_(clocks + 1) {
+  require(clocks >= 0, "Dbm: negative clock count");
+  // Zero point: every difference is exactly 0.
+  m_.assign(static_cast<std::size_t>(n_ * n_), boundZero());
+}
+
+bool Dbm::empty() const { return empty_; }
+
+void Dbm::up() {
+  if (empty_) return;
+  for (int i = 1; i < n_; ++i) cell(i, 0) = kInfinity;
+  // Canonical form is preserved by `up` (standard result).
+}
+
+void Dbm::reset(int x) {
+  if (empty_) return;
+  require(x >= 1 && x < n_, "Dbm::reset: clock out of range");
+  for (int j = 0; j < n_; ++j) {
+    cell(x, j) = at(0, j);
+    cell(j, x) = at(j, 0);
+  }
+  cell(x, x) = boundZero();
+}
+
+bool Dbm::constrain(int x, int y, Bound bound) {
+  if (empty_) return false;
+  require(x >= 0 && x < n_ && y >= 0 && y < n_, "Dbm::constrain: clock out of range");
+  if (bound >= at(x, y)) return true;  // no tightening
+  // Quick emptiness test: bound + D[y][x] < 0.
+  if (boundAdd(bound, at(y, x)) < boundZero()) {
+    empty_ = true;
+    return false;
+  }
+  cell(x, y) = bound;
+  // Incremental closure through the updated edge.
+  for (int i = 0; i < n_; ++i) {
+    for (int j = 0; j < n_; ++j) {
+      const Bound viaXY = boundAdd(boundAdd(at(i, x), bound), at(y, j));
+      if (viaXY < at(i, j)) cell(i, j) = viaXY;
+    }
+  }
+  return true;
+}
+
+void Dbm::close() {
+  for (int k = 0; k < n_; ++k) {
+    for (int i = 0; i < n_; ++i) {
+      for (int j = 0; j < n_; ++j) {
+        const Bound via = boundAdd(at(i, k), at(k, j));
+        if (via < at(i, j)) cell(i, j) = via;
+      }
+    }
+  }
+  for (int i = 0; i < n_; ++i) {
+    if (at(i, i) < boundZero()) {
+      empty_ = true;
+      return;
+    }
+  }
+}
+
+void Dbm::extrapolate(int m) {
+  if (empty_) return;
+  bool changed = false;
+  for (int i = 0; i < n_; ++i) {
+    for (int j = 0; j < n_; ++j) {
+      if (i == j) continue;
+      const Bound b = at(i, j);
+      if (b >= kInfinity) continue;
+      if (boundValue(b) > m) {
+        cell(i, j) = kInfinity;
+        changed = true;
+      } else if (boundValue(b) < -m) {
+        cell(i, j) = boundLt(-m);
+        changed = true;
+      }
+    }
+  }
+  if (changed) close();
+}
+
+bool Dbm::subsetOf(const Dbm& other) const {
+  require(n_ == other.n_, "Dbm::subsetOf: dimension mismatch");
+  if (empty_) return true;
+  if (other.empty_) return false;
+  for (int i = 0; i < n_; ++i) {
+    for (int j = 0; j < n_; ++j) {
+      if (at(i, j) > other.at(i, j)) return false;
+    }
+  }
+  return true;
+}
+
+bool operator==(const Dbm& a, const Dbm& b) {
+  if (a.empty_ != b.empty_) return false;
+  if (a.empty_) return true;
+  return a.n_ == b.n_ && a.m_ == b.m_;
+}
+
+std::uint64_t Dbm::hash() const {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const Bound b : m_) {
+    h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(b));
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string Dbm::toString() const {
+  if (empty_) return "(empty)";
+  std::ostringstream os;
+  bool first = true;
+  auto clockName = [](int i) { return "x" + std::to_string(i); };
+  for (int i = 0; i < n_; ++i) {
+    for (int j = 0; j < n_; ++j) {
+      if (i == j || at(i, j) >= kInfinity) continue;
+      if (i == 0 && at(i, j) == boundZero()) continue;  // trivial 0 - x <= 0
+      if (!first) os << ", ";
+      first = false;
+      if (j == 0) {
+        os << clockName(i);
+      } else if (i == 0) {
+        os << "-" << clockName(j);
+      } else {
+        os << clockName(i) << " - " << clockName(j);
+      }
+      os << (boundStrict(at(i, j)) ? " < " : " <= ") << boundValue(at(i, j));
+    }
+  }
+  return first ? "(true)" : os.str();
+}
+
+}  // namespace cbip::timed

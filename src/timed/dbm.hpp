@@ -1,0 +1,94 @@
+// Difference Bound Matrices: the canonical symbolic representation for
+// clock zones in timed-automata analysis (monograph Section 5.2.2; the
+// real-time BIP engine and the model-based implementation method of [1]
+// rest on this machinery).
+//
+// A DBM over clocks x_1..x_n (x_0 is the constant-zero reference clock)
+// stores, for every ordered pair, a bound x_i - x_j ≺ c with ≺ in {<, ≤}.
+// Bounds are encoded in a single int: 2*c+1 for ≤c, 2*c for <c, and a
+// large sentinel for ∞ — the standard UPPAAL encoding, which makes bound
+// comparison plain integer comparison and bound addition cheap.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cbip::timed {
+
+/// Encoded bound: strictness in the low bit.
+using Bound = int;
+
+inline constexpr Bound kInfinity = 1 << 28;
+
+constexpr Bound boundLe(int c) { return 2 * c + 1; }   // x - y <= c
+constexpr Bound boundLt(int c) { return 2 * c; }       // x - y <  c
+constexpr Bound boundZero() { return boundLe(0); }
+
+constexpr int boundValue(Bound b) { return b >> 1; }
+constexpr bool boundStrict(Bound b) { return (b & 1) == 0; }
+
+/// Sum of two bounds (tightness composition along a path).
+constexpr Bound boundAdd(Bound a, Bound b) {
+  if (a >= kInfinity || b >= kInfinity) return kInfinity;
+  // (c1, s1) + (c2, s2) = (c1+c2, strict if either strict): with the
+  // encoding v = 2c + (1-strict), this is a + b - ((a&1) & (b&1)).
+  return ((a >> 1) + (b >> 1)) * 2 + ((a & 1) & (b & 1));
+}
+
+/// Canonical-form DBM; all mutating operations re-canonicalize as needed.
+class Dbm {
+ public:
+  /// Zone over `clocks` real clocks (plus the reference), initialized to
+  /// the zero point (all clocks = 0).
+  explicit Dbm(int clocks);
+
+  int clockCount() const { return n_ - 1; }
+
+  /// The zone is empty (inconsistent constraints).
+  bool empty() const;
+
+  /// Delay closure: lets time elapse (removes upper bounds on clocks).
+  void up();
+
+  /// Resets clock x (1-based) to zero.
+  void reset(int x);
+
+  /// Intersects with x - y ≺ c; x or y may be 0 for absolute bounds.
+  /// Returns false if the zone became empty.
+  bool constrain(int x, int y, Bound bound);
+  /// Convenience: x <= c / x < c / x >= c / x > c / x == c.
+  bool constrainLe(int x, int c) { return constrain(x, 0, boundLe(c)); }
+  bool constrainLt(int x, int c) { return constrain(x, 0, boundLt(c)); }
+  bool constrainGe(int x, int c) { return constrain(0, x, boundLe(-c)); }
+  bool constrainGt(int x, int c) { return constrain(0, x, boundLt(-c)); }
+  bool constrainEq(int x, int c) { return constrainLe(x, c) && constrainGe(x, c); }
+
+  /// k-extrapolation with maximal constant `m` (ensures a finite zone
+  /// graph); standard max-bound abstraction.
+  void extrapolate(int m);
+
+  /// Zone inclusion: *this ⊆ other.
+  bool subsetOf(const Dbm& other) const;
+
+  friend bool operator==(const Dbm&, const Dbm&);
+
+  /// Raw bound on x - y (canonical form).
+  Bound at(int x, int y) const { return m_[static_cast<std::size_t>(x * n_ + y)]; }
+
+  /// Stable hash (canonical form makes it a semantic hash).
+  std::uint64_t hash() const;
+
+  /// Human-readable constraint list, e.g. "x1 <= 3, x2 - x1 < 1".
+  std::string toString() const;
+
+ private:
+  void close();
+  Bound& cell(int x, int y) { return m_[static_cast<std::size_t>(x * n_ + y)]; }
+
+  int n_;                 // matrix dimension = clocks + 1
+  std::vector<Bound> m_;  // row-major (n_ x n_)
+  bool empty_ = false;
+};
+
+}  // namespace cbip::timed

@@ -1,0 +1,136 @@
+#include "timed/models.hpp"
+
+#include "util/require.hpp"
+
+namespace cbip::timed {
+
+namespace {
+using K = ClockConstraint::Kind;
+}
+
+TimedAtomicTypePtr unitDelay() {
+  auto t = std::make_shared<TimedAtomicType>("UnitDelay");
+  const int tau = t->addClock("tau");
+  // Locations encode (x, y); after an x edge, τ counts up to the matching
+  // y edge one time unit later. The invariants τ <= 1 make the output
+  // *urgent*: time cannot pass the emission instant.
+  const int x0y0 = t->addLocation("x0y0");
+  const int x1y0 = t->addLocation("x1y0", {{tau, K::kLe, 1}});
+  const int x1y1 = t->addLocation("x1y1");
+  const int x0y1 = t->addLocation("x0y1", {{tau, K::kLe, 1}});
+  const int xup = t->addPort("xup");
+  const int xdown = t->addPort("xdown");
+  const int yup = t->addPort("yup");
+  const int ydown = t->addPort("ydown");
+  t->addTransition(TimedTransition{x0y0, xup, {}, {tau}, x1y0});
+  t->addTransition(TimedTransition{x1y0, yup, {{tau, K::kEq, 1}}, {}, x1y1});
+  t->addTransition(TimedTransition{x1y1, xdown, {}, {tau}, x0y1});
+  t->addTransition(TimedTransition{x0y1, ydown, {{tau, K::kEq, 1}}, {}, x0y0});
+  t->setInitialLocation(x0y0);
+  t->validate();
+  return t;
+}
+
+TimedAtomicTypePtr toggleDriver(int period) {
+  require(period >= 1, "toggleDriver: period must be >= 1 (one change per time unit)");
+  auto t = std::make_shared<TimedAtomicType>("Toggle" + std::to_string(period));
+  const int c = t->addClock("c");
+  const int lo = t->addLocation("lo", {{c, K::kLe, period}});
+  const int hi = t->addLocation("hi", {{c, K::kLe, period}});
+  const int xup = t->addPort("xup");
+  const int xdown = t->addPort("xdown");
+  t->addTransition(TimedTransition{lo, xup, {{c, K::kEq, period}}, {c}, hi});
+  t->addTransition(TimedTransition{hi, xdown, {{c, K::kEq, period}}, {c}, lo});
+  t->setInitialLocation(lo);
+  t->validate();
+  return t;
+}
+
+TimedSystem unitDelaySystem(int period) {
+  TimedSystem sys;
+  const int d = sys.addInstance("driver", toggleDriver(period));
+  const int u = sys.addInstance("delay", unitDelay());
+  auto port = [&sys](int inst, const char* name) {
+    return std::make_pair(inst, sys.type(static_cast<std::size_t>(inst))->portIndex(name));
+  };
+  sys.addConnector(TimedConnector{"xup", {port(d, "xup"), port(u, "xup")}});
+  sys.addConnector(TimedConnector{"xdown", {port(d, "xdown"), port(u, "xdown")}});
+  sys.addConnector(TimedConnector{"yup", {port(u, "yup")}});
+  sys.addConnector(TimedConnector{"ydown", {port(u, "ydown")}});
+  sys.validate();
+  return sys;
+}
+
+TimedSystem periodicTasks(const std::vector<int>& periods, const std::vector<int>& wcets) {
+  require(periods.size() == wcets.size() && !periods.empty(),
+          "periodicTasks: periods/wcets arity mismatch");
+  TimedSystem sys;
+  const int n = static_cast<int>(periods.size());
+
+  // Deadline misses surface as timelocks: the invariant c <= period in
+  // `ready`/`running` forbids time from passing the next release instant
+  // while the previous job is still in flight (monograph Section 5.2.2:
+  // "deadline misses ... correspond to deadlocks or time-locks in the
+  // relevant system model").
+  std::vector<int> taskIdx;
+  for (int i = 0; i < n; ++i) {
+    require(periods[static_cast<std::size_t>(i)] >= 1 && wcets[static_cast<std::size_t>(i)] >= 1,
+            "periodicTasks: periods and wcets must be >= 1");
+    auto t = std::make_shared<TimedAtomicType>("Task" + std::to_string(i));
+    const int c = t->addClock("c");
+    const int e = t->addClock("e");
+    const int period = periods[static_cast<std::size_t>(i)];
+    const int wcet = wcets[static_cast<std::size_t>(i)];
+    const int idle = t->addLocation("idle", {{c, K::kLe, period}});
+    const int ready = t->addLocation("ready", {{c, K::kLe, period}});
+    const int running = t->addLocation("running",
+                                       {{c, K::kLe, period}, {e, K::kLe, wcet}});
+    const int release = t->addPort("release");
+    const int start = t->addPort("start");
+    const int finish = t->addPort("finish");
+    t->addTransition(TimedTransition{idle, release, {{c, K::kEq, period}}, {c}, ready});
+    t->addTransition(TimedTransition{ready, start, {}, {e}, running});
+    t->addTransition(TimedTransition{running, finish, {{e, K::kEq, wcet}}, {}, idle});
+    t->setInitialLocation(idle);
+    t->validate();
+    taskIdx.push_back(sys.addInstance("task" + std::to_string(i), std::move(t)));
+  }
+
+  auto proc = std::make_shared<TimedAtomicType>("Processor");
+  const int free = proc->addLocation("free");
+  std::vector<int> startPorts, finishPorts, busyLocs;
+  for (int i = 0; i < n; ++i) {
+    busyLocs.push_back(proc->addLocation("busy" + std::to_string(i)));
+    startPorts.push_back(proc->addPort("start" + std::to_string(i)));
+    finishPorts.push_back(proc->addPort("finish" + std::to_string(i)));
+  }
+  for (int i = 0; i < n; ++i) {
+    proc->addTransition(TimedTransition{free, startPorts[static_cast<std::size_t>(i)], {}, {},
+                                        busyLocs[static_cast<std::size_t>(i)]});
+    proc->addTransition(TimedTransition{busyLocs[static_cast<std::size_t>(i)],
+                                        finishPorts[static_cast<std::size_t>(i)], {}, {},
+                                        free});
+  }
+  proc->setInitialLocation(free);
+  proc->validate();
+  const int procIdx = sys.addInstance("cpu", std::move(proc));
+
+  for (int i = 0; i < n; ++i) {
+    const auto& taskType = sys.type(static_cast<std::size_t>(taskIdx[static_cast<std::size_t>(i)]));
+    sys.addConnector(TimedConnector{
+        "release" + std::to_string(i),
+        {{taskIdx[static_cast<std::size_t>(i)], taskType->portIndex("release")}}});
+    sys.addConnector(TimedConnector{
+        "start" + std::to_string(i),
+        {{taskIdx[static_cast<std::size_t>(i)], taskType->portIndex("start")},
+         {procIdx, startPorts[static_cast<std::size_t>(i)]}}});
+    sys.addConnector(TimedConnector{
+        "finish" + std::to_string(i),
+        {{taskIdx[static_cast<std::size_t>(i)], taskType->portIndex("finish")},
+         {procIdx, finishPorts[static_cast<std::size_t>(i)]}}});
+  }
+  sys.validate();
+  return sys;
+}
+
+}  // namespace cbip::timed

@@ -1,0 +1,34 @@
+// Timed model zoo.
+//
+//   * unitDelay — the timed automaton of monograph Fig 5.3: a unit delay
+//     y(t) = x(t - 1) with four locations, one clock τ, and the standing
+//     assumption of at most one change of x per time unit. Ports x↑, x↓
+//     (input edges) and y↑, y↓ (delayed output edges).
+//   * driver — closes the unit delay with an input generator that toggles
+//     x with period `period` (>= 1 keeps the one-change-per-unit
+//     assumption).
+//   * periodicTasks — n periodic tasks sharing one processor, the standard
+//     fixed-priority-schedulability shape used in the timed benchmarks.
+#pragma once
+
+#include "timed/timed.hpp"
+
+namespace cbip::timed {
+
+/// Fig 5.3: the unit-delay timed automaton. Locations encode (x, y):
+/// "x0y0", "x1y0", "x1y1", "x0y1"; ports: xup, xdown, yup, ydown.
+/// After an input edge, the matching output edge fires exactly when τ == 1.
+TimedAtomicTypePtr unitDelay();
+
+/// Input generator toggling x every `period` time units (period >= 1).
+TimedAtomicTypePtr toggleDriver(int period);
+
+/// Closed system: driver toggling x + unit delay (rendezvous on xup/xdown);
+/// yup/ydown fire as unary interactions.
+TimedSystem unitDelaySystem(int period);
+
+/// One processor, n periodic tasks: task i releases every `period[i]`,
+/// executes for `wcet[i]` (non-preemptive here) before its next release.
+TimedSystem periodicTasks(const std::vector<int>& periods, const std::vector<int>& wcets);
+
+}  // namespace cbip::timed

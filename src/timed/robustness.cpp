@@ -1,0 +1,208 @@
+#include "timed/robustness.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/require.hpp"
+
+namespace cbip::timed {
+
+void TaskGraph::validate() const {
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    require(tasks[t].duration >= 1, "TaskGraph: durations must be >= 1");
+    for (const int d : tasks[t].dependencies) {
+      require(d >= 0 && static_cast<std::size_t>(d) < tasks.size(),
+              "TaskGraph: dependency out of range");
+      require(static_cast<std::size_t>(d) != t, "TaskGraph: self-dependency");
+    }
+  }
+  // Cycle check via Kahn's algorithm.
+  std::vector<int> indegree(tasks.size(), 0);
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    indegree[t] = static_cast<int>(tasks[t].dependencies.size());
+  }
+  std::vector<std::size_t> queue;
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    if (indegree[t] == 0) queue.push_back(t);
+  }
+  std::size_t seen = 0;
+  while (!queue.empty()) {
+    const std::size_t u = queue.back();
+    queue.pop_back();
+    ++seen;
+    for (std::size_t v = 0; v < tasks.size(); ++v) {
+      for (const int d : tasks[v].dependencies) {
+        if (static_cast<std::size_t>(d) == u && --indegree[v] == 0) queue.push_back(v);
+      }
+    }
+  }
+  require(seen == tasks.size(), "TaskGraph: dependency cycle");
+}
+
+Schedule listSchedule(const TaskGraph& graph, int machines,
+                      const std::vector<int>& priorityList,
+                      const std::vector<std::int64_t>& durations) {
+  graph.validate();
+  const std::size_t n = graph.tasks.size();
+  require(machines >= 1, "listSchedule: need at least one machine");
+  require(priorityList.size() == n && durations.size() == n,
+          "listSchedule: priority/duration arity mismatch");
+
+  constexpr std::int64_t kNever = std::numeric_limits<std::int64_t>::max();
+  std::vector<std::int64_t> finish(n, kNever);
+  std::vector<bool> started(n, false);
+  std::vector<std::int64_t> machineFree(static_cast<std::size_t>(machines), 0);
+  Schedule schedule;
+  std::int64_t now = 0;
+  std::size_t remaining = n;
+
+  while (remaining > 0) {
+    // Dispatch: highest-priority ready tasks onto free machines.
+    bool dispatched = true;
+    while (dispatched) {
+      dispatched = false;
+      int freeMachine = -1;
+      for (int m = 0; m < machines; ++m) {
+        if (machineFree[static_cast<std::size_t>(m)] <= now) {
+          freeMachine = m;
+          break;
+        }
+      }
+      if (freeMachine < 0) break;
+      for (const int t : priorityList) {
+        if (started[static_cast<std::size_t>(t)]) continue;
+        const bool ready = std::all_of(
+            graph.tasks[static_cast<std::size_t>(t)].dependencies.begin(),
+            graph.tasks[static_cast<std::size_t>(t)].dependencies.end(),
+            [&finish, now](int d) {
+              return finish[static_cast<std::size_t>(d)] != kNever &&
+                     finish[static_cast<std::size_t>(d)] <= now;
+            });
+        if (!ready) continue;
+        started[static_cast<std::size_t>(t)] = true;
+        finish[static_cast<std::size_t>(t)] = now + durations[static_cast<std::size_t>(t)];
+        machineFree[static_cast<std::size_t>(freeMachine)] =
+            finish[static_cast<std::size_t>(t)];
+        schedule.entries.push_back(ScheduledTask{t, freeMachine, now,
+                                                 finish[static_cast<std::size_t>(t)]});
+        --remaining;
+        dispatched = true;
+        break;
+      }
+    }
+    if (remaining == 0) break;
+    // Advance to the next finish event.
+    std::int64_t next = kNever;
+    for (std::size_t t = 0; t < n; ++t) {
+      if (started[t] && finish[t] > now) next = std::min(next, finish[t]);
+    }
+    require(next != kNever, "listSchedule: stuck (unsatisfiable dependencies)");
+    now = next;
+  }
+  for (const ScheduledTask& e : schedule.entries) {
+    schedule.makespan = std::max(schedule.makespan, e.finish);
+  }
+  return schedule;
+}
+
+Schedule staticSchedule(const TaskGraph& graph, int machines,
+                        const std::vector<int>& assignment, const std::vector<int>& order,
+                        const std::vector<std::int64_t>& durations) {
+  graph.validate();
+  const std::size_t n = graph.tasks.size();
+  require(assignment.size() == n && order.size() == n && durations.size() == n,
+          "staticSchedule: arity mismatch");
+  constexpr std::int64_t kUnscheduled = -1;
+  std::vector<std::int64_t> finish(n, kUnscheduled);
+  std::vector<std::int64_t> machineFree(static_cast<std::size_t>(machines), 0);
+  Schedule schedule;
+  for (const int t : order) {
+    const int m = assignment[static_cast<std::size_t>(t)];
+    require(m >= 0 && m < machines, "staticSchedule: machine out of range");
+    std::int64_t start = machineFree[static_cast<std::size_t>(m)];
+    for (const int d : graph.tasks[static_cast<std::size_t>(t)].dependencies) {
+      require(finish[static_cast<std::size_t>(d)] != kUnscheduled,
+              "staticSchedule: order violates dependencies");
+      start = std::max(start, finish[static_cast<std::size_t>(d)]);
+    }
+    finish[static_cast<std::size_t>(t)] = start + durations[static_cast<std::size_t>(t)];
+    machineFree[static_cast<std::size_t>(m)] = finish[static_cast<std::size_t>(t)];
+    schedule.entries.push_back(
+        ScheduledTask{t, m, start, finish[static_cast<std::size_t>(t)]});
+    schedule.makespan = std::max(schedule.makespan, finish[static_cast<std::size_t>(t)]);
+  }
+  return schedule;
+}
+
+void staticFromList(const Schedule& wcetSchedule, std::vector<int>& assignment,
+                    std::vector<int>& order) {
+  std::vector<ScheduledTask> entries = wcetSchedule.entries;
+  std::sort(entries.begin(), entries.end(), [](const ScheduledTask& a, const ScheduledTask& b) {
+    return a.start != b.start ? a.start < b.start : a.task < b.task;
+  });
+  int maxTask = -1;
+  for (const ScheduledTask& e : entries) maxTask = std::max(maxTask, e.task);
+  assignment.assign(static_cast<std::size_t>(maxTask + 1), 0);
+  order.clear();
+  for (const ScheduledTask& e : entries) {
+    assignment[static_cast<std::size_t>(e.task)] = e.machine;
+    order.push_back(e.task);
+  }
+}
+
+std::optional<Anomaly> findAnomaly(int machines, int taskCount, int attempts,
+                                   std::uint64_t seed) {
+  Rng rng(seed);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    TaskGraph graph;
+    for (int t = 0; t < taskCount; ++t) {
+      Task task;
+      task.name = "T" + std::to_string(t);
+      task.duration = rng.range(1, 9);
+      for (int d = 0; d < t; ++d) {
+        if (rng.chance(1, 4)) task.dependencies.push_back(d);
+      }
+      graph.tasks.push_back(std::move(task));
+    }
+    std::vector<int> priority(static_cast<std::size_t>(taskCount));
+    {
+      const auto perm = rng.permutation(static_cast<std::size_t>(taskCount));
+      for (std::size_t i = 0; i < perm.size(); ++i) priority[i] = static_cast<int>(perm[i]);
+    }
+    std::vector<std::int64_t> wcet;
+    wcet.reserve(graph.tasks.size());
+    for (const Task& t : graph.tasks) wcet.push_back(t.duration);
+    std::vector<std::int64_t> reduced = wcet;
+    bool any = false;
+    for (auto& d : reduced) {
+      if (d > 1 && rng.chance(1, 2)) {
+        d -= rng.range(1, d - 1);
+        any = true;
+      }
+    }
+    if (!any) continue;
+    const Schedule base = listSchedule(graph, machines, priority, wcet);
+    const Schedule fast = listSchedule(graph, machines, priority, reduced);
+    if (fast.makespan > base.makespan) {
+      Anomaly a;
+      a.graph = std::move(graph);
+      a.machines = machines;
+      a.priorityList = std::move(priority);
+      a.wcetDurations = std::move(wcet);
+      a.reducedDurations = std::move(reduced);
+      a.wcetMakespan = base.makespan;
+      a.reducedMakespan = fast.makespan;
+      return a;
+    }
+  }
+  return std::nullopt;
+}
+
+Anomaly anomalyInstance() {
+  const auto found = findAnomaly(/*machines=*/2, /*taskCount=*/8, /*attempts=*/50'000,
+                                 /*seed=*/0xC0FFEE);
+  require(found.has_value(), "anomalyInstance: search failed (should be deterministic)");
+  return *found;
+}
+
+}  // namespace cbip::timed

@@ -1,0 +1,95 @@
+// Time robustness and timing anomalies (monograph Section 5.2.2, [1], [31]).
+//
+// The monograph's claim reproduced here (experiment E10): a *physical*
+// system model that is safe when every action takes its worst-case
+// execution time (WCET) is NOT necessarily safe when actions run faster —
+// "safety for WCET does not guarantee safety for smaller execution times".
+// Preservation of safety under increased performance (smaller φ) is called
+// *time robustness*, and it holds for deterministic models.
+//
+// The concrete embodiment is the classic scheduling anomaly: a greedy
+// (list) multiprocessor scheduler is timing-nondeterministic — the dispatch
+// order depends on task durations — and admits instances where *reducing*
+// durations increases the makespan past the deadline. A *static* schedule
+// (machine assignment and per-machine order fixed in advance, so the
+// untimed behaviour is duration-independent, i.e. deterministic in the
+// sense of [1]) is provably monotone: shrinking durations never increases
+// its makespan.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace cbip::timed {
+
+struct Task {
+  std::string name;
+  std::int64_t duration = 1;        // WCET
+  std::vector<int> dependencies;    // indices of tasks that must finish first
+};
+
+struct TaskGraph {
+  std::vector<Task> tasks;
+  void validate() const;
+};
+
+struct ScheduledTask {
+  int task = 0;
+  int machine = 0;
+  std::int64_t start = 0;
+  std::int64_t finish = 0;
+};
+
+struct Schedule {
+  std::vector<ScheduledTask> entries;
+  std::int64_t makespan = 0;
+};
+
+/// Greedy list scheduling on `machines` identical machines: whenever a
+/// machine is idle, it grabs the highest-priority ready task
+/// (priority = position in `priorityList`). Deterministic for fixed
+/// durations, but the dispatch *order* depends on the durations — the
+/// timing nondeterminism that enables anomalies.
+Schedule listSchedule(const TaskGraph& graph, int machines,
+                      const std::vector<int>& priorityList,
+                      const std::vector<std::int64_t>& durations);
+
+/// Static (deterministic) scheduling: `assignment[t]` gives the machine of
+/// task t and `order` the global dispatch sequence; each machine runs its
+/// tasks in `order`, waiting for dependencies. The untimed behaviour is
+/// duration-independent, so the makespan is monotone in the durations.
+Schedule staticSchedule(const TaskGraph& graph, int machines,
+                        const std::vector<int>& assignment, const std::vector<int>& order,
+                        const std::vector<std::int64_t>& durations);
+
+/// Derives a static schedule from the list schedule at WCET (the standard
+/// way to "determinize" a greedy schedule).
+void staticFromList(const Schedule& wcetSchedule, std::vector<int>& assignment,
+                    std::vector<int>& order);
+
+/// A found timing anomaly: the list schedule meets `deadline` at WCET but
+/// misses it for the (pointwise smaller-or-equal) `reducedDurations`.
+struct Anomaly {
+  TaskGraph graph;
+  int machines = 0;
+  std::vector<int> priorityList;
+  std::vector<std::int64_t> wcetDurations;
+  std::vector<std::int64_t> reducedDurations;
+  std::int64_t wcetMakespan = 0;
+  std::int64_t reducedMakespan = 0;  // > wcetMakespan: the anomaly
+};
+
+/// Searches random task graphs for a timing anomaly; returns the first one
+/// found within `attempts` tries (deterministic in `seed`).
+std::optional<Anomaly> findAnomaly(int machines, int taskCount, int attempts,
+                                   std::uint64_t seed);
+
+/// A fixed anomaly instance (Graham-style speed-up anomaly) used by tests
+/// and benchmarks; found by deterministic search and frozen here.
+Anomaly anomalyInstance();
+
+}  // namespace cbip::timed

@@ -1,0 +1,415 @@
+#include "timed/timed.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <map>
+
+#include "util/require.hpp"
+
+namespace cbip::timed {
+
+int TimedAtomicType::addLocation(const std::string& name,
+                                 std::vector<ClockConstraint> invariant) {
+  locations_.push_back(name);
+  invariants_.push_back(std::move(invariant));
+  return static_cast<int>(locations_.size()) - 1;
+}
+
+int TimedAtomicType::addClock(const std::string& name) {
+  clocks_.push_back(name);
+  return static_cast<int>(clocks_.size());  // 1-based
+}
+
+int TimedAtomicType::addPort(const std::string& name) {
+  ports_.push_back(name);
+  return static_cast<int>(ports_.size()) - 1;
+}
+
+void TimedAtomicType::addTransition(TimedTransition t) { transitions_.push_back(std::move(t)); }
+
+void TimedAtomicType::validate() const {
+  require(!locations_.empty(), name_ + ": no locations");
+  require(initial_ >= 0 && static_cast<std::size_t>(initial_) < locations_.size(),
+          name_ + ": initial location out of range");
+  auto checkConstraint = [this](const ClockConstraint& c, const std::string& where) {
+    require(c.clock >= 1 && c.clock <= static_cast<int>(clocks_.size()),
+            name_ + " " + where + ": clock out of range");
+  };
+  for (std::size_t l = 0; l < invariants_.size(); ++l) {
+    for (const ClockConstraint& c : invariants_[l]) {
+      checkConstraint(c, "invariant");
+      require(c.kind == ClockConstraint::Kind::kLe || c.kind == ClockConstraint::Kind::kLt,
+              name_ + ": invariants must be upper bounds");
+    }
+  }
+  for (const TimedTransition& t : transitions_) {
+    require(t.from >= 0 && static_cast<std::size_t>(t.from) < locations_.size(),
+            name_ + ": transition source out of range");
+    require(t.to >= 0 && static_cast<std::size_t>(t.to) < locations_.size(),
+            name_ + ": transition target out of range");
+    require(t.port >= 0 && static_cast<std::size_t>(t.port) < ports_.size(),
+            name_ + ": transition port out of range");
+    for (const ClockConstraint& c : t.guard) checkConstraint(c, "guard");
+    for (const int r : t.resets) {
+      require(r >= 1 && r <= static_cast<int>(clocks_.size()),
+              name_ + ": reset clock out of range");
+    }
+  }
+}
+
+int TimedAtomicType::portIndex(const std::string& name) const {
+  for (std::size_t i = 0; i < ports_.size(); ++i) {
+    if (ports_[i] == name) return static_cast<int>(i);
+  }
+  throw ModelError(name_ + ": unknown port '" + name + "'");
+}
+
+int TimedAtomicType::locationIndex(const std::string& name) const {
+  for (std::size_t i = 0; i < locations_.size(); ++i) {
+    if (locations_[i] == name) return static_cast<int>(i);
+  }
+  throw ModelError(name_ + ": unknown location '" + name + "'");
+}
+
+int TimedAtomicType::maxConstant() const {
+  int m = 1;
+  for (const auto& inv : invariants_) {
+    for (const ClockConstraint& c : inv) m = std::max(m, c.bound);
+  }
+  for (const TimedTransition& t : transitions_) {
+    for (const ClockConstraint& c : t.guard) m = std::max(m, c.bound);
+  }
+  return m;
+}
+
+int TimedSystem::addInstance(const std::string& name, TimedAtomicTypePtr type) {
+  require(type != nullptr, "TimedSystem::addInstance: null type");
+  instances_.emplace_back(name, std::move(type));
+  return static_cast<int>(instances_.size()) - 1;
+}
+
+void TimedSystem::addConnector(TimedConnector connector) {
+  connectors_.push_back(std::move(connector));
+}
+
+void TimedSystem::validate() const {
+  for (const auto& [name, type] : instances_) type->validate();
+  for (const TimedConnector& c : connectors_) {
+    require(!c.ends.empty(), "timed connector '" + c.name + "' has no ends");
+    for (const auto& [inst, port] : c.ends) {
+      require(inst >= 0 && static_cast<std::size_t>(inst) < instances_.size(),
+              "timed connector '" + c.name + "': instance out of range");
+      require(port >= 0 &&
+                  static_cast<std::size_t>(port) < instances_[static_cast<std::size_t>(inst)]
+                                                       .second->portCount(),
+              "timed connector '" + c.name + "': port out of range");
+    }
+  }
+}
+
+int TimedSystem::totalClocks() const {
+  int total = 0;
+  for (const auto& [name, type] : instances_) total += type->clockCount();
+  return total;
+}
+
+int TimedSystem::clockBase(std::size_t instance) const {
+  int base = 0;
+  for (std::size_t i = 0; i < instance; ++i) base += instances_[i].second->clockCount();
+  return base;
+}
+
+int TimedSystem::maxConstant() const {
+  int m = 1;
+  for (const auto& [name, type] : instances_) m = std::max(m, type->maxConstant());
+  return m;
+}
+
+// ---- concrete simulation ----
+
+TimedState timedInitialState(const TimedSystem& system) {
+  TimedState s;
+  s.locations.reserve(system.instanceCount());
+  for (std::size_t i = 0; i < system.instanceCount(); ++i) {
+    s.locations.push_back(system.type(i)->initialLocation());
+  }
+  s.clocks.assign(static_cast<std::size_t>(system.totalClocks()), 0);
+  return s;
+}
+
+namespace {
+
+constexpr std::int64_t kNoDelay = std::numeric_limits<std::int64_t>::max();
+
+/// Feasible delay window [lo, hi] for one constraint given clock value v.
+void tightenWindow(const ClockConstraint& c, std::int64_t v, std::int64_t& lo,
+                   std::int64_t& hi) {
+  using K = ClockConstraint::Kind;
+  switch (c.kind) {
+    case K::kLe: hi = std::min(hi, c.bound - v); break;
+    case K::kLt: hi = std::min(hi, c.bound - v - 1); break;  // integer time
+    case K::kGe: lo = std::max(lo, c.bound - v); break;
+    case K::kGt: lo = std::max(lo, c.bound - v + 1); break;
+    case K::kEq:
+      lo = std::max(lo, c.bound - v);
+      hi = std::min(hi, c.bound - v);
+      break;
+  }
+}
+
+struct Combo {
+  std::size_t connector;
+  std::vector<const TimedTransition*> transitions;  // one per end
+  std::int64_t earliest;                            // minimal feasible delay
+};
+
+}  // namespace
+
+TimedRunResult runTimed(const TimedSystem& system, std::uint64_t maxSteps, Rng& rng) {
+  system.validate();
+  TimedRunResult result;
+  TimedState s = timedInitialState(system);
+
+  for (std::uint64_t step = 0; step < maxSteps; ++step) {
+    // Global delay cap from every instance's current location invariant.
+    std::int64_t invCap = kNoDelay;
+    for (std::size_t i = 0; i < system.instanceCount(); ++i) {
+      const TimedAtomicType& type = *system.type(i);
+      const int base = system.clockBase(i);
+      for (const ClockConstraint& c : type.invariant(s.locations[i])) {
+        std::int64_t lo = 0, hi = kNoDelay;
+        tightenWindow(c, s.clocks[static_cast<std::size_t>(base + c.clock - 1)], lo, hi);
+        invCap = std::min(invCap, hi);
+      }
+    }
+
+    std::vector<Combo> combos;
+    for (std::size_t ci = 0; ci < system.connectorCount(); ++ci) {
+      const TimedConnector& c = system.connector(ci);
+      // Candidate transitions per end from the current locations.
+      std::vector<std::vector<const TimedTransition*>> options;
+      bool possible = true;
+      for (const auto& [inst, port] : c.ends) {
+        const TimedAtomicType& type = *system.type(static_cast<std::size_t>(inst));
+        std::vector<const TimedTransition*> ts;
+        for (std::size_t ti = 0; ti < type.transitionCount(); ++ti) {
+          const TimedTransition& t = type.transition(static_cast<int>(ti));
+          if (t.port == port && t.from == s.locations[static_cast<std::size_t>(inst)]) {
+            ts.push_back(&t);
+          }
+        }
+        if (ts.empty()) {
+          possible = false;
+          break;
+        }
+        options.push_back(std::move(ts));
+      }
+      if (!possible) continue;
+      std::vector<std::size_t> pick(options.size(), 0);
+      while (true) {
+        std::int64_t lo = 0, hi = invCap;
+        for (std::size_t k = 0; k < options.size(); ++k) {
+          const auto [inst, port] = c.ends[k];
+          const int base = system.clockBase(static_cast<std::size_t>(inst));
+          for (const ClockConstraint& g : options[k][pick[k]]->guard) {
+            tightenWindow(g, s.clocks[static_cast<std::size_t>(base + g.clock - 1)], lo, hi);
+          }
+        }
+        if (lo <= hi && lo != kNoDelay) {
+          Combo combo;
+          combo.connector = ci;
+          for (std::size_t k = 0; k < options.size(); ++k) {
+            combo.transitions.push_back(options[k][pick[k]]);
+          }
+          combo.earliest = lo;
+          combos.push_back(std::move(combo));
+        }
+        std::size_t k = 0;
+        while (k < pick.size()) {
+          if (++pick[k] < options[k].size()) break;
+          pick[k] = 0;
+          ++k;
+        }
+        if (k == pick.size()) break;
+      }
+    }
+
+    if (combos.empty()) {
+      result.timelocked = true;
+      break;
+    }
+    // Eager policy: earliest feasible instant.
+    std::int64_t delay = kNoDelay;
+    for (const Combo& c : combos) delay = std::min(delay, c.earliest);
+    std::vector<const Combo*> ready;
+    for (const Combo& c : combos) {
+      if (c.earliest == delay) ready.push_back(&c);
+    }
+    const Combo& chosen = *ready[rng.index(ready.size())];
+
+    s.now += delay;
+    for (auto& v : s.clocks) v += delay;
+    const TimedConnector& conn = system.connector(chosen.connector);
+    for (std::size_t k = 0; k < conn.ends.size(); ++k) {
+      const auto [inst, port] = conn.ends[k];
+      const TimedTransition& t = *chosen.transitions[k];
+      const int base = system.clockBase(static_cast<std::size_t>(inst));
+      for (const int r : t.resets) s.clocks[static_cast<std::size_t>(base + r - 1)] = 0;
+      s.locations[static_cast<std::size_t>(inst)] = t.to;
+    }
+    result.steps.push_back(TimedStep{s.now, conn.name});
+  }
+  result.finalTime = s.now;
+  return result;
+}
+
+// ---- zone graph ----
+
+namespace {
+
+void applyConstraint(Dbm& zone, const ClockConstraint& c, int globalClock) {
+  using K = ClockConstraint::Kind;
+  switch (c.kind) {
+    case K::kLe: zone.constrainLe(globalClock, c.bound); break;
+    case K::kLt: zone.constrainLt(globalClock, c.bound); break;
+    case K::kGe: zone.constrainGe(globalClock, c.bound); break;
+    case K::kGt: zone.constrainGt(globalClock, c.bound); break;
+    case K::kEq: zone.constrainEq(globalClock, c.bound); break;
+  }
+}
+
+void applyInvariants(const TimedSystem& system, const std::vector<int>& locations, Dbm& zone) {
+  for (std::size_t i = 0; i < system.instanceCount(); ++i) {
+    const int base = system.clockBase(i);
+    for (const ClockConstraint& c :
+         system.type(i)->invariant(locations[i])) {
+      applyConstraint(zone, c, base + c.clock);
+    }
+  }
+}
+
+}  // namespace
+
+ZoneReachResult zoneReachability(const TimedSystem& system, std::uint64_t maxStates) {
+  system.validate();
+  ZoneReachResult result;
+  const int clocks = system.totalClocks();
+  const int maxConst = system.maxConstant();
+
+  // Per discrete location vector: list of stored zones (subsumption).
+  std::map<std::vector<int>, std::vector<Dbm>> store;
+  std::deque<ZoneState> waiting;
+
+  ZoneState init{{}, Dbm(clocks)};
+  for (std::size_t i = 0; i < system.instanceCount(); ++i) {
+    init.locations.push_back(system.type(i)->initialLocation());
+  }
+  init.zone.up();
+  applyInvariants(system, init.locations, init.zone);
+  init.zone.extrapolate(maxConst);
+  store[init.locations].push_back(init.zone);
+  waiting.push_back(init);
+
+  while (!waiting.empty()) {
+    const ZoneState state = std::move(waiting.front());
+    waiting.pop_front();
+    ++result.zoneStates;
+    if (result.zoneStates > maxStates) {
+      result.complete = false;
+      return result;
+    }
+
+    bool anySuccessor = false;
+    for (std::size_t ci = 0; ci < system.connectorCount(); ++ci) {
+      const TimedConnector& c = system.connector(ci);
+      std::vector<std::vector<const TimedTransition*>> options;
+      bool possible = true;
+      for (const auto& [inst, port] : c.ends) {
+        const TimedAtomicType& type = *system.type(static_cast<std::size_t>(inst));
+        std::vector<const TimedTransition*> ts;
+        for (std::size_t ti = 0; ti < type.transitionCount(); ++ti) {
+          const TimedTransition& t = type.transition(static_cast<int>(ti));
+          if (t.port == port && t.from == state.locations[static_cast<std::size_t>(inst)]) {
+            ts.push_back(&t);
+          }
+        }
+        if (ts.empty()) {
+          possible = false;
+          break;
+        }
+        options.push_back(std::move(ts));
+      }
+      if (!possible) continue;
+      std::vector<std::size_t> pick(options.size(), 0);
+      while (true) {
+        Dbm zone = state.zone;
+        std::vector<int> nextLoc = state.locations;
+        bool ok = true;
+        for (std::size_t k = 0; k < options.size() && ok; ++k) {
+          const auto [inst, port] = c.ends[k];
+          const int base = system.clockBase(static_cast<std::size_t>(inst));
+          for (const ClockConstraint& g : options[k][pick[k]]->guard) {
+            applyConstraint(zone, g, base + g.clock);
+            if (zone.empty()) {
+              ok = false;
+              break;
+            }
+          }
+        }
+        if (ok) {
+          for (std::size_t k = 0; k < options.size(); ++k) {
+            const auto [inst, port] = c.ends[k];
+            const int base = system.clockBase(static_cast<std::size_t>(inst));
+            for (const int r : options[k][pick[k]]->resets) zone.reset(base + r);
+            nextLoc[static_cast<std::size_t>(inst)] = options[k][pick[k]]->to;
+          }
+          applyInvariants(system, nextLoc, zone);
+          if (!zone.empty()) {
+            zone.up();
+            applyInvariants(system, nextLoc, zone);
+            zone.extrapolate(maxConst);
+          }
+          if (!zone.empty()) {
+            anySuccessor = true;
+            auto& zones = store[nextLoc];
+            const bool subsumed = std::any_of(
+                zones.begin(), zones.end(),
+                [&zone](const Dbm& existing) { return zone.subsetOf(existing); });
+            if (!subsumed) {
+              zones.push_back(zone);
+              waiting.push_back(ZoneState{nextLoc, std::move(zone)});
+            }
+          }
+        }
+        std::size_t k = 0;
+        while (k < pick.size()) {
+          if (++pick[k] < options[k].size()) break;
+          pick[k] = 0;
+          ++k;
+        }
+        if (k == pick.size()) break;
+      }
+    }
+
+    if (!anySuccessor) {
+      // No discrete successor: a timelock unless time can diverge here
+      // (every clock unbounded above in the delay-closed zone).
+      bool divergent = true;
+      for (int x = 1; x <= clocks; ++x) {
+        if (state.zone.at(x, 0) < kInfinity) {
+          divergent = false;
+          break;
+        }
+      }
+      if (clocks == 0) divergent = true;
+      if (!divergent) result.timelock = true;
+    }
+  }
+
+  result.complete = true;
+  for (const auto& [loc, zones] : store) result.discreteStates.push_back(loc);
+  return result;
+}
+
+}  // namespace cbip::timed

@@ -1,0 +1,160 @@
+// Timed BIP components: automata with clocks, multiparty interactions and
+// zone-based reachability (monograph Section 5.2.2 and Fig 5.3).
+//
+// A timed atomic component has locations with clock invariants and
+// port-labelled transitions with clock guards and resets. Composition is
+// by multiparty rendezvous connectors (the timed engines of the BIP
+// toolset use exactly this model). Two analyses are provided:
+//
+//   * Concrete simulation (TimedEngine): integer-valued clocks with an
+//     eager/lazy time policy — used by the model-based implementation
+//     experiments (E10).
+//   * Symbolic zone-graph reachability with DBMs and max-bound
+//     extrapolation — used to verify Fig 5.3's unit-delay automaton and
+//     the timed examples.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "timed/dbm.hpp"
+#include "util/rng.hpp"
+
+namespace cbip::timed {
+
+/// One conjunct of a clock constraint: `clock ⋈ bound` (clock is 1-based,
+/// matching the DBM convention).
+struct ClockConstraint {
+  enum class Kind { kLe, kLt, kGe, kGt, kEq };
+  int clock = 1;
+  Kind kind = Kind::kLe;
+  int bound = 0;
+};
+
+struct TimedTransition {
+  int from = 0;
+  int port = 0;
+  std::vector<ClockConstraint> guard;
+  std::vector<int> resets;  // clocks reset to 0
+  int to = 0;
+};
+
+class TimedAtomicType {
+ public:
+  explicit TimedAtomicType(std::string name) : name_(std::move(name)) {}
+
+  int addLocation(const std::string& name, std::vector<ClockConstraint> invariant = {});
+  int addClock(const std::string& name);  // returns 1-based clock id
+  int addPort(const std::string& name);
+  void addTransition(TimedTransition t);
+  void setInitialLocation(int loc) { initial_ = loc; }
+  void validate() const;
+
+  const std::string& name() const { return name_; }
+  std::size_t locationCount() const { return locations_.size(); }
+  int clockCount() const { return static_cast<int>(clocks_.size()); }
+  std::size_t portCount() const { return ports_.size(); }
+  std::size_t transitionCount() const { return transitions_.size(); }
+  const std::string& locationName(int i) const { return locations_[static_cast<std::size_t>(i)]; }
+  const std::vector<ClockConstraint>& invariant(int loc) const {
+    return invariants_[static_cast<std::size_t>(loc)];
+  }
+  const std::string& portName(int i) const { return ports_[static_cast<std::size_t>(i)]; }
+  const TimedTransition& transition(int i) const {
+    return transitions_[static_cast<std::size_t>(i)];
+  }
+  int initialLocation() const { return initial_; }
+  int portIndex(const std::string& name) const;
+  int locationIndex(const std::string& name) const;
+  /// Largest constant appearing in guards/invariants (for extrapolation).
+  int maxConstant() const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> locations_;
+  std::vector<std::vector<ClockConstraint>> invariants_;
+  std::vector<std::string> clocks_;
+  std::vector<std::string> ports_;
+  std::vector<TimedTransition> transitions_;
+  int initial_ = 0;
+};
+
+using TimedAtomicTypePtr = std::shared_ptr<const TimedAtomicType>;
+
+/// A multiparty rendezvous over (instance, port) pairs.
+struct TimedConnector {
+  std::string name;
+  std::vector<std::pair<int, int>> ends;  // (instance, port)
+};
+
+class TimedSystem {
+ public:
+  int addInstance(const std::string& name, TimedAtomicTypePtr type);
+  void addConnector(TimedConnector connector);
+  void validate() const;
+
+  std::size_t instanceCount() const { return instances_.size(); }
+  const TimedAtomicTypePtr& type(std::size_t i) const { return instances_[i].second; }
+  const std::string& instanceName(std::size_t i) const { return instances_[i].first; }
+  std::size_t connectorCount() const { return connectors_.size(); }
+  const TimedConnector& connector(std::size_t i) const { return connectors_[i]; }
+  /// Total clock count across instances; instance i's clock c maps to the
+  /// global DBM clock `clockBase(i) + c`.
+  int totalClocks() const;
+  int clockBase(std::size_t instance) const;
+  int maxConstant() const;
+
+ private:
+  std::vector<std::pair<std::string, TimedAtomicTypePtr>> instances_;
+  std::vector<TimedConnector> connectors_;
+};
+
+// ---- concrete-time simulation ----
+
+struct TimedState {
+  std::vector<int> locations;
+  std::vector<std::int64_t> clocks;  // global clock values (integer time)
+  std::int64_t now = 0;
+};
+
+TimedState timedInitialState(const TimedSystem& system);
+
+struct TimedStep {
+  std::int64_t time = 0;
+  std::string label;
+};
+
+struct TimedRunResult {
+  std::vector<TimedStep> steps;
+  bool timelocked = false;  // no interaction ever becomes enabled again
+  std::int64_t finalTime = 0;
+};
+
+/// Runs the system with the *eager* (as-soon-as-possible) time policy:
+/// advance time to the earliest instant where some interaction is enabled,
+/// then fire a uniformly random one.
+TimedRunResult runTimed(const TimedSystem& system, std::uint64_t maxSteps, Rng& rng);
+
+// ---- symbolic zone-graph reachability ----
+
+struct ZoneState {
+  std::vector<int> locations;
+  Dbm zone;
+};
+
+struct ZoneReachResult {
+  std::uint64_t zoneStates = 0;
+  bool complete = false;
+  /// Location vectors seen (discrete projections).
+  std::vector<std::vector<int>> discreteStates;
+  /// True iff some reachable zone state has no delay-or-action successor
+  /// and cannot let time diverge (a timelock).
+  bool timelock = false;
+};
+
+ZoneReachResult zoneReachability(const TimedSystem& system, std::uint64_t maxStates = 100'000);
+
+}  // namespace cbip::timed

@@ -1,0 +1,38 @@
+// Lightweight precondition / invariant checking used across the library.
+//
+// The library reports user errors (malformed models, bad indices, parse
+// errors) as exceptions so callers can recover; internal invariant
+// violations use the same mechanism to keep failure behaviour uniform and
+// testable.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace cbip {
+
+/// Error thrown when a model is structurally invalid (bad index, unknown
+/// name, inconsistent declaration).
+class ModelError : public std::logic_error {
+ public:
+  explicit ModelError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Error thrown when evaluation fails at runtime (division by zero,
+/// unbound variable scope).
+class EvalError : public std::runtime_error {
+ public:
+  explicit EvalError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Throws ModelError with `message` when `condition` is false.
+inline void require(bool condition, const std::string& message) {
+  if (!condition) throw ModelError(message);
+}
+
+/// Throws EvalError with `message` when `condition` is false.
+inline void requireEval(bool condition, const std::string& message) {
+  if (!condition) throw EvalError(message);
+}
+
+}  // namespace cbip

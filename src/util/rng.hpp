@@ -1,0 +1,45 @@
+// Deterministic, seedable random number generation.
+//
+// Every stochastic choice in the library (engine scheduling policies, the
+// discrete-event network, workload generators) draws from SplitMix64 so
+// that all runs, tests and benchmarks are exactly reproducible from a
+// 64-bit seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cbip {
+
+/// SplitMix64: tiny, high-quality, splittable PRNG (public-domain
+/// algorithm by Sebastiano Vigna). Not cryptographic.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform value in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform value in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli draw with probability `numerator / denominator`.
+  bool chance(std::uint64_t numerator, std::uint64_t denominator);
+
+  /// Picks an index into a non-empty container of size `n`.
+  std::size_t index(std::size_t n) { return static_cast<std::size_t>(below(n)); }
+
+  /// Derives an independent child generator (splitting).
+  Rng split();
+
+  /// Fisher-Yates shuffle of an index permutation [0, n).
+  std::vector<std::size_t> permutation(std::size_t n);
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace cbip

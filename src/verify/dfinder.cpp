@@ -1,0 +1,209 @@
+#include "verify/dfinder.hpp"
+
+#include <map>
+
+#include "sat/solver.hpp"
+#include "util/require.hpp"
+
+namespace cbip::verify {
+
+namespace {
+
+/// Searches a trap of `net` that is initially marked but completely
+/// unoccupied in the control state `occupied` (such a trap is an
+/// invariant that *excludes* this state). Returns the minimized trap, or
+/// empty if none exists.
+std::vector<Place> trapExcluding(const System& system, const InteractionNet& net,
+                                 const std::map<Place, bool>& occupied) {
+  std::map<Place, int> varOf;
+  std::vector<Place> places;
+  sat::Solver solver;
+  for (std::size_t i = 0; i < system.instanceCount(); ++i) {
+    const AtomicType& type = *system.instance(i).type;
+    for (std::size_t l = 0; l < type.locationCount(); ++l) {
+      const Place p{static_cast<int>(i), static_cast<int>(l)};
+      varOf[p] = solver.newVar();
+      places.push_back(p);
+    }
+  }
+  for (const NetTransition& t : net.transitions) {
+    std::vector<sat::Lit> post;
+    post.reserve(t.post.size());
+    for (const Place& q : t.post) post.push_back(varOf.at(q));
+    for (const Place& p : t.pre) {
+      std::vector<sat::Lit> clause{-varOf.at(p)};
+      clause.insert(clause.end(), post.begin(), post.end());
+      solver.addClause(std::move(clause));
+    }
+  }
+  {
+    std::vector<sat::Lit> initiallyMarkedClause;
+    for (const Place& p : net.initial) initiallyMarkedClause.push_back(varOf.at(p));
+    solver.addClause(std::move(initiallyMarkedClause));
+  }
+  // The trap must avoid every occupied place of the witness.
+  for (const auto& [place, isOccupied] : occupied) {
+    if (isOccupied) solver.addClause({-varOf.at(place)});
+  }
+  if (solver.solve() != sat::Result::kSat) return {};
+  std::vector<Place> trap;
+  for (const Place& p : places) {
+    if (solver.modelValue(varOf.at(p))) trap.push_back(p);
+  }
+  // Greedy minimization, keeping trap-ness and initial marking (removing
+  // places can only help the exclusion property).
+  for (std::size_t k = trap.size(); k > 0; --k) {
+    std::vector<Place> candidate = trap;
+    candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(k - 1));
+    if (!candidate.empty() && isTrap(net, candidate) && initiallyMarked(net, candidate)) {
+      trap = std::move(candidate);
+    }
+  }
+  return trap;
+}
+
+}  // namespace
+
+DFinderResult checkDeadlockFreedom(const System& system, const DFinderOptions& options) {
+  system.validate();
+  std::vector<ComponentInvariant> invs;
+  invs.reserve(system.instanceCount());
+  for (std::size_t i = 0; i < system.instanceCount(); ++i) {
+    invs.push_back(componentInvariant(*system.instance(i).type, options.component));
+  }
+  return checkDeadlockFreedomWith(system, std::move(invs), {});
+}
+
+DFinderResult checkDeadlockFreedomWith(const System& system,
+                                       std::vector<ComponentInvariant> componentInvariants,
+                                       std::vector<std::vector<Place>> traps) {
+  DFinderResult result;
+  result.componentInvariants = std::move(componentInvariants);
+  result.traps = std::move(traps);
+  const InteractionNet net = buildInteractionNet(system, result.componentInvariants);
+
+  // Invariant-strengthening loop: check CI ∧ II ∧ DIS; on SAT, look for a
+  // trap invariant excluding the witness and retry. Terminates because
+  // every new trap kills at least the current witness (and the state
+  // space of control witnesses is finite).
+  constexpr int kMaxRounds = 4096;
+  for (int round = 0; round < kMaxRounds; ++round) {
+    sat::Solver solver;
+    std::map<Place, int> at;
+    for (std::size_t i = 0; i < system.instanceCount(); ++i) {
+      const AtomicType& type = *system.instance(i).type;
+      const ComponentInvariant& inv = result.componentInvariants[i];
+      std::vector<sat::Lit> atLeastOne;
+      std::vector<int> vars;
+      for (std::size_t l = 0; l < type.locationCount(); ++l) {
+        const int v = solver.newVar();
+        at[Place{static_cast<int>(i), static_cast<int>(l)}] = v;
+        // CI (control part): unreachable locations are excluded outright.
+        if (!inv.reachableLocations[l]) {
+          solver.addClause({-v});
+        } else {
+          atLeastOne.push_back(v);
+          vars.push_back(v);
+        }
+      }
+      require(!atLeastOne.empty(),
+              "checkDeadlockFreedom: component with no reachable location");
+      solver.addClause(atLeastOne);
+      for (std::size_t a = 0; a < vars.size(); ++a) {
+        for (std::size_t b = a + 1; b < vars.size(); ++b) {
+          solver.addClause({-vars[a], -vars[b]});
+        }
+      }
+    }
+
+    // II: every trap invariant keeps a token.
+    for (const std::vector<Place>& trap : result.traps) {
+      std::vector<sat::Lit> clause;
+      clause.reserve(trap.size());
+      for (const Place& p : trap) clause.push_back(at.at(p));
+      solver.addClause(std::move(clause));
+    }
+
+    // DIS: no interaction is enabled. For interaction a with participants
+    // e_1..e_k, src_{a,e} = "participant e offers its port" (some feasible
+    // transition's source location occupied); ¬enabled(a) = ∨_e ¬src_{a,e},
+    // with at(i,l) → src_{a,e} binding the auxiliary from below.
+    for (std::size_t ci = 0; ci < system.connectorCount(); ++ci) {
+      const Connector& c = system.connector(ci);
+      for (InteractionMask mask : c.feasibleMasks()) {
+        std::vector<int> srcVars;
+        bool alwaysDisabled = false;
+        for (std::size_t e = 0; e < c.endCount(); ++e) {
+          if ((mask & (InteractionMask{1} << e)) == 0) continue;
+          const PortRef& p = c.end(e).port;
+          const AtomicType& type =
+              *system.instance(static_cast<std::size_t>(p.instance)).type;
+          const ComponentInvariant& inv =
+              result.componentInvariants[static_cast<std::size_t>(p.instance)];
+          std::vector<int> sources;
+          for (std::size_t ti = 0; ti < type.transitionCount(); ++ti) {
+            const Transition& t = type.transition(static_cast<int>(ti));
+            if (t.port != p.port || !inv.guardFeasible[ti]) continue;
+            if (!inv.reachableLocations[static_cast<std::size_t>(t.from)]) continue;
+            sources.push_back(at.at(Place{p.instance, t.from}));
+          }
+          if (sources.empty()) {
+            alwaysDisabled = true;
+            break;
+          }
+          const int src = solver.newVar();
+          for (int loc : sources) solver.addClause({-loc, src});
+          srcVars.push_back(src);
+        }
+        if (alwaysDisabled) continue;
+        std::vector<sat::Lit> someEndDisabled;
+        someEndDisabled.reserve(srcVars.size());
+        for (int src : srcVars) someEndDisabled.push_back(-src);
+        solver.addClause(std::move(someEndDisabled));
+      }
+    }
+    // Unconditionally enabled internal transitions: their source location
+    // can never be part of a deadlock (the engine settles taus).
+    for (std::size_t i = 0; i < system.instanceCount(); ++i) {
+      const AtomicType& type = *system.instance(i).type;
+      const ComponentInvariant& inv = result.componentInvariants[i];
+      for (std::size_t ti = 0; ti < type.transitionCount(); ++ti) {
+        const Transition& t = type.transition(static_cast<int>(ti));
+        if (t.port != kInternalPort || !inv.guardFeasible[ti]) continue;
+        if (!inv.reachableLocations[static_cast<std::size_t>(t.from)]) continue;
+        if (t.guard.isTrue()) {
+          solver.addClause({-at.at(Place{static_cast<int>(i), t.from})});
+        }
+      }
+    }
+
+    result.booleanVariables = static_cast<std::size_t>(solver.variableCount());
+    const sat::Result sr = solver.solve();
+    result.satConflicts += solver.conflicts();
+    result.satDecisions += solver.decisions();
+    if (sr == sat::Result::kUnsat) {
+      result.verdict = DFinderVerdict::kDeadlockFree;
+      return result;
+    }
+    // Witness control state; try to exclude it with a fresh trap.
+    std::map<Place, bool> occupied;
+    result.witnessLocations.assign(system.instanceCount(), -1);
+    for (const auto& [place, var] : at) {
+      const bool occ = solver.modelValue(var);
+      occupied[place] = occ;
+      if (occ) {
+        result.witnessLocations[static_cast<std::size_t>(place.instance)] = place.location;
+      }
+    }
+    std::vector<Place> trap = trapExcluding(system, net, occupied);
+    if (trap.empty()) {
+      result.verdict = DFinderVerdict::kPotentialDeadlock;
+      return result;
+    }
+    result.traps.push_back(std::move(trap));
+  }
+  result.verdict = DFinderVerdict::kPotentialDeadlock;
+  return result;
+}
+
+}  // namespace cbip::verify

@@ -1,0 +1,49 @@
+#include "verify/incremental.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace cbip::verify {
+
+IncrementalVerifier::IncrementalVerifier(System components, DFinderOptions options)
+    : system_(std::move(components)), options_(options) {
+  system_.validate();
+  componentInvariants_.reserve(system_.instanceCount());
+  for (std::size_t i = 0; i < system_.instanceCount(); ++i) {
+    componentInvariants_.push_back(
+        componentInvariant(*system_.instance(i).type, options_.component));
+  }
+}
+
+IncrementalVerifier::StepResult IncrementalVerifier::addConnector(Connector connector) {
+  system_.addConnector(std::move(connector));
+  system_.validate();
+
+  const InteractionNet net = buildInteractionNet(system_, componentInvariants_);
+
+  // Preservation test: a trap stays an invariant iff it is still a trap of
+  // the extended net (new transitions must feed it back).
+  StepResult step;
+  std::vector<std::vector<Place>> kept;
+  for (std::vector<Place>& trap : traps_) {
+    if (isTrap(net, trap) && initiallyMarked(net, trap)) {
+      kept.push_back(std::move(trap));
+      ++step.trapsKept;
+    } else {
+      ++step.trapsDropped;
+    }
+  }
+  traps_ = std::move(kept);
+
+  // The deadlock check strengthens the invariant set on demand
+  // (witness-driven trap discovery); keep whatever it found for the next
+  // construction step.
+  DFinderResult check = checkDeadlockFreedomWith(system_, componentInvariants_, traps_);
+  step.trapsNew = check.traps.size() - traps_.size();
+  traps_ = std::move(check.traps);
+  step.verdict = check.verdict;
+  return step;
+}
+
+}  // namespace cbip::verify

@@ -1,0 +1,209 @@
+#include "verify/reachability.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+#include "util/require.hpp"
+
+namespace cbip::verify {
+
+namespace {
+
+struct StateHasher {
+  std::size_t operator()(const GlobalState& s) const {
+    return static_cast<std::size_t>(hashState(s));
+  }
+};
+
+constexpr std::size_t kDeadlockCap = 8;
+
+/// Successor enumeration with labels: (label, next state).
+std::vector<std::pair<std::string, GlobalState>> labeledSuccessors(const System& system,
+                                                                   const GlobalState& state,
+                                                                   bool withPriorities) {
+  std::vector<std::pair<std::string, GlobalState>> out;
+  std::vector<EnabledInteraction> enabled = enabledInteractions(system, state);
+  if (enabled.empty()) return out;
+  if (withPriorities) enabled = applyPriorities(system, state, std::move(enabled));
+  for (const EnabledInteraction& ei : enabled) {
+    const std::string label = interactionLabel(system, ei);
+    std::vector<int> choice(ei.ends.size(), 0);
+    while (true) {
+      GlobalState next = state;
+      execute(system, next, ei, choice);
+      out.emplace_back(label, std::move(next));
+      std::size_t k = 0;
+      while (k < choice.size()) {
+        if (static_cast<std::size_t>(++choice[k]) < ei.choices[k].size()) break;
+        choice[k] = 0;
+        ++k;
+      }
+      if (k == choice.size()) break;
+    }
+  }
+  return out;
+}
+
+GlobalState settledInitial(const System& system) {
+  GlobalState init = initialState(system);
+  for (std::size_t i = 0; i < system.instanceCount(); ++i) {
+    runInternal(*system.instance(i).type, init.components[i]);
+  }
+  return init;
+}
+
+}  // namespace
+
+ReachResult explore(const System& system, const ReachOptions& options) {
+  system.validate();
+  ReachResult result;
+  std::unordered_map<GlobalState, std::size_t, StateHasher> seen;
+  std::deque<GlobalState> frontier;
+
+  GlobalState init = settledInitial(system);
+  seen.emplace(init, 0);
+  frontier.push_back(std::move(init));
+
+  while (!frontier.empty()) {
+    const GlobalState state = std::move(frontier.front());
+    frontier.pop_front();
+    ++result.states;
+
+    if (options.invariant && !options.invariant(state)) {
+      if (!result.invariantViolation.has_value()) result.invariantViolation = state;
+      if (options.stopAtFirstDefect) return result;
+    }
+
+    const auto succ = labeledSuccessors(system, state, options.withPriorities);
+    if (succ.empty()) {
+      if (result.deadlocks.size() < kDeadlockCap) result.deadlocks.push_back(state);
+      if (options.stopAtFirstDefect) return result;
+      continue;
+    }
+    for (const auto& [label, next] : succ) {
+      ++result.transitions;
+      if (seen.size() >= options.maxStates) {
+        result.complete = false;
+        return result;
+      }
+      const auto [it, fresh] = seen.emplace(next, seen.size());
+      if (fresh) frontier.push_back(next);
+    }
+  }
+  result.complete = true;
+  return result;
+}
+
+LabeledGraph buildGraph(const System& system, std::uint64_t maxStates, bool withPriorities) {
+  system.validate();
+  LabeledGraph g;
+  std::unordered_map<GlobalState, std::size_t, StateHasher> ids;
+  std::deque<std::size_t> frontier;
+
+  GlobalState init = settledInitial(system);
+  ids.emplace(init, 0);
+  g.states.push_back(std::move(init));
+  g.edges.emplace_back();
+  frontier.push_back(0);
+
+  while (!frontier.empty()) {
+    const std::size_t id = frontier.front();
+    frontier.pop_front();
+    const GlobalState state = g.states[id];  // copy: g.states may reallocate
+    for (auto& [label, next] : labeledSuccessors(system, state, withPriorities)) {
+      auto it = ids.find(next);
+      std::size_t nid = 0;
+      if (it == ids.end()) {
+        require(g.states.size() < maxStates, "buildGraph: state budget exhausted");
+        nid = g.states.size();
+        ids.emplace(next, nid);
+        g.states.push_back(std::move(next));
+        g.edges.emplace_back();
+        frontier.push_back(nid);
+      } else {
+        nid = it->second;
+      }
+      g.edges[id].emplace_back(label, nid);
+    }
+    std::sort(g.edges[id].begin(), g.edges[id].end());
+    g.edges[id].erase(std::unique(g.edges[id].begin(), g.edges[id].end()), g.edges[id].end());
+  }
+  return g;
+}
+
+bool bisimilar(const LabeledGraph& a, const LabeledGraph& b) {
+  // Partition refinement on the disjoint union of both graphs.
+  const std::size_t n = a.states.size() + b.states.size();
+  auto edgesOf = [&](std::size_t i) -> const std::vector<std::pair<std::string, std::size_t>>& {
+    return i < a.states.size() ? a.edges[i] : b.edges[i - a.states.size()];
+  };
+  auto globalId = [&](std::size_t i, std::size_t local) {
+    return i < a.states.size() ? local : local + a.states.size();
+  };
+
+  std::vector<std::size_t> color(n, 0);
+  std::size_t numColors = 1;
+  while (true) {
+    // Signature: previous color + sorted set of (label, successor color).
+    // Including the previous color makes each round a strict refinement,
+    // so a stable color count means a stable partition.
+    using Sig = std::pair<std::size_t, std::vector<std::pair<std::string, std::size_t>>>;
+    std::map<Sig, std::size_t> sigToColor;
+    std::vector<std::size_t> next(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      Sig sig;
+      sig.first = color[i];
+      for (const auto& [label, to] : edgesOf(i)) {
+        sig.second.emplace_back(label, color[globalId(i, to)]);
+      }
+      std::sort(sig.second.begin(), sig.second.end());
+      sig.second.erase(std::unique(sig.second.begin(), sig.second.end()), sig.second.end());
+      const auto [it, fresh] = sigToColor.emplace(std::move(sig), sigToColor.size());
+      next[i] = it->second;
+    }
+    const std::size_t newCount = sigToColor.size();
+    color = std::move(next);
+    if (newCount == numColors) break;
+    numColors = newCount;
+  }
+  return color[0] == color[a.states.size()];
+}
+
+bool simulates(const LabeledGraph& a, const LabeledGraph& b) {
+  // Greatest simulation via fixpoint on the relation R ⊆ A x B:
+  // (p, q) ∈ R iff for every p --l--> p' there is q --l--> q' with
+  // (p', q') ∈ R. Start from the full relation and prune.
+  const std::size_t na = a.states.size(), nb = b.states.size();
+  std::vector<std::vector<bool>> rel(na, std::vector<bool>(nb, true));
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t p = 0; p < na; ++p) {
+      for (std::size_t q = 0; q < nb; ++q) {
+        if (!rel[p][q]) continue;
+        bool ok = true;
+        for (const auto& [label, pNext] : a.edges[p]) {
+          bool matched = false;
+          for (const auto& [labelB, qNext] : b.edges[q]) {
+            if (labelB == label && rel[pNext][qNext]) {
+              matched = true;
+              break;
+            }
+          }
+          if (!matched) {
+            ok = false;
+            break;
+          }
+        }
+        if (!ok) {
+          rel[p][q] = false;
+          changed = true;
+        }
+      }
+    }
+  }
+  return rel[0][0];
+}
+
+}  // namespace cbip::verify

@@ -1,0 +1,65 @@
+// Monolithic explicit-state model checker (the "NuSMV baseline").
+//
+// Exhaustive BFS over the global state space of a composite component,
+// with deadlock detection and invariant checking. This is the
+// correctness-by-checking comparator of experiment E6: it is exact, but
+// its cost grows with the product state space — exponentially in the
+// number of components — which is precisely the limitation (monograph
+// Section 4.3, "state explosion") that D-Finder's compositional method
+// avoids.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/semantics.hpp"
+#include "core/system.hpp"
+
+namespace cbip::verify {
+
+struct ReachOptions {
+  std::uint64_t maxStates = 1'000'000;
+  bool withPriorities = true;
+  /// Optional state property; exploration records the first violation.
+  std::function<bool(const GlobalState&)> invariant;
+  /// Stop at the first deadlock / violation instead of exploring fully.
+  bool stopAtFirstDefect = false;
+};
+
+struct ReachResult {
+  bool complete = false;  // false if maxStates was hit
+  std::uint64_t states = 0;
+  std::uint64_t transitions = 0;
+  std::vector<GlobalState> deadlocks;           // up to a small cap
+  std::optional<GlobalState> invariantViolation;
+};
+
+/// Explores the reachable global state space.
+ReachResult explore(const System& system, const ReachOptions& options = {});
+
+/// Labelled transition graph of the reachable state space, for
+/// equivalence checks (fusion bisimulation, refinement tests).
+struct LabeledGraph {
+  /// states[i] is the i-th discovered state; 0 is initial.
+  std::vector<GlobalState> states;
+  /// edges[i] = sorted (label, successor) pairs of state i.
+  std::vector<std::vector<std::pair<std::string, std::size_t>>> edges;
+};
+
+LabeledGraph buildGraph(const System& system, std::uint64_t maxStates = 100'000,
+                        bool withPriorities = true);
+
+/// Checks label-wise bisimilarity of two labelled graphs starting from
+/// their initial states (partition refinement on the disjoint union).
+bool bisimilar(const LabeledGraph& a, const LabeledGraph& b);
+
+/// Simulation preorder: true iff every behaviour of `a` can be matched by
+/// `b` (a's initial state is simulated by b's). This is the order of the
+/// architecture lattice (Section 5.5.2): A1 <= A2 when A1 refines A2.
+bool simulates(const LabeledGraph& a, const LabeledGraph& b);
+
+}  // namespace cbip::verify

@@ -1,0 +1,137 @@
+#include "verify/witness.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <unordered_map>
+
+#include "core/semantics.hpp"
+#include "util/require.hpp"
+
+namespace cbip::verify {
+
+namespace {
+
+struct StateHasher {
+  std::size_t operator()(const GlobalState& s) const {
+    return static_cast<std::size_t>(hashState(s));
+  }
+};
+
+int distanceToWitness(const GlobalState& state, const std::vector<int>& witness) {
+  int d = 0;
+  for (std::size_t i = 0; i < state.components.size() && i < witness.size(); ++i) {
+    if (witness[i] >= 0 && state.components[i].location != witness[i]) ++d;
+  }
+  return d;
+}
+
+bool matchesWitness(const GlobalState& state, const std::vector<int>& witness) {
+  return distanceToWitness(state, witness) == 0;
+}
+
+}  // namespace
+
+WitnessResult confirmDeadlockWitness(const System& system,
+                                     const std::vector<int>& witnessLocations,
+                                     std::uint64_t maxStates) {
+  system.validate();
+  WitnessResult result;
+
+  struct Entry {
+    int distance;
+    std::uint64_t order;  // FIFO tie-break for determinism
+    std::size_t id;
+  };
+  struct EntryOrder {
+    bool operator()(const Entry& a, const Entry& b) const {
+      return a.distance != b.distance ? a.distance > b.distance : a.order > b.order;
+    }
+  };
+
+  // id -> (state, parent id, label from parent)
+  std::vector<GlobalState> states;
+  std::vector<std::pair<std::size_t, std::string>> parent;
+  std::unordered_map<GlobalState, std::size_t, StateHasher> seen;
+  std::priority_queue<Entry, std::vector<Entry>, EntryOrder> frontier;
+  std::uint64_t order = 0;
+
+  GlobalState init = initialState(system);
+  for (std::size_t i = 0; i < system.instanceCount(); ++i) {
+    runInternal(*system.instance(i).type, init.components[i]);
+  }
+  seen.emplace(init, 0);
+  states.push_back(std::move(init));
+  parent.emplace_back(0, "");
+  frontier.push(Entry{distanceToWitness(states[0], witnessLocations), order++, 0});
+
+  std::optional<std::size_t> firstOtherDeadlock;
+  bool exhausted = true;
+
+  auto traceTo = [&states, &parent](std::size_t id) {
+    std::vector<std::string> trace;
+    while (id != 0) {
+      trace.push_back(parent[id].second);
+      id = parent[id].first;
+    }
+    std::reverse(trace.begin(), trace.end());
+    return trace;
+  };
+
+  while (!frontier.empty()) {
+    const Entry entry = frontier.top();
+    frontier.pop();
+    ++result.statesExplored;
+    const GlobalState state = states[entry.id];  // copy: states may grow
+
+    std::vector<EnabledInteraction> enabled = enabledInteractions(system, state);
+    if (enabled.empty()) {
+      if (matchesWitness(state, witnessLocations)) {
+        result.status = WitnessStatus::kConfirmed;
+        result.deadlock = state;
+        result.trace = traceTo(entry.id);
+        return result;
+      }
+      if (!firstOtherDeadlock.has_value()) firstOtherDeadlock = entry.id;
+      continue;
+    }
+    enabled = applyPriorities(system, state, std::move(enabled));
+    for (const EnabledInteraction& ei : enabled) {
+      const std::string label = interactionLabel(system, ei);
+      std::vector<int> choice(ei.ends.size(), 0);
+      while (true) {
+        GlobalState next = state;
+        execute(system, next, ei, choice);
+        if (seen.find(next) == seen.end()) {
+          if (states.size() >= maxStates) {
+            exhausted = false;
+          } else {
+            const std::size_t id = states.size();
+            seen.emplace(next, id);
+            states.push_back(std::move(next));
+            parent.emplace_back(entry.id, label);
+            frontier.push(Entry{distanceToWitness(states[id], witnessLocations), order++, id});
+          }
+        }
+        std::size_t k = 0;
+        while (k < choice.size()) {
+          if (static_cast<std::size_t>(++choice[k]) < ei.choices[k].size()) break;
+          choice[k] = 0;
+          ++k;
+        }
+        if (k == choice.size()) break;
+      }
+    }
+  }
+
+  if (firstOtherDeadlock.has_value()) {
+    result.status = WitnessStatus::kRealButDifferent;
+    result.deadlock = states[*firstOtherDeadlock];
+    result.trace = traceTo(*firstOtherDeadlock);
+    return result;
+  }
+  result.status = exhausted ? WitnessStatus::kSpurious : WitnessStatus::kInconclusive;
+  return result;
+}
+
+}  // namespace cbip::verify

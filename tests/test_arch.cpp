@@ -1,0 +1,237 @@
+// Tests for the architecture framework (E14): property enforcement,
+// composition ⊕, preservation of component invariants and
+// deadlock-freedom, and the architecture lattice order.
+#include <gtest/gtest.h>
+
+#include "arch/architecture.hpp"
+#include "core/semantics.hpp"
+#include "engine/engine.hpp"
+#include "util/require.hpp"
+#include "verify/dfinder.hpp"
+#include "verify/reachability.hpp"
+
+namespace cbip::arch {
+namespace {
+
+/// A worker that wants to enter/leave a critical section forever.
+AtomicTypePtr makeWorker() {
+  auto t = std::make_shared<AtomicType>("Worker");
+  const int out = t->addLocation("outside");
+  const int in = t->addLocation("inside");
+  const int enter = t->addPort("enter");
+  const int leave = t->addPort("leave");
+  t->addTransition(out, enter, in);
+  t->addTransition(in, leave, out);
+  t->setInitialLocation(out);
+  return t;
+}
+
+System workersSystem(int n, std::vector<MutexClient>& clients) {
+  System sys;
+  auto worker = makeWorker();
+  for (int i = 0; i < n; ++i) {
+    const int w = sys.addInstance("w" + std::to_string(i), worker);
+    clients.push_back(MutexClient{w, worker->portIndex("enter"), worker->portIndex("leave"),
+                                  {worker->locationIndex("inside")}});
+  }
+  return sys;
+}
+
+TEST(Mutex, EnforcesItsCharacteristicProperty) {
+  std::vector<MutexClient> clients;
+  System sys = workersSystem(3, clients);
+  const AppliedArchitecture mutex = applyMutex(sys, clients);
+  const CompositionResult r = verifyComposition(sys, {mutex});
+  EXPECT_TRUE(r.propertiesHold);
+  EXPECT_TRUE(r.deadlockFree);
+  // With 3 workers: states = lock free + everyone out, or one of 3 inside.
+  EXPECT_EQ(r.statesChecked, 4u);
+}
+
+TEST(Mutex, WithoutTheArchitectureThePropertyFails) {
+  // Control experiment: wire enter/leave as free singleton connectors.
+  std::vector<MutexClient> clients;
+  System sys = workersSystem(2, clients);
+  auto worker = sys.instance(0).type;
+  for (int i = 0; i < 2; ++i) {
+    sys.addConnector(rendezvous("enter" + std::to_string(i),
+                                {PortRef{i, worker->portIndex("enter")}}));
+    sys.addConnector(rendezvous("leave" + std::to_string(i),
+                                {PortRef{i, worker->portIndex("leave")}}));
+  }
+  verify::ReachOptions opt;
+  opt.invariant = [&clients](const GlobalState& g) {
+    int inside = 0;
+    for (const MutexClient& c : clients) {
+      if (g.components[static_cast<std::size_t>(c.instance)].location ==
+          c.criticalLocations[0]) {
+        ++inside;
+      }
+    }
+    return inside <= 1;
+  };
+  const verify::ReachResult r = verify::explore(sys, opt);
+  EXPECT_TRUE(r.invariantViolation.has_value());
+}
+
+TEST(Mutex, PreservesDeadlockFreedomCompositionally) {
+  // D-Finder certifies the architecture-composed system (horizontal
+  // correctness: the coordinator cannot introduce a deadlock).
+  std::vector<MutexClient> clients;
+  System sys = workersSystem(4, clients);
+  applyMutex(sys, clients);
+  EXPECT_EQ(verify::checkDeadlockFreedom(sys).verdict, verify::DFinderVerdict::kDeadlockFree);
+}
+
+TEST(Tmr, VoterComputesMajority) {
+  System sys;
+  // Replicas produce a value; replica 2 is faulty (always 9).
+  auto makeReplica = [&sys](const std::string& name, Value value) {
+    auto t = std::make_shared<AtomicType>("Rep" + name);
+    const int l = t->addLocation("l");
+    const int out = t->addVariable("val", value);
+    const int port = t->addPort("result", {out});
+    t->addTransition(l, port, l);
+    t->setInitialLocation(l);
+    return sys.addInstance("rep" + name, t);
+  };
+  const int r0 = makeReplica("0", 7);
+  const int r1 = makeReplica("1", 7);
+  const int r2 = makeReplica("2", 9);
+  const AppliedArchitecture tmr =
+      applyTmr(sys, {TmrReplica{r0, 0}, TmrReplica{r1, 0}, TmrReplica{r2, 0}});
+  GlobalState g = initialState(sys);
+  const auto enabled = enabledInteractions(sys, g);
+  ASSERT_EQ(enabled.size(), 1u);
+  executeDefault(sys, g, enabled[0]);
+  const int voter = tmr.coordinators.at(0);
+  EXPECT_EQ(g.components[static_cast<std::size_t>(voter)].vars[tmrVoterOutputVar()], 7);
+}
+
+TEST(Tmr, MajorityIsRobustToAnySingleFault) {
+  // Property sweep: whichever single replica is faulty, the vote is the
+  // correct value.
+  for (int faulty = 0; faulty < 3; ++faulty) {
+    System sys;
+    std::array<TmrReplica, 3> reps{};
+    for (int i = 0; i < 3; ++i) {
+      auto t = std::make_shared<AtomicType>("Rep" + std::to_string(i));
+      const int l = t->addLocation("l");
+      const int out = t->addVariable("val", i == faulty ? 99 : 5);
+      const int port = t->addPort("result", {out});
+      t->addTransition(l, port, l);
+      t->setInitialLocation(l);
+      reps[static_cast<std::size_t>(i)] =
+          TmrReplica{sys.addInstance("rep" + std::to_string(i), t), 0};
+    }
+    const AppliedArchitecture tmr = applyTmr(sys, reps);
+    GlobalState g = initialState(sys);
+    executeDefault(sys, g, enabledInteractions(sys, g).at(0));
+    const int voter = tmr.coordinators.at(0);
+    EXPECT_EQ(g.components[static_cast<std::size_t>(voter)].vars[tmrVoterOutputVar()], 5)
+        << "faulty replica " << faulty;
+  }
+}
+
+TEST(FixedPriority, HigherPriorityConnectorWinsUnderTheEngine) {
+  System sys;
+  auto counter = std::make_shared<AtomicType>("C");
+  const int run = counter->addLocation("run");
+  const int n = counter->addVariable("n", 0);
+  const int tick = counter->addPort("tick");
+  counter->addTransition(run, tick, Expr::local(n) < Expr::lit(5),
+                         {expr::Assign{expr::VarRef{0, n}, Expr::local(n) + Expr::lit(1)}},
+                         run);
+  counter->setInitialLocation(run);
+  const int a = sys.addInstance("a", counter);
+  const int b = sys.addInstance("b", counter);
+  const int c = sys.addInstance("c", counter);
+  sys.addConnector(rendezvous("lowest", {PortRef{a, 0}}));
+  sys.addConnector(rendezvous("middle", {PortRef{b, 0}}));
+  sys.addConnector(rendezvous("highest", {PortRef{c, 0}}));
+  applyFixedPriority(sys, {"lowest", "middle", "highest"});
+
+  RandomPolicy policy(4);
+  SequentialEngine engine(sys, policy);
+  RunOptions opt;
+  opt.maxSteps = 15;
+  const RunResult r = engine.run(opt);
+  // Strict priority order: highest drains fully, then middle, then lowest.
+  std::vector<std::string> expected;
+  for (int i = 0; i < 5; ++i) expected.push_back("highest{c.tick}");
+  for (int i = 0; i < 5; ++i) expected.push_back("middle{b.tick}");
+  for (int i = 0; i < 5; ++i) expected.push_back("lowest{a.tick}");
+  EXPECT_EQ(r.trace.labels(), expected);
+}
+
+TEST(Composition, MutexPlusPriorityKeepsBothProperties) {
+  // E14: ⊕ of the mutex architecture and a scheduling-policy architecture
+  // on the same components — both characteristic properties hold and the
+  // composition is not bottom (deadlock-free).
+  std::vector<MutexClient> clients;
+  System sys = workersSystem(3, clients);
+  const AppliedArchitecture mutex = applyMutex(sys, clients);
+  // Scheduling policy: worker 2's entry beats 1's, 1's beats 0's.
+  const AppliedArchitecture fps =
+      applyFixedPriority(sys, {"mutexBegin0", "mutexBegin1", "mutexBegin2"});
+  const CompositionResult r = verifyComposition(sys, {mutex, fps});
+  EXPECT_TRUE(r.propertiesHold) << r.firstViolation;
+  EXPECT_TRUE(r.deadlockFree);
+
+  // The scheduling side, on traces: whenever all three compete from the
+  // initial state, worker 2 enters first.
+  RandomPolicy policy(8);
+  SequentialEngine engine(sys, policy);
+  RunOptions opt;
+  opt.maxSteps = 1;
+  const RunResult run = engine.run(opt);
+  ASSERT_EQ(run.trace.events.size(), 1u);
+  EXPECT_EQ(run.trace.events[0].label.rfind("mutexBegin2", 0), 0u);
+}
+
+TEST(Composition, LatticeOrderViaSimulation) {
+  // Adding a second architecture only restricts behaviour: the composed
+  // system is simulated by the mutex-only system (A1 ⊕ A2 <= A1).
+  std::vector<MutexClient> clientsA;
+  System mutexOnly = workersSystem(2, clientsA);
+  applyMutex(mutexOnly, clientsA);
+
+  std::vector<MutexClient> clientsB;
+  System composed = workersSystem(2, clientsB);
+  applyMutex(composed, clientsB);
+  applyFixedPriority(composed, {"mutexBegin0", "mutexBegin1"});
+
+  const verify::LabeledGraph a = verify::buildGraph(composed);
+  const verify::LabeledGraph b = verify::buildGraph(mutexOnly);
+  EXPECT_TRUE(verify::simulates(a, b));   // composed refines mutex-only
+  EXPECT_FALSE(verify::simulates(b, a));  // and strictly so
+}
+
+TEST(Composition, ViolationIsAttributed) {
+  // A deliberately broken setup: mutex applied to only one of two workers
+  // that share the section -> property violated, violation names Mutex.
+  std::vector<MutexClient> clients;
+  System sys = workersSystem(2, clients);
+  const AppliedArchitecture mutex = applyMutex(sys, {clients[0]});
+  auto worker = sys.instance(1).type;
+  sys.addConnector(rendezvous("freeEnter", {PortRef{1, worker->portIndex("enter")}}));
+  sys.addConnector(rendezvous("freeLeave", {PortRef{1, worker->portIndex("leave")}}));
+  // Check against BOTH workers' critical sections.
+  AppliedArchitecture full = mutex;
+  full.holds = [clients](const GlobalState& g) {
+    int inside = 0;
+    for (const MutexClient& c : clients) {
+      if (g.components[static_cast<std::size_t>(c.instance)].location ==
+          c.criticalLocations[0]) {
+        ++inside;
+      }
+    }
+    return inside <= 1;
+  };
+  const CompositionResult r = verifyComposition(sys, {full});
+  EXPECT_FALSE(r.propertiesHold);
+  EXPECT_EQ(r.firstViolation, "Mutex");
+}
+
+}  // namespace
+}  // namespace cbip::arch

@@ -1,0 +1,170 @@
+// Tests for hierarchical composition: the incrementality and flattening
+// laws of §5.3.2, checked operationally (bisimilarity of nested and flat
+// constructions).
+#include <gtest/gtest.h>
+
+#include "core/composite.hpp"
+#include "core/semantics.hpp"
+#include "models/models.hpp"
+#include "util/require.hpp"
+#include "verify/reachability.hpp"
+
+namespace cbip {
+namespace {
+
+/// Nesting prefixes instance names, which appear inside interaction
+/// labels ("eat0{A.p0.eat, ...}"); for behavioural comparison only the
+/// connector identity matters, so truncate labels at '{'.
+verify::LabeledGraph connectorLabelled(verify::LabeledGraph g) {
+  for (auto& edges : g.edges) {
+    for (auto& [label, to] : edges) label = label.substr(0, label.find('{'));
+  }
+  return g;
+}
+
+AtomicTypePtr pingType() {
+  auto t = std::make_shared<AtomicType>("Ping");
+  const int l = t->addLocation("l");
+  const int p = t->addPort("p");
+  t->addTransition(l, p, l);
+  t->setInitialLocation(l);
+  return t;
+}
+
+TEST(Composite, FlatteningLawForPhilosophers) {
+  // gl1(C1, gl2(C2 .. Cn)) ≈ gl(C1 .. Cn): build philosophers(2) as two
+  // nested subsystems plus cross connectors; must be bisimilar to the
+  // directly composed system.
+  const System flat = models::philosophersAtomic(2, /*counters=*/false);
+
+  // Subsystem A: philosopher p0 + fork f0 (no internal connectors).
+  System subA;
+  subA.addInstance("p0", flat.instance(0).type);
+  subA.addInstance("f0", flat.instance(2).type);
+  // Subsystem B: philosopher p1 + fork f1.
+  System subB;
+  subB.addInstance("p1", flat.instance(1).type);
+  subB.addInstance("f1", flat.instance(3).type);
+
+  CompositeBuilder builder;
+  const std::vector<int> a = builder.addSubsystem("A", subA);
+  const std::vector<int> b = builder.addSubsystem("B", subB);
+  const auto& phil = flat.instance(0).type;
+  const auto& fork = flat.instance(2).type;
+  const int eat = phil->portIndex("eat");
+  const int done = phil->portIndex("done");
+  const int use = fork->portIndex("use");
+  const int release = fork->portIndex("release");
+  builder.addConnector(rendezvous(
+      "eat0", {PortRef{a[0], eat}, PortRef{a[1], use}, PortRef{b[1], use}}));
+  builder.addConnector(rendezvous(
+      "rel0", {PortRef{a[0], done}, PortRef{a[1], release}, PortRef{b[1], release}}));
+  builder.addConnector(rendezvous(
+      "eat1", {PortRef{b[0], eat}, PortRef{b[1], use}, PortRef{a[1], use}}));
+  builder.addConnector(rendezvous(
+      "rel1", {PortRef{b[0], done}, PortRef{b[1], release}, PortRef{a[1], release}}));
+  const System nested = builder.build();
+
+  EXPECT_EQ(nested.instanceCount(), flat.instanceCount());
+  EXPECT_EQ(nested.instance(0).name, "A.p0");
+  const verify::LabeledGraph ga = connectorLabelled(verify::buildGraph(flat));
+  const verify::LabeledGraph gb = connectorLabelled(verify::buildGraph(nested));
+  EXPECT_TRUE(verify::bisimilar(ga, gb));
+}
+
+TEST(Composite, IncrementalityLawForRendezvous) {
+  // Coordinating three components at once vs coordinating two first and
+  // then adding the third: identical flat semantics.
+  auto t = pingType();
+  // Direct: gl(C1, C2, C3).
+  System direct;
+  for (int i = 0; i < 3; ++i) direct.addInstance("c" + std::to_string(i), t);
+  direct.addConnector(rendezvous("sync", {PortRef{0, 0}, PortRef{1, 0}, PortRef{2, 0}}));
+  direct.validate();
+
+  // Incremental: inner = {C2, C3} (no connectors yet), then the outer
+  // level adds the three-party synchronization.
+  System inner;
+  inner.addInstance("c1", t);
+  inner.addInstance("c2", t);
+  CompositeBuilder builder;
+  const int c0 = builder.addInstance("c0", t);
+  const std::vector<int> rest = builder.addSubsystem("inner", inner);
+  Connector sync("sync");
+  sync.addSynchron(PortRef{c0, 0});
+  sync.addSynchron(PortRef{rest[0], 0});
+  sync.addSynchron(PortRef{rest[1], 0});
+  builder.addConnector(std::move(sync));
+  const System nested = builder.build();
+
+  EXPECT_TRUE(verify::bisimilar(connectorLabelled(verify::buildGraph(direct)),
+                                connectorLabelled(verify::buildGraph(nested))));
+}
+
+TEST(Composite, NestedConnectorsAndDataSurvive) {
+  // A producer-consumer subsystem keeps its data-transfer connector when
+  // nested; an outer observer taps the consumer.
+  const System pc = models::producerConsumerBounded(2, 3);
+  CompositeBuilder builder;
+  const std::vector<int> inner = builder.addSubsystem("pc", pc);
+  const System nested = builder.build();
+  ASSERT_EQ(nested.connectorCount(), pc.connectorCount());
+  EXPECT_EQ(nested.connector(0).name(), "pc.put");
+  // Behaviour unchanged (labels differ by prefix, state graphs isomorphic).
+  EXPECT_EQ(verify::buildGraph(nested).states.size(),
+            verify::buildGraph(pc).states.size());
+}
+
+TEST(Composite, NestedPrioritiesAreRemapped) {
+  // A subsystem with a conditional priority keeps working after nesting
+  // under fresh instance indices (scope remap).
+  auto counter = std::make_shared<AtomicType>("C");
+  const int run = counter->addLocation("run");
+  const int n = counter->addVariable("n", 0);
+  const int tick = counter->addPort("tick");
+  counter->addTransition(run, tick, Expr::top(),
+                         {expr::Assign{expr::VarRef{0, n}, Expr::local(n) + Expr::lit(1)}},
+                         run);
+  counter->setInitialLocation(run);
+  System sub;
+  const int a = sub.addInstance("a", counter);
+  const int b = sub.addInstance("b", counter);
+  sub.addConnector(rendezvous("low", {PortRef{a, 0}}));
+  sub.addConnector(rendezvous("high", {PortRef{b, 0}}));
+  sub.addPriority(PriorityRule{"low", "high", Expr::var(b, 0) < Expr::lit(2)});
+
+  CompositeBuilder builder;
+  // Padding instance shifts all indices, exercising the remap.
+  builder.addInstance("pad", counter);
+  builder.addConnector(rendezvous("padTick", {PortRef{0, 0}}));
+  builder.addSubsystem("sub", sub);
+  const System nested = builder.build();
+
+  GlobalState g = initialState(nested);
+  auto filtered = applyPriorities(nested, g, enabledInteractions(nested, g));
+  // padTick + sub.high remain; sub.low is dominated while sub.b.n < 2.
+  for (const EnabledInteraction& ei : filtered) {
+    EXPECT_NE(nested.connector(static_cast<std::size_t>(ei.connector)).name(), "sub.low");
+  }
+  g.components[static_cast<std::size_t>(nested.instanceIndex("sub.b"))].vars[0] = 2;
+  filtered = applyPriorities(nested, g, enabledInteractions(nested, g));
+  bool lowSeen = false;
+  for (const EnabledInteraction& ei : filtered) {
+    lowSeen = lowSeen ||
+              nested.connector(static_cast<std::size_t>(ei.connector)).name() == "sub.low";
+  }
+  EXPECT_TRUE(lowSeen);
+}
+
+TEST(Composite, DuplicatePrefixesRejected) {
+  auto t = pingType();
+  System sub;
+  sub.addInstance("x", t);
+  CompositeBuilder builder;
+  builder.addSubsystem("s", sub);
+  builder.addSubsystem("s", sub);  // same prefix -> duplicate "s.x"
+  EXPECT_THROW(builder.build(), ModelError);
+}
+
+}  // namespace
+}  // namespace cbip

@@ -1,0 +1,239 @@
+// Tests for the sequential and multi-threaded engines.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "engine/engine.hpp"
+#include "engine/engine_mt.hpp"
+#include "models/models.hpp"
+
+namespace cbip {
+namespace {
+
+TEST(SequentialEngine, PhilosophersRunWithoutDeadlock) {
+  System sys = models::philosophersAtomic(4);
+  RandomPolicy policy(42);
+  SequentialEngine engine(sys, policy);
+  RunOptions opt;
+  opt.maxSteps = 500;
+  const RunResult r = engine.run(opt);
+  EXPECT_EQ(r.reason, StopReason::kStepLimit);
+  EXPECT_EQ(r.steps, 500u);
+  EXPECT_EQ(r.trace.events.size(), 500u);
+}
+
+TEST(SequentialEngine, TwoStepPhilosophersCanDeadlock) {
+  System sys = models::philosophersTwoStep(3);
+  // Drive into the classic deadlock deterministically: everyone takes
+  // their left fork.
+  GlobalState g = initialState(sys);
+  for (int i = 0; i < 3; ++i) {
+    bool fired = false;
+    for (const EnabledInteraction& ei : enabledInteractions(sys, g)) {
+      const std::string name =
+          sys.connector(static_cast<std::size_t>(ei.connector)).name();
+      if (name == "takeL" + std::to_string(i)) {
+        executeDefault(sys, g, ei);
+        fired = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(fired);
+  }
+  EXPECT_TRUE(isDeadlocked(sys, g));
+}
+
+TEST(SequentialEngine, StopPredicate) {
+  System sys = models::philosophersAtomic(2);
+  RandomPolicy policy(7);
+  SequentialEngine engine(sys, policy);
+  RunOptions opt;
+  opt.maxSteps = 10'000;
+  const int p0 = sys.instanceIndex("p0");
+  opt.stopWhen = [p0](const GlobalState& g) {
+    return g.components[static_cast<std::size_t>(p0)].vars[0] >= 5;  // p0 ate 5 times
+  };
+  const RunResult r = engine.run(opt);
+  EXPECT_EQ(r.reason, StopReason::kPredicate);
+  EXPECT_GE(r.finalState.components[static_cast<std::size_t>(p0)].vars[0], 5);
+}
+
+TEST(SequentialEngine, DeterministicWithFirstPolicy) {
+  System sys = models::producerConsumer(3);
+  FirstPolicy policy;
+  SequentialEngine e1(sys, policy), e2(sys, policy);
+  RunOptions opt;
+  opt.maxSteps = 100;
+  const auto t1 = e1.run(opt).trace.labels();
+  const auto t2 = e2.run(opt).trace.labels();
+  EXPECT_EQ(t1, t2);
+}
+
+TEST(SequentialEngine, SeededRunsReproduce) {
+  System sys = models::philosophersAtomic(5);
+  RunOptions opt;
+  opt.maxSteps = 300;
+  RandomPolicy p1(99), p2(99), p3(100);
+  SequentialEngine e1(sys, p1), e2(sys, p2), e3(sys, p3);
+  const auto t1 = e1.run(opt).trace.labels();
+  const auto t2 = e2.run(opt).trace.labels();
+  const auto t3 = e3.run(opt).trace.labels();
+  EXPECT_EQ(t1, t2);
+  EXPECT_NE(t1, t3);  // different seed, different schedule (overwhelmingly)
+}
+
+TEST(SequentialEngine, GcdComputesThroughTauSteps) {
+  System sys = models::gcdSystem(36, 24);
+  RandomPolicy policy(1);
+  SequentialEngine engine(sys, policy);
+  RunOptions opt;
+  opt.maxSteps = 1;
+  const RunResult r = engine.run(opt);
+  // After settling, x == y == gcd(36, 24) == 12 and `done` fired once.
+  EXPECT_EQ(r.finalState.components[0].vars[0], 12);
+  EXPECT_EQ(r.finalState.components[0].vars[1], 12);
+  EXPECT_EQ(r.trace.events.at(0).label, "done{gcd.done}");
+}
+
+TEST(SequentialEngine, MealsBalanceForkUsage) {
+  // Safety: total meals == total eat interactions; forks always return.
+  System sys = models::philosophersAtomic(3);
+  RandomPolicy policy(5);
+  SequentialEngine engine(sys, policy);
+  RunOptions opt;
+  opt.maxSteps = 400;
+  const RunResult r = engine.run(opt);
+  Value meals = 0;
+  for (int i = 0; i < 3; ++i) {
+    meals += r.finalState.components[static_cast<std::size_t>(i)].vars[0];
+  }
+  std::uint64_t eats = 0;
+  for (const TraceEvent& e : r.trace.events) {
+    if (e.label.rfind("eat", 0) == 0) ++eats;
+  }
+  EXPECT_EQ(static_cast<std::uint64_t>(meals), eats);
+}
+
+// ---- multithreaded engine ----
+
+TEST(MultiThreadEngine, ProducesOnlyValidInteractions) {
+  System sys = models::philosophersAtomic(4);
+  RandomPolicy policy(11);
+  MultiThreadEngine engine(sys, policy);
+  MtOptions opt;
+  opt.maxSteps = 200;
+  const RunResult r = engine.run(opt);
+  EXPECT_EQ(r.steps, 200u);
+  // Validate the trace by replaying it on the reference semantics.
+  GlobalState g = initialState(sys);
+  for (const TraceEvent& e : r.trace.events) {
+    bool found = false;
+    for (const EnabledInteraction& ei : enabledInteractions(sys, g)) {
+      if (interactionLabel(sys, ei) == e.label) {
+        executeDefault(sys, g, ei);
+        found = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(found) << "multithread trace not replayable at " << e.label;
+  }
+}
+
+TEST(MultiThreadEngine, RespectsPrioritiesWithBatchCap) {
+  System sys;
+  auto counter = std::make_shared<AtomicType>("C");
+  {
+    const int run = counter->addLocation("run");
+    const int n = counter->addVariable("n", 0);
+    const int tick = counter->addPort("tick");
+    counter->addTransition(run, tick, Expr::top(),
+                           {expr::Assign{expr::VarRef{0, n}, Expr::local(n) + Expr::lit(1)}},
+                           run);
+    counter->setInitialLocation(run);
+  }
+  const int a = sys.addInstance("a", counter);
+  const int b = sys.addInstance("b", counter);
+  sys.addConnector(rendezvous("low", {PortRef{a, 0}}));
+  sys.addConnector(rendezvous("high", {PortRef{b, 0}}));
+  sys.addPriority(PriorityRule{"low", "high", std::nullopt});
+  RandomPolicy policy(3);
+  MultiThreadEngine engine(sys, policy);
+  MtOptions opt;
+  opt.maxSteps = 50;
+  const RunResult r = engine.run(opt);
+  // `high` is always enabled, so `low` must never fire.
+  for (const TraceEvent& e : r.trace.events) {
+    EXPECT_EQ(e.label.rfind("high", 0), 0u) << e.label;
+  }
+}
+
+TEST(MultiThreadEngine, DetectsDeadlock) {
+  System sys;
+  auto once = std::make_shared<AtomicType>("Once");
+  {
+    const int s0 = once->addLocation("s0");
+    const int s1 = once->addLocation("s1");
+    const int go = once->addPort("go");
+    once->addTransition(s0, go, s1);
+    once->setInitialLocation(s0);
+  }
+  sys.addInstance("x", once);
+  sys.addConnector(rendezvous("go", {PortRef{0, 0}}));
+  RandomPolicy policy(1);
+  MultiThreadEngine engine(sys, policy);
+  MtOptions opt;
+  opt.maxSteps = 10;
+  const RunResult r = engine.run(opt);
+  EXPECT_EQ(r.reason, StopReason::kDeadlock);
+  EXPECT_EQ(r.steps, 1u);
+}
+
+TEST(MultiThreadEngine, BatchesIndependentInteractions) {
+  // n independent self-loop counters: every cycle can fire all of them.
+  System sys;
+  auto counter = std::make_shared<AtomicType>("C");
+  {
+    const int run = counter->addLocation("run");
+    const int n = counter->addVariable("n", 0);
+    const int tick = counter->addPort("tick");
+    counter->addTransition(run, tick, Expr::top(),
+                           {expr::Assign{expr::VarRef{0, n}, Expr::local(n) + Expr::lit(1)}},
+                           run);
+    counter->setInitialLocation(run);
+  }
+  for (int i = 0; i < 4; ++i) {
+    sys.addInstance("c" + std::to_string(i), counter);
+    sys.addConnector(rendezvous("tick" + std::to_string(i), {PortRef{i, 0}}));
+  }
+  RandomPolicy policy(17);
+  MultiThreadEngine engine(sys, policy);
+  MtOptions opt;
+  opt.maxSteps = 400;
+  const RunResult r = engine.run(opt);
+  EXPECT_EQ(r.steps, 400u);
+  Value total = 0;
+  for (const AtomicState& c : r.finalState.components) total += c.vars[0];
+  EXPECT_EQ(total, 400);
+}
+
+TEST(MultiThreadEngine, DataTransferMatchesSequential) {
+  System sys = models::producerConsumer(2);
+  FirstPolicy policy;
+  MultiThreadEngine mt(sys, policy);
+  MtOptions mo;
+  mo.maxSteps = 60;
+  mo.maxBatch = 1;  // fully serialized: must equal the sequential run
+  const RunResult rm = mt.run(mo);
+
+  FirstPolicy policy2;
+  SequentialEngine seq(sys, policy2);
+  RunOptions so;
+  so.maxSteps = 60;
+  const RunResult rs = seq.run(so);
+  EXPECT_EQ(rm.trace.labels(), rs.trace.labels());
+  EXPECT_EQ(rm.finalState, rs.finalState);
+}
+
+}  // namespace
+}  // namespace cbip

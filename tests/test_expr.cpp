@@ -1,0 +1,251 @@
+// Tests for the expression AST, evaluator and parser.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "expr/expr.hpp"
+#include "expr/parser.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace cbip::expr {
+namespace {
+
+Expr v(int i) { return Expr::local(i); }
+
+TEST(Expr, LiteralAndVariableEvaluation) {
+  std::vector<Value> vars{10, -3};
+  EXPECT_EQ(Expr::lit(42).eval(vars), 42);
+  EXPECT_EQ(v(0).eval(vars), 10);
+  EXPECT_EQ(v(1).eval(vars), -3);
+}
+
+TEST(Expr, Arithmetic) {
+  std::vector<Value> vars{7, 3};
+  EXPECT_EQ((v(0) + v(1)).eval(vars), 10);
+  EXPECT_EQ((v(0) - v(1)).eval(vars), 4);
+  EXPECT_EQ((v(0) * v(1)).eval(vars), 21);
+  EXPECT_EQ((v(0) / v(1)).eval(vars), 2);
+  EXPECT_EQ((v(0) % v(1)).eval(vars), 1);
+  EXPECT_EQ((-v(0)).eval(vars), -7);
+  EXPECT_EQ(Expr::min(v(0), v(1)).eval(vars), 3);
+  EXPECT_EQ(Expr::max(v(0), v(1)).eval(vars), 7);
+  EXPECT_EQ(Expr::abs(Expr::lit(-5)).eval(vars), 5);
+}
+
+TEST(Expr, DivisionByZeroThrows) {
+  std::vector<Value> vars{1, 0};
+  EXPECT_THROW((v(0) / v(1)).eval(vars), EvalError);
+  EXPECT_THROW((v(0) % v(1)).eval(vars), EvalError);
+}
+
+TEST(Expr, ComparisonsYieldBooleans) {
+  std::vector<Value> vars{2, 5};
+  EXPECT_EQ((v(0) < v(1)).eval(vars), 1);
+  EXPECT_EQ((v(0) > v(1)).eval(vars), 0);
+  EXPECT_EQ((v(0) <= Expr::lit(2)).eval(vars), 1);
+  EXPECT_EQ((v(0) >= Expr::lit(3)).eval(vars), 0);
+  EXPECT_EQ((v(0) == Expr::lit(2)).eval(vars), 1);
+  EXPECT_EQ((v(0) != Expr::lit(2)).eval(vars), 0);
+}
+
+TEST(Expr, BooleanConnectivesAndIte) {
+  std::vector<Value> vars{1, 0};
+  EXPECT_EQ((v(0) && v(1)).eval(vars), 0);
+  EXPECT_EQ((v(0) || v(1)).eval(vars), 1);
+  EXPECT_EQ((!v(1)).eval(vars), 1);
+  EXPECT_EQ(Expr::ite(v(0), Expr::lit(10), Expr::lit(20)).eval(vars), 10);
+  EXPECT_EQ(Expr::ite(v(1), Expr::lit(10), Expr::lit(20)).eval(vars), 20);
+}
+
+TEST(Expr, ShortCircuitSkipsDivisionByZero) {
+  std::vector<Value> vars{0, 0};
+  // (v0 != 0) && (1/v0 > 0): must not evaluate the division.
+  const Expr guarded = (v(0) != Expr::lit(0)) && (Expr::lit(1) / v(0) > Expr::lit(0));
+  EXPECT_EQ(guarded.eval(vars), 0);
+}
+
+TEST(Expr, MapVarsRewritesReferences) {
+  const Expr e = v(0) + v(1) * Expr::lit(2);
+  const Expr shifted = e.mapVars([](VarRef r) { return VarRef{r.scope, r.index + 10}; });
+  std::vector<VarRef> refs;
+  shifted.collectVars(refs);
+  ASSERT_EQ(refs.size(), 2u);
+  EXPECT_EQ(refs[0].index, 10);
+  EXPECT_EQ(refs[1].index, 11);
+}
+
+TEST(Expr, StructuralEquality) {
+  EXPECT_TRUE((v(0) + Expr::lit(1)).equals(v(0) + Expr::lit(1)));
+  EXPECT_FALSE((v(0) + Expr::lit(1)).equals(v(0) + Expr::lit(2)));
+  EXPECT_FALSE((v(0) + Expr::lit(1)).equals(v(0) - Expr::lit(1)));
+}
+
+TEST(Expr, SequentialAssignmentSemantics) {
+  std::vector<Value> vars{1, 2};
+  VecContext ctx(vars);
+  // x := y; y := x  -- sequential: both end up 2.
+  applyAssignments({Assign{VarRef{0, 0}, v(1)}, Assign{VarRef{0, 1}, v(0)}}, ctx);
+  EXPECT_EQ(vars[0], 2);
+  EXPECT_EQ(vars[1], 2);
+}
+
+TEST(Expr, DefaultConstructedIsZero) {
+  std::vector<Value> vars;
+  EXPECT_EQ(Expr().eval(vars), 0);
+  EXPECT_TRUE(Expr::top().isTrue());
+}
+
+TEST(Simplify, ConstantFolding) {
+  std::vector<Value> vars;
+  EXPECT_EQ((Expr::lit(2) + Expr::lit(3)).simplified().literal(), 5);
+  EXPECT_EQ((Expr::lit(2) < Expr::lit(3)).simplified().literal(), 1);
+  EXPECT_EQ(Expr::ite(Expr::lit(1), Expr::lit(7), Expr::lit(9)).simplified().literal(), 7);
+  EXPECT_EQ(Expr::min(Expr::lit(4), Expr::lit(2)).simplified().literal(), 2);
+}
+
+TEST(Simplify, AlgebraicIdentities) {
+  const Expr x = v(0);
+  EXPECT_TRUE((x + Expr::lit(0)).simplified().equals(x));
+  EXPECT_TRUE((Expr::lit(0) + x).simplified().equals(x));
+  EXPECT_TRUE((x - Expr::lit(0)).simplified().equals(x));
+  EXPECT_TRUE((x * Expr::lit(1)).simplified().equals(x));
+  EXPECT_EQ((x * Expr::lit(0)).simplified().literal(), 0);
+  EXPECT_EQ((Expr::lit(0) && x).simplified().literal(), 0);
+  EXPECT_EQ((Expr::lit(3) || x).simplified().literal(), 1);
+}
+
+TEST(Simplify, PreservesDivisionByZeroErrors) {
+  // 1/0 must NOT fold into a value.
+  const Expr bad = Expr::lit(1) / Expr::lit(0);
+  std::vector<Value> vars;
+  EXPECT_THROW(bad.simplified().eval(vars), EvalError);
+}
+
+TEST(Simplify, BooleanNormalizationKeepsSemantics) {
+  // a && true normalizes to (a != 0): 0/1-valued, same truthiness.
+  std::vector<Value> vars{5};
+  const Expr e = (v(0) && Expr::lit(1)).simplified();
+  EXPECT_EQ(e.eval(vars), 1);
+  vars[0] = 0;
+  EXPECT_EQ(e.eval(vars), 0);
+}
+
+// Property: simplified expressions evaluate identically on random
+// environments (for division-safe expressions).
+class SimplifyProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplifyProperty, SemanticsPreserved) {
+  cbip::Rng rng(static_cast<std::uint64_t>(GetParam()) * 101);
+  // Random expression generator over v0, v1 (division avoided).
+  std::function<Expr(int)> gen = [&](int depth) -> Expr {
+    if (depth == 0 || rng.chance(1, 3)) {
+      return rng.chance(1, 2) ? Expr::lit(rng.range(-3, 3)) : v(static_cast<int>(rng.below(2)));
+    }
+    switch (rng.below(8)) {
+      case 0: return gen(depth - 1) + gen(depth - 1);
+      case 1: return gen(depth - 1) - gen(depth - 1);
+      case 2: return gen(depth - 1) * gen(depth - 1);
+      case 3: return gen(depth - 1) < gen(depth - 1);
+      case 4: return gen(depth - 1) && gen(depth - 1);
+      case 5: return gen(depth - 1) || gen(depth - 1);
+      case 6: return !gen(depth - 1);
+      default: return Expr::ite(gen(depth - 1), gen(depth - 1), gen(depth - 1));
+    }
+  };
+  for (int round = 0; round < 200; ++round) {
+    const Expr e = gen(4);
+    const Expr s = e.simplified();
+    for (int k = 0; k < 10; ++k) {
+      std::vector<Value> vars{rng.range(-5, 5), rng.range(-5, 5)};
+      ASSERT_EQ(e.eval(vars), s.eval(vars)) << e.toString() << "  vs  " << s.toString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplifyProperty, ::testing::Values(1, 2, 3, 4));
+
+// ---- parser ----
+
+NameResolver simpleResolver() {
+  return [](const std::string& name) {
+    if (name == "x") return VarRef{0, 0};
+    if (name == "y") return VarRef{0, 1};
+    if (name == "p.v") return VarRef{2, 0};
+    throw cbip::ModelError("unknown name " + name);
+  };
+}
+
+TEST(Parser, Precedence) {
+  std::vector<Value> vars{2, 3};
+  EXPECT_EQ(parseExpr("x + y * 2", simpleResolver()).eval(vars), 8);
+  EXPECT_EQ(parseExpr("(x + y) * 2", simpleResolver()).eval(vars), 10);
+  EXPECT_EQ(parseExpr("x - y - 1", simpleResolver()).eval(vars), -2);  // left assoc
+  EXPECT_EQ(parseExpr("10 % 4 + 1", simpleResolver()).eval(vars), 3);
+}
+
+TEST(Parser, ComparisonAndLogic) {
+  std::vector<Value> vars{2, 3};
+  EXPECT_EQ(parseExpr("x < y && y <= 3", simpleResolver()).eval(vars), 1);
+  EXPECT_EQ(parseExpr("x >= y || x == 2", simpleResolver()).eval(vars), 1);
+  EXPECT_EQ(parseExpr("!(x != 2)", simpleResolver()).eval(vars), 1);
+}
+
+TEST(Parser, TernaryAndFunctions) {
+  std::vector<Value> vars{2, 3};
+  EXPECT_EQ(parseExpr("x < y ? 100 : 200", simpleResolver()).eval(vars), 100);
+  EXPECT_EQ(parseExpr("min(x, y) + max(x, y)", simpleResolver()).eval(vars), 5);
+  EXPECT_EQ(parseExpr("abs(x - y)", simpleResolver()).eval(vars), 1);
+}
+
+TEST(Parser, DottedIdentifiersAndKeywords) {
+  std::vector<Value> vars{0};
+  const Expr e = parseExpr("true && !false", simpleResolver());
+  EXPECT_EQ(e.eval(vars), 1);
+  const Expr dotted = parseExpr("p.v", simpleResolver());
+  EXPECT_EQ(dotted.ref().scope, 2);
+}
+
+TEST(Parser, UnaryMinusAndNested) {
+  std::vector<Value> vars{2, 3};
+  EXPECT_EQ(parseExpr("-x + y", simpleResolver()).eval(vars), 1);
+  EXPECT_EQ(parseExpr("-(x + y)", simpleResolver()).eval(vars), -5);
+  EXPECT_EQ(parseExpr("2 * -x", simpleResolver()).eval(vars), -4);
+}
+
+TEST(Parser, Errors) {
+  EXPECT_THROW(parseExpr("x +", simpleResolver()), ParseError);
+  EXPECT_THROW(parseExpr("(x", simpleResolver()), ParseError);
+  EXPECT_THROW(parseExpr("x ? 1", simpleResolver()), ParseError);
+  EXPECT_THROW(parseExpr("x y", simpleResolver()), ParseError);
+  EXPECT_THROW(parseExpr("unknown", simpleResolver()), cbip::ModelError);
+  EXPECT_THROW(parseExpr("min(x)", simpleResolver()), ParseError);
+}
+
+TEST(Parser, RoundTripAgainstDirectConstruction) {
+  std::vector<Value> vars{5, 7};
+  const Expr direct = Expr::ite(v(0) < v(1), v(0) * Expr::lit(3), v(1) - v(0));
+  const Expr parsed = parseExpr("x < y ? x * 3 : y - x", simpleResolver());
+  EXPECT_EQ(direct.eval(vars), parsed.eval(vars));
+}
+
+// Property: parser output agrees with a reference evaluation on random
+// inputs for a fixed set of expressions.
+class ParserPropertyTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ParserPropertyTest, EvaluatesWithoutCrash) {
+  cbip::Rng rng(12345);
+  const Expr e = parseExpr(GetParam(), simpleResolver());
+  for (int i = 0; i < 100; ++i) {
+    std::vector<Value> vars{rng.range(-50, 50), rng.range(1, 50)};
+    (void)e.eval(vars);  // must not throw: y is never 0
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Expressions, ParserPropertyTest,
+                         ::testing::Values("x + y", "x % y", "x / y", "min(x, y) * max(x, y)",
+                                           "x < y ? x : y", "abs(x) + abs(y)",
+                                           "(x < 0 || y > 10) && x != y"));
+
+}  // namespace
+}  // namespace cbip::expr

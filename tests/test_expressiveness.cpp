@@ -1,0 +1,132 @@
+// Tests for the glue-expressiveness constructions (E8): broadcast with
+// priorities vs the rendezvous-only emulation that needs extra behaviour.
+#include <gtest/gtest.h>
+
+#include "core/expressiveness.hpp"
+#include "engine/engine.hpp"
+#include "verify/dfinder.hpp"
+#include "verify/reachability.hpp"
+
+namespace cbip {
+namespace {
+
+TEST(Expressiveness, PriorityVersionHasNoAuxiliaryComponents) {
+  const BroadcastModel m = broadcastWithPriorities(3);
+  EXPECT_EQ(m.auxiliaryComponents, 0);
+  EXPECT_EQ(m.stepsPerRound, 1);
+  EXPECT_EQ(m.system.instanceCount(), 4u);   // sender + 3 receivers
+  EXPECT_EQ(m.system.connectorCount(), 4u);  // bcast + 3 work
+}
+
+TEST(Expressiveness, RendezvousVersionNeedsArbiter) {
+  const BroadcastModel m = broadcastRendezvousOnly(3);
+  EXPECT_EQ(m.auxiliaryComponents, 1);
+  EXPECT_EQ(m.stepsPerRound, 4);              // 3 polls + done
+  EXPECT_EQ(m.system.instanceCount(), 5u);    // sender + 3 receivers + arbiter
+  EXPECT_EQ(m.system.connectorCount(), 10u);  // 2n yes/no + n work + done
+}
+
+TEST(Expressiveness, BroadcastDeliversToExactlyReadyReceivers) {
+  const BroadcastModel m = broadcastWithPriorities(3);
+  GlobalState g = initialState(m.system);
+  // Initially all ready: the maximal interaction includes all receivers.
+  auto enabled = applyPriorities(m.system, g, enabledInteractions(m.system, g));
+  const EnabledInteraction* bcast = nullptr;
+  for (const EnabledInteraction& ei : enabled) {
+    if (m.system.connector(static_cast<std::size_t>(ei.connector)).name() == "bcast") {
+      bcast = &ei;
+    }
+  }
+  ASSERT_NE(bcast, nullptr);
+  EXPECT_EQ(bcast->ends.size(), 4u);  // sender + 3 receivers
+  executeDefault(m.system, g, *bcast);
+  for (int r = 1; r <= 3; ++r) {
+    EXPECT_EQ(g.components[static_cast<std::size_t>(r)].vars[0], 1);  // got
+  }
+  // All receivers now busy: the maximal broadcast is the lone sender.
+  enabled = applyPriorities(m.system, g, enabledInteractions(m.system, g));
+  for (const EnabledInteraction& ei : enabled) {
+    if (m.system.connector(static_cast<std::size_t>(ei.connector)).name() == "bcast") {
+      EXPECT_EQ(ei.ends.size(), 1u);
+    }
+  }
+}
+
+TEST(Expressiveness, PollingProtocolDeliversToReadyReceivers) {
+  const BroadcastModel m = broadcastRendezvousOnly(2);
+  GlobalState g = initialState(m.system);
+  // Run one full round deterministically (no work interleavings): both
+  // receivers ready -> both must be delivered, sender counts one round.
+  auto fire = [&](const std::string& name) {
+    for (const EnabledInteraction& ei : enabledInteractions(m.system, g)) {
+      if (m.system.connector(static_cast<std::size_t>(ei.connector)).name() == name) {
+        executeDefault(m.system, g, ei);
+        return true;
+      }
+    }
+    return false;
+  };
+  EXPECT_TRUE(fire("yes0"));
+  EXPECT_FALSE(fire("yes0"));  // arbiter moved on
+  EXPECT_TRUE(fire("yes1"));
+  EXPECT_TRUE(fire("done"));
+  const int sender = m.system.instanceIndex("sender");
+  EXPECT_EQ(g.components[static_cast<std::size_t>(sender)].vars[0], 1);  // sent
+  for (const std::string r : {"r0", "r1"}) {
+    const int i = m.system.instanceIndex(r);
+    EXPECT_EQ(g.components[static_cast<std::size_t>(i)].vars[0], 1);  // got
+  }
+  // Round two with r0 busy: r0 answers no, r1 (still busy) answers no.
+  EXPECT_TRUE(fire("no0"));
+  EXPECT_TRUE(fire("no1"));
+  EXPECT_TRUE(fire("done"));
+  EXPECT_EQ(g.components[static_cast<std::size_t>(sender)].vars[0], 2);
+}
+
+TEST(Expressiveness, BothModelsAreDeadlockFree) {
+  for (int n : {2, 3}) {
+    const auto mp = broadcastWithPriorities(n, /*counters=*/false);
+    const auto mr = broadcastRendezvousOnly(n, /*counters=*/false);
+    EXPECT_TRUE(verify::explore(mp.system).deadlocks.empty());
+    EXPECT_TRUE(verify::explore(mr.system).deadlocks.empty());
+  }
+}
+
+TEST(Expressiveness, RendezvousEmulationHasLargerStateSpace) {
+  // The measurable price of interactions-only glue: more components, more
+  // connectors and a strictly larger reachable state space.
+  for (int n : {2, 3, 4}) {
+    const auto mp = broadcastWithPriorities(n, /*counters=*/false);
+    const auto mr = broadcastRendezvousOnly(n, /*counters=*/false);
+    const auto rp = verify::explore(mp.system);
+    const auto rr = verify::explore(mr.system);
+    ASSERT_TRUE(rp.complete);
+    ASSERT_TRUE(rr.complete);
+    EXPECT_GT(rr.states, rp.states) << "n=" << n;
+    EXPECT_GT(mr.system.connectorCount(), mp.system.connectorCount());
+    EXPECT_GT(mr.system.instanceCount(), mp.system.instanceCount());
+  }
+}
+
+TEST(Expressiveness, ReceiversNeverDeliveredWhileBusy) {
+  // Property sweep on random runs: `got` only increments via a delivery
+  // that happened while the receiver was ready.
+  const BroadcastModel m = broadcastRendezvousOnly(3);
+  RandomPolicy policy(2024);
+  SequentialEngine engine(m.system, policy);
+  RunOptions opt;
+  opt.maxSteps = 2000;
+  const RunResult r = engine.run(opt);
+  EXPECT_EQ(r.reason, StopReason::kStepLimit);
+  // Final sanity: every receiver's got <= sender rounds + 1 (a receiver can
+  // be delivered at most once per round; +1 for the in-flight round).
+  const int sender = m.system.instanceIndex("sender");
+  const Value sent = r.finalState.components[static_cast<std::size_t>(sender)].vars[0];
+  for (int i = 0; i < 3; ++i) {
+    const int ri = m.system.instanceIndex("r" + std::to_string(i));
+    EXPECT_LE(r.finalState.components[static_cast<std::size_t>(ri)].vars[0], sent + 1);
+  }
+}
+
+}  // namespace
+}  // namespace cbip

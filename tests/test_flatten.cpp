@@ -1,0 +1,187 @@
+// Tests for static fusion (source-to-source flattening, E12): the fused
+// atomic component must be label-bisimilar to the engine-coordinated
+// composite.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/flatten.hpp"
+#include "models/models.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+#include "verify/reachability.hpp"
+
+namespace cbip {
+namespace {
+
+/// Explores the fused component's labelled state graph.
+verify::LabeledGraph fusedGraph(const FusedComponent& fused, std::uint64_t maxStates) {
+  verify::LabeledGraph g;
+  std::map<std::pair<int, std::vector<Value>>, std::size_t> ids;
+  std::vector<AtomicState> states;
+  AtomicState init = initialState(*fused.type);
+  runInternal(*fused.type, init);
+  ids[{init.location, init.vars}] = 0;
+  states.push_back(init);
+  g.states.emplace_back();  // placeholder: fused graph states unused
+  g.edges.emplace_back();
+  for (std::size_t id = 0; id < states.size(); ++id) {
+    const AtomicState s = states[id];
+    for (std::size_t p = 0; p < fused.type->portCount(); ++p) {
+      for (const int ti : enabledTransitions(*fused.type, s, static_cast<int>(p))) {
+        AtomicState next = s;
+        fire(*fused.type, next, fused.type->transition(ti));
+        runInternal(*fused.type, next);
+        const auto key = std::make_pair(next.location, next.vars);
+        auto it = ids.find(key);
+        std::size_t nid = 0;
+        if (it == ids.end()) {
+          nid = states.size();
+          if (nid >= maxStates) throw ModelError("fusedGraph: budget exhausted");
+          ids.emplace(key, nid);
+          states.push_back(next);
+          g.states.emplace_back();
+          g.edges.emplace_back();
+        } else {
+          nid = it->second;
+        }
+        g.edges[id].emplace_back(fused.portLabels[p], nid);
+      }
+    }
+    std::sort(g.edges[id].begin(), g.edges[id].end());
+    g.edges[id].erase(std::unique(g.edges[id].begin(), g.edges[id].end()),
+                      g.edges[id].end());
+  }
+  return g;
+}
+
+class FusionBisimTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FusionBisimTest, PhilosophersFusedBisimilar) {
+  const System sys = models::philosophersAtomic(GetParam(), /*counters=*/false);
+  const FusedComponent fused = fuse(sys);
+  const verify::LabeledGraph a = verify::buildGraph(sys);
+  const verify::LabeledGraph b = fusedGraph(fused, 100'000);
+  EXPECT_TRUE(verify::bisimilar(a, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FusionBisimTest, ::testing::Values(2, 3, 4));
+
+TEST(Fusion, TwoStepPhilosophersPreserveDeadlock) {
+  const System sys = models::philosophersTwoStep(3, /*counters=*/false);
+  const FusedComponent fused = fuse(sys);
+  const verify::LabeledGraph a = verify::buildGraph(sys);
+  const verify::LabeledGraph b = fusedGraph(fused, 100'000);
+  EXPECT_TRUE(verify::bisimilar(a, b));
+}
+
+TEST(Fusion, ProducerConsumerDataTransferPreserved) {
+  const System sys = models::producerConsumer(2);
+  const FusedComponent fused = fuse(sys);
+  AtomicState s = initialState(*fused.type);
+  Rng rng(42);
+  Value produced = 0, consumed = 0;
+  for (int i = 0; i < 200; ++i) {
+    const std::string label = step(fused, s, rng);
+    ASSERT_FALSE(label.empty());
+    if (label.rfind("put", 0) == 0) ++produced;
+    if (label.rfind("get", 0) == 0) ++consumed;
+  }
+  EXPECT_EQ(produced - consumed,
+            s.vars[static_cast<std::size_t>(fused.type->variableIndex("buffer.count"))]);
+  // The consumer's sum must equal the sum of the first `consumed` naturals.
+  const Value sum = s.vars[static_cast<std::size_t>(fused.type->variableIndex("consumer.sum"))];
+  EXPECT_EQ(sum, consumed * (consumed - 1) / 2);
+}
+
+TEST(Fusion, PriorityEncodedStatically) {
+  // low ≺ high: the fused component must never offer `low` while `high`
+  // is enabled.
+  System sys;
+  auto counter = std::make_shared<AtomicType>("C");
+  {
+    const int run = counter->addLocation("run");
+    const int n = counter->addVariable("n", 0);
+    const int tick = counter->addPort("tick");
+    counter->addTransition(run, tick, Expr::local(n) < Expr::lit(3),
+                           {expr::Assign{expr::VarRef{0, n}, Expr::local(n) + Expr::lit(1)}},
+                           run);
+    counter->setInitialLocation(run);
+  }
+  const int a = sys.addInstance("a", counter);
+  const int b = sys.addInstance("b", counter);
+  sys.addConnector(rendezvous("low", {PortRef{a, 0}}));
+  sys.addConnector(rendezvous("high", {PortRef{b, 0}}));
+  sys.addPriority(PriorityRule{"low", "high", std::nullopt});
+  sys.validate();
+
+  const FusedComponent fused = fuse(sys);
+  AtomicState s = initialState(*fused.type);
+  // While b can still tick (n < 3), only "high" may be offered.
+  auto labels = enabledLabels(fused, s);
+  ASSERT_EQ(labels.size(), 1u);
+  EXPECT_EQ(labels[0].rfind("high", 0), 0u);
+  // Exhaust b.
+  Rng rng(1);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(step(fused, s, rng).rfind("high", 0), 0u);
+  labels = enabledLabels(fused, s);
+  ASSERT_EQ(labels.size(), 1u);
+  EXPECT_EQ(labels[0].rfind("low", 0), 0u);
+}
+
+TEST(Fusion, MaximalProgressEncodedStatically) {
+  System sys;
+  auto sender = std::make_shared<AtomicType>("S");
+  {
+    const int l = sender->addLocation("l");
+    const int p = sender->addPort("p");
+    sender->addTransition(l, p, l);
+    sender->setInitialLocation(l);
+  }
+  auto receiver = std::make_shared<AtomicType>("R");
+  {
+    const int l = receiver->addLocation("l");
+    const int en = receiver->addVariable("en", 1);
+    const int p = receiver->addPort("p");
+    receiver->addTransition(l, p, Expr::local(en) == Expr::lit(1), {}, l);
+    receiver->setInitialLocation(l);
+  }
+  const int s = sys.addInstance("s", sender);
+  const int r = sys.addInstance("r", receiver);
+  sys.addConnector(broadcast("b", PortRef{s, 0}, {PortRef{r, 0}}));
+  sys.setMaximalProgress(true);
+  sys.validate();
+
+  const FusedComponent fused = fuse(sys);
+  AtomicState st = initialState(*fused.type);
+  // Receiver enabled: only the full broadcast must be offered.
+  auto labels = enabledLabels(fused, st);
+  ASSERT_EQ(labels.size(), 1u);
+  EXPECT_NE(labels[0].find("r.p"), std::string::npos);
+  // Disable the receiver: the singleton broadcast becomes the offer.
+  st.vars[static_cast<std::size_t>(fused.type->variableIndex("r.en"))] = 0;
+  labels = enabledLabels(fused, st);
+  ASSERT_EQ(labels.size(), 1u);
+  EXPECT_EQ(labels[0].find("r.p"), std::string::npos);
+}
+
+TEST(Fusion, StepReportsDeadlock) {
+  System sys;
+  auto once = std::make_shared<AtomicType>("Once");
+  const int s0 = once->addLocation("s0");
+  const int s1 = once->addLocation("s1");
+  const int go = once->addPort("go");
+  once->addTransition(s0, go, s1);
+  once->setInitialLocation(s0);
+  sys.addInstance("x", once);
+  sys.addConnector(rendezvous("go", {PortRef{0, 0}}));
+  const FusedComponent fused = fuse(sys);
+  AtomicState st = initialState(*fused.type);
+  Rng rng(5);
+  EXPECT_EQ(step(fused, st, rng), "go{x.go}");
+  EXPECT_TRUE(step(fused, st, rng).empty());
+}
+
+}  // namespace
+}  // namespace cbip

@@ -1,0 +1,193 @@
+// Tests for the Lustre frontend: parser, reference interpreter, and the
+// structure-preserving BIP embedding of Fig 5.2 (E1/E2).
+#include <gtest/gtest.h>
+
+#include "frontends/lustre/lustre.hpp"
+#include "util/require.hpp"
+
+namespace cbip::lustre {
+namespace {
+
+constexpr const char* kIntegrator = R"(
+-- Fig 5.2: Y = X + pre(Y)
+node integrator(x: int) returns (y: int);
+let
+  y = x + pre(y);
+tel
+)";
+
+TEST(LustreParser, ParsesIntegrator) {
+  const Program p = parse(kIntegrator);
+  ASSERT_EQ(p.nodes.size(), 1u);
+  const NodeDecl& n = p.node("integrator");
+  EXPECT_EQ(n.inputs, std::vector<std::string>{"x"});
+  EXPECT_EQ(n.outputs, std::vector<std::string>{"y"});
+  ASSERT_EQ(n.equations.size(), 1u);
+  EXPECT_EQ(n.equations[0].first, "y");
+}
+
+TEST(LustreParser, SyntaxErrors) {
+  EXPECT_THROW(parse("node f(x: int) returns (y: int); let y = ; tel"), ModelError);
+  EXPECT_THROW(parse("node f(x: int) (y: int); let y = x; tel"), ModelError);
+  EXPECT_THROW(parse(""), ModelError);
+  EXPECT_THROW(parse("node f(x: float) returns (y: int); let y = x; tel"), ModelError);
+}
+
+TEST(LustreInterpreter, IntegratorSumsItsInput) {
+  const Program p = parse(kIntegrator);
+  Interpreter interp(p.node("integrator"));
+  // X = 0,1,2,3,... => Y = 0,1,3,6,... (prefix sums)
+  std::int64_t expected = 0;
+  for (int t = 0; t < 10; ++t) {
+    expected += t;
+    const auto out = interp.step({{"x", t}});
+    EXPECT_EQ(out.at("y"), expected) << "cycle " << t;
+  }
+}
+
+TEST(LustreInterpreter, ArrowInitializes) {
+  const Program p = parse(R"(
+node counter(tick: int) returns (n: int);
+let
+  n = 0 -> pre(n) + tick;
+tel
+)");
+  Interpreter interp(p.node("counter"));
+  EXPECT_EQ(interp.step({{"tick", 5}}).at("n"), 0);   // first cycle: arrow left
+  EXPECT_EQ(interp.step({{"tick", 5}}).at("n"), 5);   // 0 + 5
+  EXPECT_EQ(interp.step({{"tick", 2}}).at("n"), 7);
+}
+
+TEST(LustreInterpreter, IfThenElseAndLocals) {
+  const Program p = parse(R"(
+node clamp(x: int) returns (y: int);
+var big: bool;
+let
+  big = x > 10;
+  y = if big then 10 else x;
+tel
+)");
+  Interpreter interp(p.node("clamp"));
+  EXPECT_EQ(interp.step({{"x", 3}}).at("y"), 3);
+  EXPECT_EQ(interp.step({{"x", 42}}).at("y"), 10);
+}
+
+TEST(LustreInterpreter, EquationOrderDoesNotMatter) {
+  const Program p = parse(R"(
+node f(x: int) returns (y: int);
+var a: int;
+let
+  y = a * 2;
+  a = x + 1;
+tel
+)");
+  Interpreter interp(p.node("f"));
+  EXPECT_EQ(interp.step({{"x", 4}}).at("y"), 10);
+}
+
+TEST(LustreInterpreter, InstantaneousCycleRejected) {
+  const Program p = parse("node f(x: int) returns (y: int); let y = y + 1; tel");
+  Interpreter interp(p.node("f"));
+  EXPECT_THROW(interp.step({{"x", 0}}), ModelError);
+}
+
+TEST(LustreEmbedding, StructurePreservation) {
+  // Fig 5.2: one component per operator (B+ and Bpre), wires for the
+  // dataflow connections, global str/cmp.
+  const Program p = parse(kIntegrator);
+  const Embedding e = embed(p.node("integrator"), {{"x", InputStream{0, 1, 0}}});
+  EXPECT_EQ(e.operatorComponents, 2);  // + and pre
+  // components: source, +, pre, sink
+  EXPECT_EQ(e.system.instanceCount(), 4u);
+  // connectors: str, cmp, wires: src->+, +->pre, pre->+, +->sink
+  EXPECT_EQ(e.wires, 4);
+  EXPECT_EQ(e.system.connectorCount(), 6u);
+}
+
+TEST(LustreEmbedding, IntegratorStreamsMatchInterpreter) {
+  // E1: the embedded BIP system computes exactly the reference semantics.
+  const Program p = parse(kIntegrator);
+  const NodeDecl& node = p.node("integrator");
+  const Embedding e = embed(node, {{"x", InputStream{0, 1, 0}}});  // x = t
+  const auto streams = runEmbedded(e, 12);
+  Interpreter interp(node);
+  for (int t = 0; t < 12; ++t) {
+    const auto ref = interp.step({{"x", t}});
+    EXPECT_EQ(streams.at("y")[static_cast<std::size_t>(t)], ref.at("y")) << "cycle " << t;
+  }
+}
+
+TEST(LustreEmbedding, ArrowAndIteMatchInterpreter) {
+  const char* src = R"(
+node speedo(x: int) returns (fast: int; speed: int);
+let
+  speed = x - (0 -> pre(x));
+  fast = if speed > 3 then 1 else 0;
+tel
+)";
+  const Program p = parse(src);
+  const NodeDecl& node = p.node("speedo");
+  const Embedding e = embed(node, {{"x", InputStream{0, 2, 0}}});  // x = 2t
+  const auto streams = runEmbedded(e, 10);
+  Interpreter interp(node);
+  for (int t = 0; t < 10; ++t) {
+    const auto ref = interp.step({{"x", 2 * t}});
+    EXPECT_EQ(streams.at("speed")[static_cast<std::size_t>(t)], ref.at("speed")) << t;
+    EXPECT_EQ(streams.at("fast")[static_cast<std::size_t>(t)], ref.at("fast")) << t;
+  }
+}
+
+TEST(LustreEmbedding, RejectsInstantaneousCycle) {
+  const Program p = parse("node f(x: int) returns (y: int); let y = y + x; tel");
+  EXPECT_THROW(embed(p.node("f"), {{"x", InputStream{}}}), ModelError);
+}
+
+/// Chain of n integrators: y1 = x + pre(y1); y_i = y_{i-1} + pre(y_i).
+std::string chainProgram(int n) {
+  std::string src = "node chain(x: int) returns (y" + std::to_string(n) + ": int);\n";
+  if (n > 1) {
+    src += "var ";
+    for (int i = 1; i < n; ++i) {
+      src += "y" + std::to_string(i) + (i + 1 < n ? ", " : ": int;\n");
+    }
+  }
+  src += "let\n";
+  for (int i = 1; i <= n; ++i) {
+    const std::string prev = i == 1 ? "x" : "y" + std::to_string(i - 1);
+    src += "  y" + std::to_string(i) + " = " + prev + " + pre(y" + std::to_string(i) + ");\n";
+  }
+  src += "tel\n";
+  return src;
+}
+
+class ChainSize : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChainSize, GeneratedModelSizeIsLinear) {
+  // E2: "the generated BIP models ... size is linear with respect to the
+  // initial program size" — 2 operator components and 3-4 wires per stage.
+  const int n = GetParam();
+  const Program p = parse(chainProgram(n));
+  const Embedding e = embed(p.node("chain"), {{"x", InputStream{1, 0, 0}}});
+  EXPECT_EQ(e.operatorComponents, 2 * n);
+  EXPECT_EQ(e.system.instanceCount(), static_cast<std::size_t>(2 * n + 2));
+  EXPECT_EQ(e.wires, 3 * n + 1);  // stage input, pre in, pre out; + sink
+}
+
+TEST_P(ChainSize, ChainMatchesInterpreter) {
+  const int n = GetParam();
+  const Program p = parse(chainProgram(n));
+  const NodeDecl& node = p.node("chain");
+  const Embedding e = embed(node, {{"x", InputStream{1, 0, 0}}});  // x = 1
+  const auto streams = runEmbedded(e, 8);
+  Interpreter interp(node);
+  const std::string out = "y" + std::to_string(n);
+  for (int t = 0; t < 8; ++t) {
+    const auto ref = interp.step({{"x", 1}});
+    EXPECT_EQ(streams.at(out)[static_cast<std::size_t>(t)], ref.at(out)) << "cycle " << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ChainSize, ::testing::Values(1, 2, 3, 5, 8));
+
+}  // namespace
+}  // namespace cbip::lustre

@@ -1,0 +1,147 @@
+// Tests for time robustness / timing anomalies (E10, monograph §5.2.2).
+#include <gtest/gtest.h>
+
+#include "timed/robustness.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace cbip::timed {
+namespace {
+
+TaskGraph chainGraph() {
+  // T0 -> T1 -> T2 plus an independent T3.
+  TaskGraph g;
+  g.tasks = {{"T0", 2, {}}, {"T1", 3, {0}}, {"T2", 4, {1}}, {"T3", 5, {}}};
+  return g;
+}
+
+std::vector<std::int64_t> durationsOf(const TaskGraph& g) {
+  std::vector<std::int64_t> d;
+  for (const Task& t : g.tasks) d.push_back(t.duration);
+  return d;
+}
+
+TEST(ListSchedule, RespectsDependenciesAndMachines) {
+  const TaskGraph g = chainGraph();
+  const Schedule s = listSchedule(g, 2, {0, 1, 2, 3}, durationsOf(g));
+  ASSERT_EQ(s.entries.size(), 4u);
+  std::vector<std::int64_t> start(4), finish(4);
+  std::vector<int> machine(4);
+  for (const ScheduledTask& e : s.entries) {
+    start[static_cast<std::size_t>(e.task)] = e.start;
+    finish[static_cast<std::size_t>(e.task)] = e.finish;
+    machine[static_cast<std::size_t>(e.task)] = e.machine;
+  }
+  EXPECT_GE(start[1], finish[0]);
+  EXPECT_GE(start[2], finish[1]);
+  // Chain is critical: 2+3+4 = 9; T3 runs in parallel.
+  EXPECT_EQ(s.makespan, 9);
+  // No machine overlap.
+  for (const ScheduledTask& a : s.entries) {
+    for (const ScheduledTask& b : s.entries) {
+      if (a.task == b.task || a.machine != b.machine) continue;
+      EXPECT_TRUE(a.finish <= b.start || b.finish <= a.start);
+    }
+  }
+  (void)machine;
+}
+
+TEST(ListSchedule, SingleMachineSerializes) {
+  const TaskGraph g = chainGraph();
+  const Schedule s = listSchedule(g, 1, {3, 0, 1, 2}, durationsOf(g));
+  EXPECT_EQ(s.makespan, 2 + 3 + 4 + 5);
+}
+
+TEST(ListSchedule, DetectsCyclicDependencies) {
+  TaskGraph g;
+  g.tasks = {{"A", 1, {1}}, {"B", 1, {0}}};
+  EXPECT_THROW(listSchedule(g, 1, {0, 1}, {1, 1}), ModelError);
+}
+
+TEST(StaticSchedule, MatchesListScheduleAtWcet) {
+  const TaskGraph g = chainGraph();
+  const auto wcet = durationsOf(g);
+  const Schedule list = listSchedule(g, 2, {0, 1, 2, 3}, wcet);
+  std::vector<int> assignment, order;
+  staticFromList(list, assignment, order);
+  const Schedule fixed = staticSchedule(g, 2, assignment, order, wcet);
+  EXPECT_EQ(fixed.makespan, list.makespan);
+}
+
+TEST(Anomaly, SearchFindsASpeedupAnomaly) {
+  const auto a = findAnomaly(/*machines=*/2, /*taskCount=*/8, /*attempts=*/50'000,
+                             /*seed=*/0xC0FFEE);
+  ASSERT_TRUE(a.has_value());
+  // Reduced durations are pointwise <= WCET yet the makespan grew.
+  for (std::size_t t = 0; t < a->wcetDurations.size(); ++t) {
+    EXPECT_LE(a->reducedDurations[t], a->wcetDurations[t]);
+  }
+  EXPECT_GT(a->reducedMakespan, a->wcetMakespan);
+}
+
+TEST(Anomaly, FrozenInstanceReproduces) {
+  const Anomaly a = anomalyInstance();
+  const Schedule base = listSchedule(a.graph, a.machines, a.priorityList, a.wcetDurations);
+  const Schedule fast = listSchedule(a.graph, a.machines, a.priorityList, a.reducedDurations);
+  EXPECT_EQ(base.makespan, a.wcetMakespan);
+  EXPECT_EQ(fast.makespan, a.reducedMakespan);
+  EXPECT_GT(fast.makespan, base.makespan)
+      << "safety at WCET must NOT imply safety at smaller execution times";
+}
+
+TEST(Anomaly, StaticScheduleIsRobustOnTheAnomalyInstance) {
+  // Determinize the anomalous system: the static schedule derived from the
+  // WCET run is monotone — the speed-up now *helps*.
+  const Anomaly a = anomalyInstance();
+  const Schedule wcetList = listSchedule(a.graph, a.machines, a.priorityList, a.wcetDurations);
+  std::vector<int> assignment, order;
+  staticFromList(wcetList, assignment, order);
+  const Schedule atWcet = staticSchedule(a.graph, a.machines, assignment, order,
+                                         a.wcetDurations);
+  const Schedule atReduced = staticSchedule(a.graph, a.machines, assignment, order,
+                                            a.reducedDurations);
+  EXPECT_LE(atReduced.makespan, atWcet.makespan);
+}
+
+// Property: static schedules are monotone in durations — the time
+// robustness of deterministic models ([1], Section 5.2.2) — across random
+// graphs and random duration reductions.
+class StaticRobustness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StaticRobustness, MonotoneUnderDurationReduction) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 50; ++round) {
+    const int n = 4 + static_cast<int>(rng.below(6));
+    TaskGraph g;
+    for (int t = 0; t < n; ++t) {
+      Task task;
+      task.name = "T" + std::to_string(t);
+      task.duration = rng.range(1, 9);
+      for (int d = 0; d < t; ++d) {
+        if (rng.chance(1, 4)) task.dependencies.push_back(d);
+      }
+      g.tasks.push_back(std::move(task));
+    }
+    const int machines = 2 + static_cast<int>(rng.below(2));
+    std::vector<int> priority(static_cast<std::size_t>(n));
+    for (int t = 0; t < n; ++t) priority[static_cast<std::size_t>(t)] = t;
+    auto wcet = durationsOf(g);
+    const Schedule list = listSchedule(g, machines, priority, wcet);
+    std::vector<int> assignment, order;
+    staticFromList(list, assignment, order);
+    auto reduced = wcet;
+    for (auto& d : reduced) {
+      if (d > 1 && rng.chance(1, 2)) d -= rng.range(1, d - 1);
+    }
+    const Schedule slow = staticSchedule(g, machines, assignment, order, wcet);
+    const Schedule fast = staticSchedule(g, machines, assignment, order, reduced);
+    ASSERT_LE(fast.makespan, slow.makespan)
+        << "static schedule must be time-robust (seed " << GetParam() << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StaticRobustness,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+}  // namespace
+}  // namespace cbip::timed

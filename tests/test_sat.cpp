@@ -1,0 +1,185 @@
+// Tests for the CDCL SAT solver, including a brute-force cross-check on
+// random instances.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sat/solver.hpp"
+#include "util/rng.hpp"
+
+namespace cbip::sat {
+namespace {
+
+TEST(Sat, TrivialSat) {
+  Solver s;
+  const int a = s.newVar();
+  s.addClause({a});
+  EXPECT_EQ(s.solve(), Result::kSat);
+  EXPECT_TRUE(s.modelValue(a));
+}
+
+TEST(Sat, TrivialUnsat) {
+  Solver s;
+  const int a = s.newVar();
+  s.addClause({a});
+  s.addClause({-a});
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+}
+
+TEST(Sat, EmptyClauseIsUnsat) {
+  Solver s;
+  s.newVar();
+  EXPECT_FALSE(s.addClause({}));
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+}
+
+TEST(Sat, UnitPropagationChains) {
+  Solver s;
+  const int a = s.newVar(), b = s.newVar(), c = s.newVar(), d = s.newVar();
+  s.addClause({a});
+  s.addClause({-a, b});
+  s.addClause({-b, c});
+  s.addClause({-c, d});
+  EXPECT_EQ(s.solve(), Result::kSat);
+  EXPECT_TRUE(s.modelValue(a));
+  EXPECT_TRUE(s.modelValue(b));
+  EXPECT_TRUE(s.modelValue(c));
+  EXPECT_TRUE(s.modelValue(d));
+}
+
+TEST(Sat, TautologyAndDuplicatesHandled) {
+  Solver s;
+  const int a = s.newVar(), b = s.newVar();
+  s.addClause({a, -a});        // tautology: ignored
+  s.addClause({b, b, b});      // collapses to unit
+  EXPECT_EQ(s.solve(), Result::kSat);
+  EXPECT_TRUE(s.modelValue(b));
+}
+
+TEST(Sat, ExactlyOneEncoding) {
+  Solver s;
+  std::vector<int> vars;
+  for (int i = 0; i < 5; ++i) vars.push_back(s.newVar());
+  std::vector<Lit> atLeast(vars.begin(), vars.end());
+  s.addClause(atLeast);
+  for (std::size_t i = 0; i < vars.size(); ++i) {
+    for (std::size_t j = i + 1; j < vars.size(); ++j) s.addClause({-vars[i], -vars[j]});
+  }
+  ASSERT_EQ(s.solve(), Result::kSat);
+  int trueCount = 0;
+  for (int v : vars) trueCount += s.modelValue(v) ? 1 : 0;
+  EXPECT_EQ(trueCount, 1);
+}
+
+TEST(Sat, PigeonholeUnsat) {
+  // 4 pigeons into 3 holes: classic UNSAT requiring real conflict analysis.
+  constexpr int kPigeons = 4, kHoles = 3;
+  Solver s;
+  int var[kPigeons][kHoles];
+  for (auto& row : var) {
+    for (int& v : row) v = s.newVar();
+  }
+  for (const auto& row : var) {
+    std::vector<Lit> some(row, row + kHoles);
+    s.addClause(some);
+  }
+  for (int h = 0; h < kHoles; ++h) {
+    for (int p1 = 0; p1 < kPigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < kPigeons; ++p2) s.addClause({-var[p1][h], -var[p2][h]});
+    }
+  }
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+}
+
+TEST(Sat, AssumptionsDoNotPersist) {
+  Solver s;
+  const int a = s.newVar(), b = s.newVar();
+  s.addClause({a, b});
+  EXPECT_EQ(s.solve({-a, -b}), Result::kUnsat);
+  EXPECT_EQ(s.solve({-a}), Result::kSat);
+  EXPECT_TRUE(s.modelValue(b));
+  EXPECT_EQ(s.solve(), Result::kSat);
+}
+
+TEST(Sat, IncrementalAddAfterSolve) {
+  Solver s;
+  const int a = s.newVar(), b = s.newVar();
+  s.addClause({a, b});
+  EXPECT_EQ(s.solve(), Result::kSat);
+  s.addClause({-a});
+  s.addClause({-b});
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+}
+
+// Brute-force reference check.
+bool bruteForceSat(int nVars, const std::vector<std::vector<Lit>>& clauses) {
+  for (std::uint64_t m = 0; m < (std::uint64_t{1} << nVars); ++m) {
+    bool ok = true;
+    for (const auto& cl : clauses) {
+      bool sat = false;
+      for (const Lit l : cl) {
+        const int v = l > 0 ? l : -l;
+        const bool val = (m >> (v - 1)) & 1;
+        if ((l > 0) == val) {
+          sat = true;
+          break;
+        }
+      }
+      if (!sat) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return true;
+  }
+  return false;
+}
+
+class RandomSatTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomSatTest, AgreesWithBruteForce) {
+  cbip::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+  for (int round = 0; round < 40; ++round) {
+    const int nVars = 4 + static_cast<int>(rng.below(8));   // 4..11
+    const int nClauses = 5 + static_cast<int>(rng.below(40));
+    std::vector<std::vector<Lit>> clauses;
+    Solver s;
+    for (int v = 0; v < nVars; ++v) s.newVar();
+    bool addedOk = true;
+    for (int c = 0; c < nClauses; ++c) {
+      const int len = 1 + static_cast<int>(rng.below(3));
+      std::vector<Lit> cl;
+      for (int k = 0; k < len; ++k) {
+        const int v = 1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(nVars)));
+        cl.push_back(rng.chance(1, 2) ? v : -v);
+      }
+      clauses.push_back(cl);
+      if (!s.addClause(cl)) addedOk = false;
+    }
+    const bool expected = bruteForceSat(nVars, clauses);
+    if (!addedOk) {
+      EXPECT_FALSE(expected);
+      continue;
+    }
+    const bool actual = s.solve() == Result::kSat;
+    ASSERT_EQ(actual, expected) << "seed " << GetParam() << " round " << round;
+    if (actual) {
+      // The model must actually satisfy every clause.
+      for (const auto& cl : clauses) {
+        bool sat = false;
+        for (const Lit l : cl) {
+          if (s.modelValue(l > 0 ? l : -l) == (l > 0)) {
+            sat = true;
+            break;
+          }
+        }
+        EXPECT_TRUE(sat);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSatTest, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace cbip::sat

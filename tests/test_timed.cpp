@@ -1,0 +1,297 @@
+// Tests for the timed layer: DBM zones, the Fig 5.3 unit-delay automaton,
+// zone-graph reachability, the concrete timed engine, and the periodic
+// task model whose deadline misses surface as timelocks.
+#include <gtest/gtest.h>
+
+#include "timed/dbm.hpp"
+#include "timed/models.hpp"
+#include "timed/timed.hpp"
+#include "util/rng.hpp"
+
+namespace cbip::timed {
+namespace {
+
+TEST(Dbm, ZeroZoneAndDelay) {
+  Dbm z(2);
+  EXPECT_FALSE(z.empty());
+  // At the zero point both clocks are exactly 0.
+  EXPECT_EQ(z.at(1, 0), boundLe(0));
+  EXPECT_EQ(z.at(0, 1), boundLe(0));
+  z.up();
+  EXPECT_EQ(z.at(1, 0), kInfinity);   // no upper bound after delay
+  EXPECT_EQ(z.at(0, 1), boundLe(0));  // still x1 >= 0
+  EXPECT_EQ(z.at(1, 2), boundLe(0));  // clocks advance together: x1 == x2
+  EXPECT_EQ(z.at(2, 1), boundLe(0));
+}
+
+TEST(Dbm, ConstrainAndEmptiness) {
+  Dbm z(1);
+  z.up();
+  EXPECT_TRUE(z.constrainLe(1, 5));
+  EXPECT_TRUE(z.constrainGe(1, 3));
+  EXPECT_FALSE(z.empty());
+  EXPECT_FALSE(z.constrainLt(1, 3));  // x in [3,5] && x < 3: empty
+  EXPECT_TRUE(z.empty());
+}
+
+TEST(Dbm, ResetProjects) {
+  Dbm z(2);
+  z.up();
+  z.constrainEq(1, 4);  // x1 == 4 (so x2 == 4 too)
+  z.reset(1);
+  // x1 == 0 now; x2 still 4; difference pinned.
+  EXPECT_TRUE(z.constrainEq(2, 4));
+  EXPECT_FALSE(z.empty());
+  EXPECT_EQ(z.at(1, 0), boundLe(0));
+  EXPECT_EQ(z.at(2, 1), boundLe(4));
+}
+
+TEST(Dbm, InclusionAndEquality) {
+  Dbm small(1), big(1);
+  small.up();
+  big.up();
+  small.constrainLe(1, 3);
+  big.constrainLe(1, 10);
+  EXPECT_TRUE(small.subsetOf(big));
+  EXPECT_FALSE(big.subsetOf(small));
+  EXPECT_TRUE(small.subsetOf(small));
+  EXPECT_FALSE(small == big);
+}
+
+TEST(Dbm, ExtrapolationMakesBoundsCoarse) {
+  Dbm z(1);
+  z.up();
+  z.constrainGe(1, 100);
+  z.extrapolate(5);
+  // Lower bound above the max constant becomes "> 5".
+  EXPECT_EQ(z.at(0, 1), boundLt(-5));
+}
+
+TEST(Dbm, BoundArithmetic) {
+  EXPECT_EQ(boundAdd(boundLe(2), boundLe(3)), boundLe(5));
+  EXPECT_EQ(boundAdd(boundLt(2), boundLe(3)), boundLt(5));
+  EXPECT_EQ(boundAdd(boundLe(2), kInfinity), kInfinity);
+  EXPECT_LT(boundLt(3), boundLe(3));  // < 3 is tighter than <= 3
+}
+
+// Property: DBM operations agree with concrete integer valuations.
+// A valuation v is in the zone iff every pairwise bound holds; after
+// up/reset/constrain, membership must match the pointwise definition.
+class DbmProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+namespace {
+
+bool contains(const Dbm& z, const std::vector<int>& v) {
+  const int n = static_cast<int>(v.size());
+  auto value = [&v](int i) { return i == 0 ? 0 : v[static_cast<std::size_t>(i - 1)]; };
+  for (int i = 0; i <= n; ++i) {
+    for (int j = 0; j <= n; ++j) {
+      const Bound b = z.at(i, j);
+      if (b >= kInfinity) continue;
+      const int diff = value(i) - value(j);
+      if (boundStrict(b) ? !(diff < boundValue(b)) : !(diff <= boundValue(b))) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+TEST_P(DbmProperty, OperationsMatchConcreteSemantics) {
+  cbip::Rng rng(GetParam());
+  for (int round = 0; round < 100; ++round) {
+    const int clocks = 2 + static_cast<int>(rng.below(2));  // 2..3
+    Dbm zone(clocks);
+    zone.up();
+    // Apply a few random constraints, tracking a set of sample points.
+    for (int step = 0; step < 6 && !zone.empty(); ++step) {
+      const int op = static_cast<int>(rng.below(4));
+      if (op == 0) {
+        zone.up();
+      } else if (op == 1) {
+        zone.reset(1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(clocks))));
+      } else {
+        const int x = 1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(clocks)));
+        const int c = static_cast<int>(rng.below(8));
+        if (op == 2) {
+          zone.constrainLe(x, c);
+        } else {
+          zone.constrainGe(x, c);
+        }
+      }
+    }
+    if (zone.empty()) continue;
+    // Sample integer points and cross-check: every point satisfying all
+    // explicit bounds is reported inside, and canonical-form tightness
+    // means at least one sampled point should be inside for non-empty
+    // small zones (checked statistically over all rounds).
+    for (int s = 0; s < 30; ++s) {
+      std::vector<int> v;
+      for (int c = 0; c < clocks; ++c) v.push_back(static_cast<int>(rng.below(10)));
+      // Membership is consistent under copy (canonical form is stable).
+      Dbm copy = zone;
+      ASSERT_EQ(contains(zone, v), contains(copy, v));
+      // Intersecting with the point (x == v) is non-empty iff the point
+      // is inside the zone.
+      Dbm point = zone;
+      bool ok = true;
+      for (int c = 0; c < clocks && ok; ++c) {
+        ok = point.constrainEq(c + 1, v[static_cast<std::size_t>(c)]);
+      }
+      // Also pin the pairwise differences implicitly via equalities above.
+      ASSERT_EQ(ok && !point.empty(), contains(zone, v))
+          << "round " << round << " zone " << zone.toString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DbmProperty, ::testing::Values(11u, 22u, 33u));
+
+TEST(UnitDelay, StructureMatchesFigure53) {
+  const auto t = unitDelay();
+  EXPECT_EQ(t->locationCount(), 4u);
+  EXPECT_EQ(t->clockCount(), 1);
+  EXPECT_EQ(t->portCount(), 4u);
+  EXPECT_EQ(t->transitionCount(), 4u);
+}
+
+TEST(UnitDelay, OutputLagsInputByExactlyOneUnit) {
+  // E3: drive x with period 3; every y edge must trail the matching x edge
+  // by exactly 1 time unit.
+  const TimedSystem sys = unitDelaySystem(3);
+  Rng rng(7);
+  const TimedRunResult r = runTimed(sys, 40, rng);
+  ASSERT_FALSE(r.timelocked);
+  std::int64_t lastX = -1;
+  int matched = 0;
+  for (const TimedStep& s : r.steps) {
+    if (s.label == "xup" || s.label == "xdown") {
+      lastX = s.time;
+    } else {
+      ASSERT_NE(lastX, -1) << "output before any input";
+      EXPECT_EQ(s.time, lastX + 1) << s.label;
+      ++matched;
+    }
+  }
+  EXPECT_GT(matched, 5);
+}
+
+TEST(UnitDelay, WorksAtTheOneChangePerUnitBoundary) {
+  const TimedSystem sys = unitDelaySystem(1);
+  Rng rng(3);
+  const TimedRunResult r = runTimed(sys, 30, rng);
+  EXPECT_FALSE(r.timelocked);
+  // Events alternate input/output forever: xup@1, yup@2, xdown@2, ...
+  for (std::size_t i = 0; i + 1 < r.steps.size(); ++i) {
+    EXPECT_LE(r.steps[i].time, r.steps[i + 1].time);
+  }
+}
+
+TEST(UnitDelay, ZoneGraphIsFiniteAndTimelockFree) {
+  const TimedSystem sys = unitDelaySystem(2);
+  const ZoneReachResult r = zoneReachability(sys);
+  EXPECT_TRUE(r.complete);
+  EXPECT_FALSE(r.timelock);
+  // 4 delay locations x 2 driver locations, but only the consistent
+  // (x matches driver phase) combinations are reachable: 4.
+  EXPECT_EQ(r.discreteStates.size(), 4u);
+}
+
+TEST(ZoneGraph, DetectsTimelockFromUnmetUrgency) {
+  // A component whose invariant forces an interaction its peer never
+  // offers: time cannot pass the bound -> timelock.
+  TimedSystem sys;
+  auto a = std::make_shared<TimedAtomicType>("A");
+  {
+    const int c = a->addClock("c");
+    const int l0 = a->addLocation("l0", {{c, ClockConstraint::Kind::kLe, 2}});
+    const int l1 = a->addLocation("l1");
+    const int p = a->addPort("p");
+    a->addTransition(TimedTransition{l0, p, {{c, ClockConstraint::Kind::kEq, 2}}, {}, l1});
+    a->setInitialLocation(l0);
+  }
+  auto b = std::make_shared<TimedAtomicType>("B");
+  {
+    const int c = b->addClock("c");
+    const int l0 = b->addLocation("l0");
+    const int l1 = b->addLocation("l1");
+    const int q = b->addPort("q");
+    // Only enabled strictly after the partner's urgency bound.
+    b->addTransition(TimedTransition{l0, q, {{c, ClockConstraint::Kind::kGe, 5}}, {}, l1});
+    b->setInitialLocation(l0);
+  }
+  const int ia = sys.addInstance("a", a);
+  const int ib = sys.addInstance("b", b);
+  sys.addConnector(TimedConnector{"sync", {{ia, 0}, {ib, 0}}});
+  const ZoneReachResult r = zoneReachability(sys);
+  EXPECT_TRUE(r.complete);
+  EXPECT_TRUE(r.timelock);
+
+  Rng rng(1);
+  const TimedRunResult run = runTimed(sys, 10, rng);
+  EXPECT_TRUE(run.timelocked);
+}
+
+TEST(PeriodicTasks, SchedulableTaskHasNoTimelock) {
+  // One task, period 10, WCET 3: even a maximally procrastinated start
+  // (the ready invariant allows waiting until c == 10) still completes
+  // within the next period only if started by c == 10 - ... here the
+  // start is always possible when the deadline forces it, so no timelock.
+  const TimedSystem sys = periodicTasks({10}, {3});
+  const ZoneReachResult r = zoneReachability(sys);
+  EXPECT_TRUE(r.complete);
+  EXPECT_FALSE(r.timelock);
+}
+
+TEST(PeriodicTasks, OverloadSurfacesAsTimelock) {
+  // WCET 5 > period 4: the running invariant c <= 4 hits before
+  // e == 5 can fire — a deadline miss, surfacing as a timelock
+  // (Section 5.2.2: "deadline misses ... correspond to deadlocks or
+  // time-locks in the relevant system model").
+  const TimedSystem sys = periodicTasks({4}, {5});
+  const ZoneReachResult r = zoneReachability(sys);
+  EXPECT_TRUE(r.complete);
+  EXPECT_TRUE(r.timelock);
+}
+
+TEST(PeriodicTasks, LazyDispatchOfCompetingTasksCanMissDeadlines) {
+  // Two tasks sharing the cpu, each individually trivial (3 of 10).
+  // The zone semantics quantifies over ALL dispatch laziness: a start
+  // procrastinated until the peer's release instant blocks the peer for a
+  // full WCET with no slack — a reachable timelock. The *eager* engine
+  // (as-soon-as-possible policy) never encounters it.
+  const TimedSystem sys = periodicTasks({10, 10}, {3, 3});
+  const ZoneReachResult r = zoneReachability(sys);
+  EXPECT_TRUE(r.complete);
+  EXPECT_TRUE(r.timelock);
+
+  Rng rng(9);
+  const TimedRunResult run = runTimed(sys, 100, rng);
+  EXPECT_FALSE(run.timelocked);
+}
+
+TEST(PeriodicTasks, ConcreteRunExecutesJobs) {
+  const TimedSystem sys = periodicTasks({5, 7}, {1, 2});
+  Rng rng(11);
+  const TimedRunResult r = runTimed(sys, 60, rng);
+  EXPECT_FALSE(r.timelocked);
+  int finishes = 0;
+  for (const TimedStep& s : r.steps) {
+    if (s.label.rfind("finish", 0) == 0) ++finishes;
+  }
+  EXPECT_GT(finishes, 5);
+}
+
+class PeriodSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PeriodSweep, UnitDelayNeverTimelocks) {
+  const TimedSystem sys = unitDelaySystem(GetParam());
+  const ZoneReachResult r = zoneReachability(sys);
+  EXPECT_TRUE(r.complete);
+  EXPECT_FALSE(r.timelock);
+}
+
+INSTANTIATE_TEST_SUITE_P(Periods, PeriodSweep, ::testing::Values(1, 2, 3, 5, 8));
+
+}  // namespace
+}  // namespace cbip::timed

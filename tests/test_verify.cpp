@@ -1,0 +1,270 @@
+// Tests for the verification layer: monolithic reachability, component
+// invariants, traps / interaction invariants, the D-Finder deadlock check
+// and incremental verification.
+#include <gtest/gtest.h>
+
+#include "engine/engine.hpp"
+#include "models/models.hpp"
+#include "verify/dfinder.hpp"
+#include "verify/incremental.hpp"
+#include "verify/invariants.hpp"
+#include "verify/reachability.hpp"
+
+namespace cbip::verify {
+namespace {
+
+TEST(Reachability, CountsPhilosopherStates) {
+  const System sys = models::philosophersAtomic(2, /*counters=*/false);
+  const ReachResult r = explore(sys);
+  EXPECT_TRUE(r.complete);
+  EXPECT_TRUE(r.deadlocks.empty());
+  // 2 philosophers: interleavings of (eat_i, rel_i); states: both thinking,
+  // p0 eating, p1 eating (forks shared, so never both): 3 control states.
+  EXPECT_EQ(r.states, 3u);
+}
+
+TEST(Reachability, FindsTwoStepDeadlock) {
+  const System sys = models::philosophersTwoStep(3, /*counters=*/false);
+  const ReachResult r = explore(sys);
+  EXPECT_TRUE(r.complete);
+  ASSERT_FALSE(r.deadlocks.empty());
+  // In the deadlock state every philosopher holds its left fork.
+  const GlobalState& d = r.deadlocks.front();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(sys.instance(static_cast<std::size_t>(i)).type->locationName(
+                  d.components[static_cast<std::size_t>(i)].location),
+              "hasLeft");
+  }
+}
+
+TEST(Reachability, InvariantViolationDetected) {
+  const System sys = models::tokenRing(3, /*counters=*/false);
+  ReachOptions opt;
+  opt.invariant = [&sys](const GlobalState& g) { return models::tokenRingMutex(sys, g); };
+  const ReachResult r = explore(sys, opt);
+  EXPECT_TRUE(r.complete);
+  EXPECT_FALSE(r.invariantViolation.has_value());
+  EXPECT_TRUE(r.deadlocks.empty());
+}
+
+TEST(Reachability, StateBudgetRespected) {
+  const System sys = models::philosophersAtomic(8, /*counters=*/false);
+  ReachOptions opt;
+  opt.maxStates = 20;  // well below the 47 reachable control states
+  const ReachResult r = explore(sys, opt);
+  EXPECT_FALSE(r.complete);
+}
+
+TEST(Reachability, GraphBisimulationReflexive) {
+  const System sys = models::philosophersAtomic(3, /*counters=*/false);
+  const LabeledGraph g = buildGraph(sys);
+  EXPECT_TRUE(bisimilar(g, g));
+}
+
+TEST(Reachability, BisimulationDistinguishesModels) {
+  const LabeledGraph a = buildGraph(models::philosophersAtomic(2, /*counters=*/false));
+  const LabeledGraph b = buildGraph(models::philosophersAtomic(3, /*counters=*/false));
+  EXPECT_FALSE(bisimilar(a, b));
+}
+
+TEST(ComponentInvariant, TracksGuardRelevantData) {
+  // Counter bounded by guard: data exploration should be exact.
+  auto t = std::make_shared<AtomicType>("C");
+  const int run = t->addLocation("run");
+  const int n = t->addVariable("n", 0);
+  const int meals = t->addVariable("meals", 0);  // not in any guard
+  const int tick = t->addPort("tick");
+  t->addTransition(run, tick, Expr::local(n) < Expr::lit(3),
+                   {expr::Assign{expr::VarRef{0, n}, Expr::local(n) + Expr::lit(1)},
+                    expr::Assign{expr::VarRef{0, meals}, Expr::local(meals) + Expr::lit(1)}},
+                   run);
+  t->setInitialLocation(run);
+  const ComponentInvariant inv = componentInvariant(*t);
+  EXPECT_TRUE(inv.dataExact);
+  // Abstract states: n in {0..3} -> 4 states (meals abstracted away).
+  EXPECT_EQ(inv.statesExplored, 4u);
+  EXPECT_TRUE(inv.guardFeasible[0]);
+}
+
+TEST(ComponentInvariant, UnboundedCounterFallsBack) {
+  // Guard references an unbounded counter: exploration exceeds budget and
+  // falls back to the (sound) location-only invariant.
+  auto t = std::make_shared<AtomicType>("U");
+  const int run = t->addLocation("run");
+  const int n = t->addVariable("n", 0);
+  const int tick = t->addPort("tick");
+  t->addTransition(run, tick, Expr::local(n) >= Expr::lit(0),
+                   {expr::Assign{expr::VarRef{0, n}, Expr::local(n) + Expr::lit(1)}}, run);
+  t->setInitialLocation(run);
+  ComponentInvariantOptions opt;
+  opt.maxStates = 100;
+  const ComponentInvariant inv = componentInvariant(*t, opt);
+  EXPECT_FALSE(inv.dataExact);
+  EXPECT_TRUE(inv.guardFeasible[0]);
+  EXPECT_TRUE(inv.reachableLocations[0]);
+}
+
+TEST(ComponentInvariant, UnreachableLocationExcluded) {
+  auto t = std::make_shared<AtomicType>("L");
+  t->addLocation("a");
+  t->addLocation("island");  // no incoming transition
+  const int p = t->addPort("p");
+  t->addTransition(0, p, 0);
+  t->setInitialLocation(0);
+  const ComponentInvariant inv = componentInvariant(*t);
+  EXPECT_TRUE(inv.reachableLocations[0]);
+  EXPECT_FALSE(inv.reachableLocations[1]);
+}
+
+TEST(Traps, PhilosopherForkTrap) {
+  const System sys = models::philosophersAtomic(2);
+  std::vector<ComponentInvariant> invs;
+  for (std::size_t i = 0; i < sys.instanceCount(); ++i) {
+    invs.push_back(componentInvariant(*sys.instance(i).type));
+  }
+  const InteractionNet net = buildInteractionNet(sys, invs);
+  const auto traps = enumerateTraps(sys, net);
+  ASSERT_FALSE(traps.empty());
+  for (const auto& trap : traps) {
+    EXPECT_TRUE(isTrap(net, trap));
+    EXPECT_TRUE(initiallyMarked(net, trap));
+  }
+}
+
+TEST(Traps, TrapInvariantHoldsOnReachableStates) {
+  // Every enumerated trap must hold on every reachable global state —
+  // the soundness property of interaction invariants.
+  const System sys = models::philosophersAtomic(3, /*counters=*/false);
+  std::vector<ComponentInvariant> invs;
+  for (std::size_t i = 0; i < sys.instanceCount(); ++i) {
+    invs.push_back(componentInvariant(*sys.instance(i).type));
+  }
+  const InteractionNet net = buildInteractionNet(sys, invs);
+  const auto traps = enumerateTraps(sys, net);
+  ASSERT_FALSE(traps.empty());
+  const LabeledGraph g = buildGraph(sys);
+  for (const GlobalState& state : g.states) {
+    for (const auto& trap : traps) {
+      bool occupied = false;
+      for (const Place& p : trap) {
+        if (state.components[static_cast<std::size_t>(p.instance)].location == p.location) {
+          occupied = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(occupied) << "trap violated in state";
+    }
+  }
+}
+
+TEST(DFinder, CertifiesAtomicPhilosophersDeadlockFree) {
+  for (int n : {2, 3, 4, 5}) {
+    const System sys = models::philosophersAtomic(n);
+    const DFinderResult r = checkDeadlockFreedom(sys);
+    EXPECT_EQ(r.verdict, DFinderVerdict::kDeadlockFree) << "n=" << n;
+  }
+}
+
+TEST(DFinder, FlagsTwoStepPhilosophers) {
+  const System sys = models::philosophersTwoStep(3);
+  const DFinderResult r = checkDeadlockFreedom(sys);
+  ASSERT_EQ(r.verdict, DFinderVerdict::kPotentialDeadlock);
+  // The witness is the real deadlock: all philosophers at hasLeft.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(sys.instance(static_cast<std::size_t>(i)).type->locationName(
+                  r.witnessLocations[static_cast<std::size_t>(i)]),
+              "hasLeft");
+  }
+}
+
+TEST(DFinder, CertifiesTokenRing) {
+  const System sys = models::tokenRing(5);
+  const DFinderResult r = checkDeadlockFreedom(sys);
+  EXPECT_EQ(r.verdict, DFinderVerdict::kDeadlockFree);
+}
+
+TEST(DFinder, CertifiesGasStation) {
+  const System sys = models::gasStation(2, 2);
+  const DFinderResult r = checkDeadlockFreedom(sys);
+  EXPECT_EQ(r.verdict, DFinderVerdict::kDeadlockFree);
+}
+
+TEST(DFinder, AgreesWithMonolithicOnDeadlockFreedom) {
+  // Soundness cross-check: whenever D-Finder certifies deadlock-freedom,
+  // exhaustive search must find no deadlock.
+  const System cases[] = {models::philosophersAtomic(3, false), models::tokenRing(4, false),
+                          models::producerConsumerBounded(2, 3),
+                          models::gasStation(2, 2, false)};
+  for (const System& sys : cases) {
+    const DFinderResult df = checkDeadlockFreedom(sys);
+    const ReachResult mono = explore(sys);
+    ASSERT_TRUE(mono.complete);
+    if (df.verdict == DFinderVerdict::kDeadlockFree) {
+      EXPECT_TRUE(mono.deadlocks.empty());
+    }
+  }
+}
+
+TEST(DFinder, GcdInvariantProperty) {
+  // E13 (Fig 6.1): GCD(x, y) is preserved along every reachable state.
+  auto gcd = [](Value a, Value b) {
+    while (b != 0) {
+      const Value t = a % b;
+      a = b;
+      b = t;
+    }
+    return a;
+  };
+  const Value x0 = 36, y0 = 60;
+  const System sys = models::gcdSystem(x0, y0);
+  const LabeledGraph g = buildGraph(sys);
+  for (const GlobalState& s : g.states) {
+    EXPECT_EQ(gcd(s.components[0].vars[0], s.components[0].vars[1]), gcd(x0, y0));
+  }
+}
+
+TEST(Incremental, PhilosophersBuiltConnectorByConnector) {
+  const System full = models::philosophersAtomic(3);
+  System base;
+  for (const System::Instance& inst : full.instances()) {
+    base.addInstance(inst.name, inst.type);
+  }
+  IncrementalVerifier verifier(std::move(base));
+  IncrementalVerifier::StepResult last;
+  for (const Connector& c : full.connectors()) last = verifier.addConnector(c);
+  EXPECT_EQ(last.verdict, DFinderVerdict::kDeadlockFree);
+}
+
+TEST(Incremental, ReusesTrapsAcrossAdditions) {
+  const System full = models::philosophersAtomic(4);
+  System base;
+  for (const System::Instance& inst : full.instances()) {
+    base.addInstance(inst.name, inst.type);
+  }
+  IncrementalVerifier verifier(std::move(base));
+  std::size_t reuses = 0;
+  for (const Connector& c : full.connectors()) {
+    const auto step = verifier.addConnector(c);
+    reuses += step.trapsKept;
+  }
+  EXPECT_GT(reuses, 0u);
+}
+
+// Parameterized consistency sweep: D-Finder never returns kDeadlockFree
+// on a system whose exhaustive exploration has a deadlock.
+class DFinderSoundness : public ::testing::TestWithParam<int> {};
+
+TEST_P(DFinderSoundness, NeverCertifiesADeadlockedSystem) {
+  const int n = GetParam();
+  const System sys = models::philosophersTwoStep(n, /*counters=*/false);
+  const DFinderResult df = checkDeadlockFreedom(sys);
+  const ReachResult mono = explore(sys);
+  ASSERT_TRUE(mono.complete);
+  ASSERT_FALSE(mono.deadlocks.empty());
+  EXPECT_EQ(df.verdict, DFinderVerdict::kPotentialDeadlock);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DFinderSoundness, ::testing::Values(2, 3, 4, 5));
+
+}  // namespace
+}  // namespace cbip::verify
