@@ -60,49 +60,113 @@ bool maskSubset(InteractionMask a, InteractionMask b) {  // a strictly inside b
   return a != b && (a & b) == a;
 }
 
+/// Appends the enabled interactions of connector `ci` to `out` (the shared
+/// enumeration behind both the from-scratch scan and the incremental cache).
+void appendConnectorInteractions(const System& system, const GlobalState& state,
+                                 std::size_t ci, std::vector<EnabledInteraction>& out) {
+  const Connector& c = system.connector(ci);
+  // Per-end enabled transitions, computed once per connector.
+  std::vector<std::vector<int>> endEnabled(c.endCount());
+  for (std::size_t e = 0; e < c.endCount(); ++e) {
+    const PortRef& p = c.end(e).port;
+    const AtomicType& type = *system.instance(static_cast<std::size_t>(p.instance)).type;
+    endEnabled[e] = enabledTransitions(
+        type, state.components[static_cast<std::size_t>(p.instance)], p.port);
+  }
+  for (InteractionMask mask : c.feasibleMasks()) {
+    bool allEnabled = true;
+    for (std::size_t e = 0; e < c.endCount(); ++e) {
+      if ((mask & (InteractionMask{1} << e)) != 0 && endEnabled[e].empty()) {
+        allEnabled = false;
+        break;
+      }
+    }
+    if (!allEnabled) continue;
+    if (!c.guard().isTrue()) {
+      // The guard reads current exported values; it never writes.
+      auto& mutableState = const_cast<GlobalState&>(state);
+      std::vector<Value> noVars;
+      InteractionContext ctx(system, c, mutableState, noVars);
+      if (c.guard().eval(ctx) == 0) continue;
+    }
+    EnabledInteraction ei;
+    ei.connector = static_cast<int>(ci);
+    ei.mask = mask;
+    for (std::size_t e = 0; e < c.endCount(); ++e) {
+      if ((mask & (InteractionMask{1} << e)) == 0) continue;
+      ei.ends.push_back(static_cast<int>(e));
+      ei.choices.push_back(endEnabled[e]);
+    }
+    out.push_back(std::move(ei));
+  }
+}
+
 }  // namespace
 
 std::vector<EnabledInteraction> enabledInteractions(const System& system,
                                                     const GlobalState& state) {
   std::vector<EnabledInteraction> out;
   for (std::size_t ci = 0; ci < system.connectorCount(); ++ci) {
-    const Connector& c = system.connector(ci);
-    // Per-end enabled transitions, computed once per connector.
-    std::vector<std::vector<int>> endEnabled(c.endCount());
-    for (std::size_t e = 0; e < c.endCount(); ++e) {
-      const PortRef& p = c.end(e).port;
-      const AtomicType& type = *system.instance(static_cast<std::size_t>(p.instance)).type;
-      endEnabled[e] = enabledTransitions(
-          type, state.components[static_cast<std::size_t>(p.instance)], p.port);
-    }
-    for (InteractionMask mask : c.feasibleMasks()) {
-      bool allEnabled = true;
-      for (std::size_t e = 0; e < c.endCount(); ++e) {
-        if ((mask & (InteractionMask{1} << e)) != 0 && endEnabled[e].empty()) {
-          allEnabled = false;
-          break;
-        }
-      }
-      if (!allEnabled) continue;
-      if (!c.guard().isTrue()) {
-        // The guard reads current exported values; it never writes.
-        auto& mutableState = const_cast<GlobalState&>(state);
-        std::vector<Value> noVars;
-        InteractionContext ctx(system, c, mutableState, noVars);
-        if (c.guard().eval(ctx) == 0) continue;
-      }
-      EnabledInteraction ei;
-      ei.connector = static_cast<int>(ci);
-      ei.mask = mask;
-      for (std::size_t e = 0; e < c.endCount(); ++e) {
-        if ((mask & (InteractionMask{1} << e)) == 0) continue;
-        ei.ends.push_back(static_cast<int>(e));
-        ei.choices.push_back(endEnabled[e]);
-      }
-      out.push_back(std::move(ei));
-    }
+    appendConnectorInteractions(system, state, ci, out);
   }
   return out;
+}
+
+EnabledInteractionCache::EnabledInteractionCache(const System& system)
+    : system_(&system),
+      perConnector_(system.connectorCount()),
+      connectorQueued_(system.connectorCount(), 0) {
+  // Force the lazily-built reverse index now, while construction is still
+  // single-threaded; afterwards connectorsOf() is a pure read.
+  if (system.instanceCount() > 0) system.connectorsOf(0);
+}
+
+void EnabledInteractionCache::recomputeConnector(std::size_t ci, const GlobalState& state) {
+  perConnector_[ci].clear();
+  appendConnectorInteractions(*system_, state, ci, perConnector_[ci]);
+}
+
+void EnabledInteractionCache::reset(const GlobalState& state) {
+  for (std::size_t ci = 0; ci < perConnector_.size(); ++ci) recomputeConnector(ci, state);
+  flatStale_ = true;
+}
+
+void EnabledInteractionCache::update(const GlobalState& state,
+                                     std::span<const int> dirtyInstances) {
+  for (int inst : dirtyInstances) {
+    for (int ci : system_->connectorsOf(static_cast<std::size_t>(inst))) {
+      connectorQueued_[static_cast<std::size_t>(ci)] = 1;
+    }
+  }
+  for (int inst : dirtyInstances) {
+    for (int ci : system_->connectorsOf(static_cast<std::size_t>(inst))) {
+      auto& queued = connectorQueued_[static_cast<std::size_t>(ci)];
+      if (!queued) continue;  // already recomputed via an earlier instance
+      queued = 0;
+      recomputeConnector(static_cast<std::size_t>(ci), state);
+      flatStale_ = true;
+    }
+  }
+}
+
+void EnabledInteractionCache::updateAfterExecute(const GlobalState& state,
+                                                 const EnabledInteraction& executed) {
+  const Connector& c = system_->connector(static_cast<std::size_t>(executed.connector));
+  std::vector<int> dirty;
+  dirty.reserve(c.endCount());
+  for (const ConnectorEnd& e : c.ends()) dirty.push_back(e.port.instance);
+  update(state, dirty);
+}
+
+const std::vector<EnabledInteraction>& EnabledInteractionCache::enabled() const {
+  if (flatStale_) {
+    flat_.clear();
+    for (const std::vector<EnabledInteraction>& list : perConnector_) {
+      flat_.insert(flat_.end(), list.begin(), list.end());
+    }
+    flatStale_ = false;
+  }
+  return flat_;
 }
 
 std::vector<EnabledInteraction> applyPriorities(const System& system, const GlobalState& state,

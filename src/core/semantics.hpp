@@ -27,11 +27,63 @@ struct EnabledInteraction {
   std::vector<std::vector<int>> choices;
   /// Participating end positions, ascending (parallel to `choices`).
   std::vector<int> ends;
+
+  friend bool operator==(const EnabledInteraction&, const EnabledInteraction&) = default;
 };
 
 /// All enabled interactions of `system` in `state` (before priorities).
 std::vector<EnabledInteraction> enabledInteractions(const System& system,
                                                     const GlobalState& state);
+
+/// Incrementally maintained enabled-interaction set.
+///
+/// A connector's enabledness depends only on the components attached to
+/// its ends (guards and up/down expressions are validated to reference end
+/// scopes exclusively), so after an interaction executes, only connectors
+/// sharing an instance with the executed connector can change status. The
+/// cache keeps a per-connector interaction list and, via the System's
+/// component->connector reverse index (`System::connectorsOf`), re-derives
+/// only the connectors touching instances dirtied by the last step. On a
+/// system with n connectors of bounded degree this turns the per-step
+/// enablement recomputation from O(n) connector scans into O(degree);
+/// flattening the result in `enabled()` remains O(currently enabled
+/// interactions), which is what bounds the end-to-end speedup.
+///
+/// `enabled()` is ordering-identical to `enabledInteractions()` — the
+/// engines' scheduling decisions (and hence traces) are unchanged.
+class EnabledInteractionCache {
+ public:
+  /// The system must outlive the cache; its connectors must not change
+  /// while the cache is live.
+  explicit EnabledInteractionCache(const System& system);
+
+  /// Full recompute of every connector from `state`.
+  void reset(const GlobalState& state);
+
+  /// Re-derives only the connectors attached to `dirtyInstances`
+  /// (duplicates allowed). `state` must be the current global state.
+  void update(const GlobalState& state, std::span<const int> dirtyInstances);
+
+  /// Marks every instance on the executed interaction's connector dirty
+  /// and updates: `execute` only mutates participating components, which
+  /// are a subset of that connector's ends.
+  void updateAfterExecute(const GlobalState& state, const EnabledInteraction& executed);
+
+  /// Current enabled set, connector-ascending — element-wise equal to
+  /// `enabledInteractions(system, state)` for the last reset/update state.
+  const std::vector<EnabledInteraction>& enabled() const;
+
+  bool empty() const { return enabled().empty(); }
+
+ private:
+  void recomputeConnector(std::size_t ci, const GlobalState& state);
+
+  const System* system_;
+  std::vector<std::vector<EnabledInteraction>> perConnector_;
+  std::vector<char> connectorQueued_;  // scratch: dedup within one update
+  mutable std::vector<EnabledInteraction> flat_;
+  mutable bool flatStale_ = true;
+};
 
 /// Applies priority rules and (if enabled) maximal progress; keeps the
 /// maximal elements. Never empties a non-empty set.

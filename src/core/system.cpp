@@ -9,12 +9,38 @@ namespace cbip {
 int System::addInstance(const std::string& name, AtomicTypePtr type) {
   require(type != nullptr, "System::addInstance: null type");
   instances_.push_back(Instance{name, std::move(type)});
+  connectorsByInstance_.clear();
   return static_cast<int>(instances_.size()) - 1;
 }
 
 int System::addConnector(Connector connector) {
   connectors_.push_back(std::move(connector));
+  connectorsByInstance_.clear();
   return static_cast<int>(connectors_.size()) - 1;
+}
+
+void System::rebuildReverseIndexIfNeeded() const {
+  if (!connectorsByInstance_.empty() || instances_.empty()) return;
+  connectorsByInstance_.resize(instances_.size());
+  for (std::size_t ci = 0; ci < connectors_.size(); ++ci) {
+    for (const ConnectorEnd& e : connectors_[ci].ends()) {
+      const auto inst = static_cast<std::size_t>(e.port.instance);
+      require(inst < instances_.size(), "connector '" + connectors_[ci].name() +
+                                            "': instance index out of range");
+      std::vector<int>& list = connectorsByInstance_[inst];
+      // Ends of one connector are on distinct instances (validated), so a
+      // duplicate can only come from the previous connector index.
+      if (list.empty() || list.back() != static_cast<int>(ci)) {
+        list.push_back(static_cast<int>(ci));
+      }
+    }
+  }
+}
+
+const std::vector<int>& System::connectorsOf(std::size_t i) const {
+  require(i < instances_.size(), "System::connectorsOf: instance index out of range");
+  rebuildReverseIndexIfNeeded();
+  return connectorsByInstance_[i];
 }
 
 void System::addPriority(PriorityRule rule) { priorities_.push_back(std::move(rule)); }

@@ -46,6 +46,11 @@ class System {
   const std::vector<PriorityRule>& priorities() const { return priorities_; }
   bool maximalProgress() const { return maximalProgress_; }
 
+  /// Connector indices with at least one end on instance `i` (ascending).
+  /// Reverse index over the connector ends; rebuilt lazily after
+  /// construction calls, so it is cheap to query every engine step.
+  const std::vector<int>& connectorsOf(std::size_t i) const;
+
   /// Index of the instance with the given name; throws if unknown.
   int instanceIndex(const std::string& name) const;
   /// PortRef for "instance.port" names; throws if unknown.
@@ -57,10 +62,15 @@ class System {
   std::vector<std::string> endLabels(const Connector& c) const;
 
  private:
+  void rebuildReverseIndexIfNeeded() const;
+
   std::vector<Instance> instances_;
   std::vector<Connector> connectors_;
   std::vector<PriorityRule> priorities_;
   bool maximalProgress_ = false;
+
+  // instance -> connector indices; cleared by addInstance/addConnector.
+  mutable std::vector<std::vector<int>> connectorsByInstance_;
 };
 
 /// Global state: one AtomicState per instance, by index.

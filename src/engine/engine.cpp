@@ -37,18 +37,39 @@ RunResult SequentialEngine::run(GlobalState start, const RunOptions& options) {
   for (std::size_t i = 0; i < system_->instanceCount(); ++i) {
     runInternal(*system_->instance(i).type, result.finalState.components[i]);
   }
+  std::optional<EnabledInteractionCache> cache;
+  if (options.incrementalCache) {
+    cache.emplace(*system_);
+    cache->reset(result.finalState);
+  }
+  const bool mustFilter = system_->maximalProgress() || !system_->priorities().empty();
   for (std::uint64_t step = 0; step < options.maxSteps; ++step) {
-    std::vector<EnabledInteraction> enabled =
-        enabledInteractions(*system_, result.finalState);
-    if (enabled.empty()) {
+    // Without priority filtering the cached set is used in place; only the
+    // filtering path needs a mutable copy.
+    std::vector<EnabledInteraction> scratch;
+    const std::vector<EnabledInteraction>* enabled;
+    if (cache) {
+      enabled = &cache->enabled();
+    } else {
+      scratch = enabledInteractions(*system_, result.finalState);
+      enabled = &scratch;
+    }
+    if (enabled->empty()) {
       result.reason = StopReason::kDeadlock;
       return result;
     }
-    enabled = applyPriorities(*system_, result.finalState, std::move(enabled));
-    const auto [idx, choice] = policy_->pick(*system_, result.finalState, enabled);
-    require(idx < enabled.size(), "SchedulingPolicy returned out-of-range interaction");
-    const EnabledInteraction& ei = enabled[idx];
+    if (mustFilter) {
+      scratch = applyPriorities(*system_, result.finalState,
+                                cache ? *enabled : std::move(scratch));
+      enabled = &scratch;
+    }
+    const auto [idx, choice] = policy_->pick(*system_, result.finalState, *enabled);
+    require(idx < enabled->size(), "SchedulingPolicy returned out-of-range interaction");
+    // Owned copy: `*enabled` may point into the cache, which is updated
+    // below while `ei` is still needed for the trace record.
+    const EnabledInteraction ei = (*enabled)[idx];
     execute(*system_, result.finalState, ei, choice);
+    if (cache) cache->updateAfterExecute(result.finalState, ei);
     ++result.steps;
     if (options.recordTrace) {
       result.trace.events.push_back(TraceEvent{

@@ -12,9 +12,11 @@
 //     talk to each other directly).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/semantics.hpp"
@@ -69,6 +71,11 @@ struct RunResult {
 struct RunOptions {
   std::uint64_t maxSteps = 1000;
   bool recordTrace = true;
+  /// Maintain the enabled set incrementally (dirty-set cache over the
+  /// component->connector reverse index) instead of rescanning every
+  /// connector each step. Identical traces either way; off is only useful
+  /// as the baseline in benchmarks.
+  bool incrementalCache = true;
   /// Optional stop predicate checked after every step.
   std::function<bool(const GlobalState&)> stopWhen;
 };

@@ -181,10 +181,18 @@ RunResult MultiThreadEngine::run(const MtOptions& options) {
   snapshot.components.resize(n);
   for (std::size_t i = 0; i < n; ++i) snapshot.components[i] = workers[i]->snapshot();
 
+  std::optional<EnabledInteractionCache> cache;
+  if (options.incrementalCache) {
+    cache.emplace(system);
+    cache->reset(snapshot);
+  }
+
   std::uint64_t executed = 0;
   result.reason = StopReason::kStepLimit;
   while (executed < options.maxSteps) {
-    std::vector<EnabledInteraction> enabled = enabledInteractions(system, snapshot);
+    // Batch selection consumes the vector, so the cached set is copied.
+    std::vector<EnabledInteraction> enabled =
+        cache ? cache->enabled() : enabledInteractions(system, snapshot);
     if (enabled.empty()) {
       result.reason = StopReason::kDeadlock;
       break;
@@ -249,6 +257,8 @@ RunResult MultiThreadEngine::run(const MtOptions& options) {
       snapshot.components[static_cast<std::size_t>(inst)] =
           workers[static_cast<std::size_t>(inst)]->snapshot();
     }
+    // Only the dispatched instances changed, so they are the dirty set.
+    if (cache) cache->update(snapshot, dispatched);
   }
 
   for (auto& w : workers) w->stop();

@@ -27,9 +27,11 @@
 // size — experiment E2 measures exactly that.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/system.hpp"

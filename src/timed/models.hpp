@@ -11,6 +11,8 @@
 //     fixed-priority-schedulability shape used in the timed benchmarks.
 #pragma once
 
+#include <vector>
+
 #include "timed/timed.hpp"
 
 namespace cbip::timed {
