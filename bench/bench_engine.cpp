@@ -13,6 +13,7 @@
 
 #include "engine/engine.hpp"
 #include "engine/engine_mt.hpp"
+#include "expr/compile.hpp"
 #include "models/models.hpp"
 
 namespace {
@@ -79,6 +80,65 @@ void BM_MultiThreadEngine(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 500);
 }
 BENCHMARK(BM_MultiThreadEngine)->Arg(0)->Arg(20000)->Arg(100000)->Unit(benchmark::kMillisecond);
+
+/// Guard/action-heavy workload: n counter pairs whose every transition
+/// carries a non-trivial guard and a three-assignment action block, so the
+/// per-step cost is dominated by data-sublanguage evaluation.
+System dataHeavyPairs(int pairs) {
+  System sys;
+  auto t = std::make_shared<AtomicType>("D");
+  const int l = t->addLocation("l");
+  const int x = t->addVariable("x", 1);
+  const int acc = t->addVariable("acc", 0);
+  const int n = t->addVariable("n", 0);
+  const int p = t->addPort("p", {x});
+  t->addTransition(
+      l, p,
+      Expr::local(x) + Expr::local(acc) < Expr::lit(1'000'000) &&
+          Expr::local(n) % Expr::lit(7) != Expr::lit(3),
+      {expr::Assign{expr::VarRef{0, acc},
+                    (Expr::local(acc) * Expr::lit(3) + Expr::local(x)) % Expr::lit(257)},
+       expr::Assign{expr::VarRef{0, x},
+                    Expr::max(Expr::local(x), Expr::abs(Expr::local(acc) - Expr::local(n)))},
+       expr::Assign{expr::VarRef{0, n}, Expr::local(n) + Expr::lit(1)}},
+      l);
+  // A fallback transition keeps the system live when the first guard
+  // flips off (n % 7 == 3).
+  t->addTransition(l, p, Expr::top(),
+                   {expr::Assign{expr::VarRef{0, n}, Expr::local(n) + Expr::lit(1)}}, l);
+  t->setInitialLocation(l);
+  for (int i = 0; i < pairs; ++i) {
+    const int a = sys.addInstance("a" + std::to_string(i), t);
+    const int b = sys.addInstance("b" + std::to_string(i), t);
+    Connector c("sync" + std::to_string(i));
+    const int ea = c.addSynchron(PortRef{a, 0});
+    const int eb = c.addSynchron(PortRef{b, 0});
+    c.setGuard(Expr::var(ea, 0) + Expr::var(eb, 0) > Expr::lit(0));
+    sys.addConnector(std::move(c));
+  }
+  sys.validate();
+  return sys;
+}
+
+/// Engine-step cost with the bytecode evaluator (arg 1) vs the
+/// tree-walking interpreter escape hatch (arg 0); identical traces.
+void BM_SequentialEngineCompiledVsInterpreted(benchmark::State& state) {
+  const System sys = dataHeavyPairs(8);
+  const bool compiled = state.range(0) != 0;
+  const bool saved = expr::compilationEnabled();
+  expr::setCompilationEnabled(compiled);
+  RandomPolicy policy(3);
+  for (auto _ : state) {
+    SequentialEngine engine(sys, policy);
+    RunOptions opt;
+    opt.maxSteps = 500;
+    opt.recordTrace = false;
+    benchmark::DoNotOptimize(engine.run(opt));
+  }
+  expr::setCompilationEnabled(saved);
+  state.SetItemsProcessed(state.iterations() * 500);
+}
+BENCHMARK(BM_SequentialEngineCompiledVsInterpreted)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 void BM_MultiThreadConflicting(benchmark::State& state) {
   // Philosophers: neighbouring interactions conflict, batches shrink.

@@ -1,6 +1,7 @@
 #include "core/atomic.hpp"
 
 #include <algorithm>
+#include <mutex>
 
 #include "util/require.hpp"
 
@@ -26,6 +27,8 @@ void AtomicType::addTransition(int from, int port, Expr guard,
                                std::vector<expr::Assign> actions, int to) {
   transitions_.push_back(Transition{from, port, std::move(guard), std::move(actions), to});
   bySource_.clear();
+  compiled_.clear();
+  compiledBuilt_.store(false, std::memory_order_relaxed);
 }
 
 void AtomicType::setInitialLocation(int loc) {
@@ -39,9 +42,15 @@ void AtomicType::validate() const {
   require(initial_ >= 0 && static_cast<std::size_t>(initial_) < locations_.size(),
           name_ + ": initial location out of range");
   for (const PortDecl& p : ports_) {
-    for (int v : p.exports) {
-      require(v >= 0 && static_cast<std::size_t>(v) < variables_.size(),
+    for (std::size_t a = 0; a < p.exports.size(); ++a) {
+      require(p.exports[a] >= 0 && static_cast<std::size_t>(p.exports[a]) < variables_.size(),
               name_ + "." + p.name + ": exported variable index out of range");
+      // Distinct exports keep connector frame slots alias-free: a down
+      // write to one slot must never be observable through another.
+      for (std::size_t b = a + 1; b < p.exports.size(); ++b) {
+        require(p.exports[a] != p.exports[b],
+                name_ + "." + p.name + ": variable exported twice through one port");
+      }
     }
   }
   auto checkLocal = [this](const Expr& e, const std::string& where) {
@@ -84,6 +93,52 @@ void AtomicType::validate() const {
   checkUnique([this](std::size_t i) { return variables_[i].name; }, variables_.size(),
               "variable");
   checkUnique([this](std::size_t i) { return ports_[i].name; }, ports_.size(), "port");
+  // Lower all transitions now: validation runs before any concurrent
+  // execution, so the lazily-built cache is ready before worker threads
+  // start reading it. With compilation disabled nothing is lowered at all
+  // — the escape hatch must survive even a throwing compiler bug.
+  if (expr::compilationEnabled()) compileIfNeeded();
+}
+
+void AtomicType::compileIfNeeded() const {
+  if (compiledBuilt_.load(std::memory_order_acquire)) return;
+  // Shared types may hit first-use from several threads (e.g. sibling
+  // engines validating concurrently); only one performs the build.
+  static std::mutex buildMutex;
+  const std::scoped_lock lock(buildMutex);
+  if (compiledBuilt_.load(std::memory_order_relaxed)) return;
+  // Range-check every reference while lowering: the compiled evaluators
+  // index the variable vector without per-access checks, so out-of-range
+  // references must die here (the interpreter raises EvalError at
+  // evaluation time instead).
+  const expr::SlotMap slots = [this](expr::VarRef r) {
+    require(r.scope == 0, name_ + ": non-local variable scope in compiled expression");
+    require(r.index >= 0 && static_cast<std::size_t>(r.index) < variables_.size(),
+            name_ + ": variable index out of range in compiled expression");
+    return r.index;
+  };
+  compiled_.clear();
+  compiled_.reserve(transitions_.size());
+  for (const Transition& t : transitions_) {
+    CompiledTransition ct;
+    if (!t.guard.isTrue()) ct.guard = expr::compile(t.guard, slots);
+    ct.actions.reserve(t.actions.size());
+    for (const expr::Assign& a : t.actions) {
+      require(a.target.scope == 0 && a.target.index >= 0 &&
+                  static_cast<std::size_t>(a.target.index) < variables_.size(),
+              name_ + ": action target out of range in compiled expression");
+      ct.actions.push_back(CompiledTransition::Action{a.target.index, expr::compile(a.value, slots)});
+    }
+    compiled_.push_back(std::move(ct));
+  }
+  compiledBuilt_.store(true, std::memory_order_release);
+}
+
+const CompiledTransition& AtomicType::compiledTransition(int i) const {
+  compileIfNeeded();
+  require(i >= 0 && static_cast<std::size_t>(i) < compiled_.size(),
+          name_ + ": transition index out of range");
+  return compiled_[static_cast<std::size_t>(i)];
 }
 
 const std::string& AtomicType::locationName(int i) const {
@@ -189,6 +244,19 @@ AtomicState initialState(const AtomicType& type) {
   return s;
 }
 
+bool guardHolds(const AtomicType& type, const AtomicState& state, int ti) {
+  const Transition& t = type.transition(ti);
+  if (t.guard.isTrue()) return true;
+  if (expr::compilationEnabled()) {
+    // Programs are range-checked against the type's variable table at
+    // lowering time; the frame only needs to cover that table.
+    requireEval(state.vars.size() >= type.variableCount(),
+                type.name() + ": state has fewer variables than the type");
+    return type.compiledTransition(ti).guard.run(state.vars) != 0;
+  }
+  return guardHolds(type, state, t);
+}
+
 bool guardHolds(const AtomicType&, const AtomicState& state, const Transition& t) {
   if (t.guard.isTrue()) return true;
   auto& vars = const_cast<std::vector<Value>&>(state.vars);
@@ -199,16 +267,34 @@ bool guardHolds(const AtomicType&, const AtomicState& state, const Transition& t
 std::vector<int> enabledTransitions(const AtomicType& type, const AtomicState& state, int port) {
   std::vector<int> out;
   for (int ti : type.transitionsFrom(state.location, port)) {
-    if (guardHolds(type, state, type.transition(ti))) out.push_back(ti);
+    if (guardHolds(type, state, ti)) out.push_back(ti);
   }
   return out;
 }
 
 bool portEnabled(const AtomicType& type, const AtomicState& state, int port) {
   for (int ti : type.transitionsFrom(state.location, port)) {
-    if (guardHolds(type, state, type.transition(ti))) return true;
+    if (guardHolds(type, state, ti)) return true;
   }
   return false;
+}
+
+void fire(const AtomicType& type, AtomicState& state, int ti) {
+  const Transition& t = type.transition(ti);
+  if (!expr::compilationEnabled()) {
+    fire(type, state, t);
+    return;
+  }
+  require(t.from == state.location, type.name() + ": firing transition from wrong location");
+  requireEval(state.vars.size() >= type.variableCount(),
+              type.name() + ": state has fewer variables than the type");
+  const CompiledTransition& ct = type.compiledTransition(ti);
+  // Sequential assignment semantics: each action sees earlier writes
+  // because the frame *is* the live variable vector.
+  for (const CompiledTransition::Action& a : ct.actions) {
+    state.vars[static_cast<std::size_t>(a.target)] = a.value.run(state.vars);
+  }
+  state.location = t.to;
 }
 
 void fire(const AtomicType& type, AtomicState& state, const Transition& t) {
@@ -222,7 +308,7 @@ void runInternal(const AtomicType& type, AtomicState& state, int maxSteps) {
   for (int step = 0; step < maxSteps; ++step) {
     const std::vector<int> enabled = enabledTransitions(type, state, kInternalPort);
     if (enabled.empty()) return;
-    fire(type, state, type.transition(enabled.front()));
+    fire(type, state, enabled.front());
   }
   throw EvalError(type.name() + ": internal transitions diverge (> " +
                   std::to_string(maxSteps) + " tau steps)");

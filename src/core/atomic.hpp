@@ -14,11 +14,13 @@
 // the engines and the verifier); AtomicState is the mutable runtime state.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "expr/compile.hpp"
 #include "expr/expr.hpp"
 
 namespace cbip {
@@ -47,6 +49,19 @@ struct Transition {
   Expr guard = Expr::top();  // over local variables (scope 0)
   std::vector<expr::Assign> actions;
   int to = 0;
+};
+
+/// Bytecode form of one transition, evaluated directly against the
+/// component's variable vector (frame slot = variable index). The symbolic
+/// Transition stays authoritative for the verifier; this is the execution
+/// form (see expr/compile.hpp).
+struct CompiledTransition {
+  expr::ExprProgram guard;  // empty when the guard is trivially true
+  struct Action {
+    int target = 0;
+    expr::ExprProgram value;
+  };
+  std::vector<Action> actions;
 };
 
 /// Immutable description of an atomic component type. Build with the
@@ -95,8 +110,15 @@ class AtomicType {
   /// Transitions leaving `location` labelled by `port`.
   const std::vector<int>& transitionsFrom(int location, int port) const;
 
+  /// Bytecode form of transition `i`. All transitions are lowered on first
+  /// use; `validate()` forces the build so that construction-time callers
+  /// (System::validate, the engine constructors) finish it while still
+  /// single-threaded and worker threads only ever read.
+  const CompiledTransition& compiledTransition(int i) const;
+
  private:
   void rebuildIndexIfNeeded() const;
+  void compileIfNeeded() const;
 
   std::string name_;
   std::vector<std::string> locations_;
@@ -108,6 +130,14 @@ class AtomicType {
   // location -> (port+1) -> transition indices; slot 0 holds internal
   // transitions. Rebuilt lazily; cleared whenever a transition is added.
   mutable std::vector<std::vector<std::vector<int>>> bySource_;
+
+  // Bytecode per transition; invalidated whenever a transition is added.
+  // Types are shared across Systems (AtomicTypePtr), so the lazy build is
+  // mutex-guarded and published through the atomic flag — concurrent
+  // first-use from two threads is safe. (The atomic member makes the type
+  // non-copyable; types are always held by shared_ptr.)
+  mutable std::vector<CompiledTransition> compiled_;
+  mutable std::atomic<bool> compiledBuilt_{false};
 };
 
 using AtomicTypePtr = std::shared_ptr<const AtomicType>;
@@ -123,7 +153,13 @@ struct AtomicState {
 /// Initial state of a component type (initial location, initial values).
 AtomicState initialState(const AtomicType& type);
 
-/// True iff `t`'s guard holds in `state` (does not check location).
+/// True iff transition `ti`'s guard holds in `state` (does not check the
+/// location). Evaluates the compiled guard program unless compilation is
+/// disabled (expr::compilationEnabled()).
+bool guardHolds(const AtomicType& type, const AtomicState& state, int ti);
+
+/// Interpreted variant for callers holding a Transition that may not
+/// belong to `type`'s transition table (cold paths only).
 bool guardHolds(const AtomicType& type, const AtomicState& state, const Transition& t);
 
 /// Indices of enabled transitions from `state` labelled by `port`.
@@ -132,7 +168,11 @@ std::vector<int> enabledTransitions(const AtomicType& type, const AtomicState& s
 /// True iff some transition labelled `port` is enabled in `state`.
 bool portEnabled(const AtomicType& type, const AtomicState& state, int port);
 
-/// Fires transition `t` (assumed enabled): runs actions, moves location.
+/// Fires transition `ti` (assumed enabled): runs actions (compiled unless
+/// disabled), moves location.
+void fire(const AtomicType& type, AtomicState& state, int ti);
+
+/// Interpreted variant (see the guardHolds overloads).
 void fire(const AtomicType& type, AtomicState& state, const Transition& t);
 
 /// Runs enabled internal (tau) transitions to quiescence, choosing the

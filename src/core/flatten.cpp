@@ -291,7 +291,7 @@ std::string step(const FusedComponent& fused, AtomicState& state, Rng& rng) {
   if (enabled.empty()) return {};
   const int pick = enabled[rng.index(enabled.size())];
   const Transition& t = type.transition(pick);
-  fire(type, state, t);
+  fire(type, state, pick);
   runInternal(type, state);
   return fused.portLabels[static_cast<std::size_t>(t.port)];
 }

@@ -1,6 +1,7 @@
 #include "core/semantics.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "util/require.hpp"
 
@@ -73,6 +74,29 @@ void appendConnectorInteractions(const System& system, const GlobalState& state,
     endEnabled[e] = enabledTransitions(
         type, state.components[static_cast<std::size_t>(p.instance)], p.port);
   }
+  // The guard is pure over the current state, so its value is shared by
+  // every mask; evaluate lazily (only when some mask is port-enabled, as
+  // the interpreter would) and at most once per scan.
+  std::optional<bool> guardOk;
+  const auto guardHolds = [&]() {
+    if (!guardOk.has_value()) {
+      if (expr::compilationEnabled()) {
+        const CompiledConnector& cc = system.compiled().connector(ci);
+        // Scratch reused across calls: guard checks dominate the connector
+        // scan and must not allocate per interaction.
+        static thread_local std::vector<Value> frame;
+        frame.resize(cc.frameSize());
+        cc.gather(state, frame);
+        guardOk = cc.evalGuard(frame) != 0;
+      } else {
+        auto& mutableState = const_cast<GlobalState&>(state);
+        std::vector<Value> noVars;
+        InteractionContext ctx(system, c, mutableState, noVars);
+        guardOk = c.guard().eval(ctx) != 0;
+      }
+    }
+    return *guardOk;
+  };
   for (InteractionMask mask : c.feasibleMasks()) {
     bool allEnabled = true;
     for (std::size_t e = 0; e < c.endCount(); ++e) {
@@ -82,13 +106,7 @@ void appendConnectorInteractions(const System& system, const GlobalState& state,
       }
     }
     if (!allEnabled) continue;
-    if (!c.guard().isTrue()) {
-      // The guard reads current exported values; it never writes.
-      auto& mutableState = const_cast<GlobalState&>(state);
-      std::vector<Value> noVars;
-      InteractionContext ctx(system, c, mutableState, noVars);
-      if (c.guard().eval(ctx) == 0) continue;
-    }
+    if (!c.guard().isTrue() && !guardHolds()) continue;
     EnabledInteraction ei;
     ei.connector = static_cast<int>(ci);
     ei.mask = mask;
@@ -223,13 +241,20 @@ std::size_t choiceCount(const EnabledInteraction& interaction) {
   return n;
 }
 
-void execute(const System& system, GlobalState& state, const EnabledInteraction& interaction,
-             std::span<const int> transitionChoice) {
+void connectorTransfer(const System& system, GlobalState& state,
+                       const EnabledInteraction& interaction) {
   const Connector& c = system.connector(static_cast<std::size_t>(interaction.connector));
-  require(transitionChoice.size() == interaction.ends.size(),
-          "execute: transition choice arity mismatch");
-
-  // Data transfer: up then down (down only to participating ends).
+  if (expr::compilationEnabled()) {
+    const CompiledConnector& cc = system.compiled().connector(
+        static_cast<std::size_t>(interaction.connector));
+    if (!cc.hasTransfer()) return;
+    static thread_local std::vector<Value> frame;
+    frame.resize(cc.frameSize());
+    cc.gather(state, frame);
+    cc.transfer(state, frame, interaction.mask);
+    return;
+  }
+  // Interpreted fallback: up then down (down only to participating ends).
   std::vector<Value> connectorVars(c.variableCount(), 0);
   InteractionContext ctx(system, c, state, connectorVars);
   expr::applyAssignments(c.ups(), ctx);
@@ -240,6 +265,15 @@ void execute(const System& system, GlobalState& state, const EnabledInteraction&
     const Value v = d.value.eval(ctx);
     ctx.write(expr::VarRef{d.end, d.exportIndex}, v);
   }
+}
+
+void execute(const System& system, GlobalState& state, const EnabledInteraction& interaction,
+             std::span<const int> transitionChoice) {
+  const Connector& c = system.connector(static_cast<std::size_t>(interaction.connector));
+  require(transitionChoice.size() == interaction.ends.size(),
+          "execute: transition choice arity mismatch");
+
+  connectorTransfer(system, state, interaction);
 
   // Fire one enabled transition per participant, then run tau steps.
   for (std::size_t k = 0; k < interaction.ends.size(); ++k) {
@@ -251,7 +285,7 @@ void execute(const System& system, GlobalState& state, const EnabledInteraction&
     const int pick = transitionChoice[k];
     require(pick >= 0 && static_cast<std::size_t>(pick) < options.size(),
             "execute: transition choice out of range");
-    fire(type, comp, type.transition(options[static_cast<std::size_t>(pick)]));
+    fire(type, comp, options[static_cast<std::size_t>(pick)]);
   }
   for (std::size_t k = 0; k < interaction.ends.size(); ++k) {
     const ConnectorEnd& end = c.end(static_cast<std::size_t>(interaction.ends[k]));

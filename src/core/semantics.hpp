@@ -98,6 +98,13 @@ std::vector<EnabledInteraction> applyPriorities(const System& system, const Glob
 void execute(const System& system, GlobalState& state, const EnabledInteraction& interaction,
              std::span<const int> transitionChoice);
 
+/// Runs only the connector up/down data transfer of `interaction` on
+/// `state` (compiled programs unless expr::compilationEnabled() is off).
+/// The multithreaded engine performs this step centrally on its snapshot
+/// before dispatching transitions to component workers.
+void connectorTransfer(const System& system, GlobalState& state,
+                       const EnabledInteraction& interaction);
+
 /// Executes with the first enabled transition for every participant.
 void executeDefault(const System& system, GlobalState& state,
                     const EnabledInteraction& interaction);

@@ -1,5 +1,6 @@
 #include "core/system.hpp"
 
+#include <mutex>
 #include <sstream>
 
 #include "util/require.hpp"
@@ -10,13 +11,27 @@ int System::addInstance(const std::string& name, AtomicTypePtr type) {
   require(type != nullptr, "System::addInstance: null type");
   instances_.push_back(Instance{name, std::move(type)});
   connectorsByInstance_.clear();
+  compiledPub_.store(nullptr, std::memory_order_relaxed);
+  compiled_.reset();
   return static_cast<int>(instances_.size()) - 1;
 }
 
 int System::addConnector(Connector connector) {
   connectors_.push_back(std::move(connector));
   connectorsByInstance_.clear();
+  compiledPub_.store(nullptr, std::memory_order_relaxed);
+  compiled_.reset();
   return static_cast<int>(connectors_.size()) - 1;
+}
+
+const CompiledSystem& System::compiled() const {
+  // Hot path: already built and published.
+  if (const CompiledSystem* p = compiledPub_.load(std::memory_order_acquire)) return *p;
+  static std::mutex buildMutex;
+  const std::scoped_lock lock(buildMutex);
+  if (!compiled_) compiled_ = std::make_unique<CompiledSystem>(*this);
+  compiledPub_.store(compiled_.get(), std::memory_order_release);
+  return *compiled_;
 }
 
 void System::rebuildReverseIndexIfNeeded() const {

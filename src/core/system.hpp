@@ -4,12 +4,14 @@
 // glue, Section 5.3.2.)
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/atomic.hpp"
+#include "core/compiled.hpp"
 #include "core/connector.hpp"
 #include "core/priority.hpp"
 
@@ -21,6 +23,43 @@ class System {
     std::string name;
     AtomicTypePtr type;
   };
+
+  System() = default;
+  // Copies carry the model, not the derived caches (reverse index,
+  // compiled programs); both rebuild lazily. Moves carry everything (the
+  // atomic publication pointer forces the member-wise spelling).
+  System(const System& other)
+      : instances_(other.instances_),
+        connectors_(other.connectors_),
+        priorities_(other.priorities_),
+        maximalProgress_(other.maximalProgress_) {}
+  System& operator=(const System& other) {
+    if (this != &other) *this = System(other);
+    return *this;
+  }
+  System(System&& other) noexcept
+      : instances_(std::move(other.instances_)),
+        connectors_(std::move(other.connectors_)),
+        priorities_(std::move(other.priorities_)),
+        maximalProgress_(other.maximalProgress_),
+        connectorsByInstance_(std::move(other.connectorsByInstance_)),
+        compiled_(std::move(other.compiled_)) {
+    compiledPub_.store(compiled_.get(), std::memory_order_relaxed);
+    other.compiledPub_.store(nullptr, std::memory_order_relaxed);
+  }
+  System& operator=(System&& other) noexcept {
+    if (this != &other) {
+      instances_ = std::move(other.instances_);
+      connectors_ = std::move(other.connectors_);
+      priorities_ = std::move(other.priorities_);
+      maximalProgress_ = other.maximalProgress_;
+      connectorsByInstance_ = std::move(other.connectorsByInstance_);
+      compiled_ = std::move(other.compiled_);
+      compiledPub_.store(compiled_.get(), std::memory_order_relaxed);
+      other.compiledPub_.store(nullptr, std::memory_order_relaxed);
+    }
+    return *this;
+  }
 
   // ---- construction ----
   /// Adds an instance; returns its index.
@@ -51,6 +90,11 @@ class System {
   /// construction calls, so it is cheap to query every engine step.
   const std::vector<int>& connectorsOf(std::size_t i) const;
 
+  /// Bytecode form of every connector, built lazily once per System
+  /// revision (invalidated by addInstance/addConnector). The engines force
+  /// the build at construction time; afterwards this is a pure read.
+  const CompiledSystem& compiled() const;
+
   /// Index of the instance with the given name; throws if unknown.
   int instanceIndex(const std::string& name) const;
   /// PortRef for "instance.port" names; throws if unknown.
@@ -71,6 +115,13 @@ class System {
 
   // instance -> connector indices; cleared by addInstance/addConnector.
   mutable std::vector<std::vector<int>> connectorsByInstance_;
+
+  // Compiled connector programs; cleared by addInstance/addConnector.
+  // Built under a mutex and published through the atomic pointer, so
+  // concurrent first-use (e.g. sibling engines constructed over one
+  // shared System from two threads) is safe.
+  mutable std::unique_ptr<CompiledSystem> compiled_;
+  mutable std::atomic<const CompiledSystem*> compiledPub_{nullptr};
 };
 
 /// Global state: one AtomicState per instance, by index.

@@ -117,7 +117,7 @@ class ComponentNode final : public net::Node {
     for (const auto& [var, value] : e.writes) {
       state_.vars[static_cast<std::size_t>(var)] = value;
     }
-    fire(type(), state_, type().transition(e.transition));
+    fire(type(), state_, e.transition);
     runInternal(type(), state_);
     ++count_;
     sendOffer(ctx);
@@ -834,7 +834,7 @@ class NaiveNode final : public net::Node {
     const Connector& c = system_->connector(static_cast<std::size_t>(connector));
     for (const ConnectorEnd& e : c.ends()) {
       if (e.port.instance != instance_) continue;
-      fire(type(), state_, type().transition(firstEnabled(e.port.port)));
+      fire(type(), state_, firstEnabled(e.port.port));
       runInternal(type(), state_);
     }
   }

@@ -24,6 +24,11 @@ std::pair<std::size_t, std::vector<int>> FirstPolicy::pick(
 SequentialEngine::SequentialEngine(const System& system, SchedulingPolicy& policy)
     : system_(&system), policy_(&policy) {
   system.validate();
+  // Lower every connector program now so the run loop never pays the
+  // (one-time) compilation cost mid-measurement. Skipped entirely when the
+  // interpreter escape hatch is active: that path must not depend on the
+  // compiler even building.
+  if (expr::compilationEnabled()) (void)system.compiled();
 }
 
 RunResult SequentialEngine::run(const RunOptions& options) {

@@ -72,7 +72,7 @@ class Worker {
       }
       // Execute outside the lock: this is the parallel section.
       work.vars = std::move(cmd.varsAfterDown);
-      fire(*type_, work, type_->transition(cmd.transition));
+      fire(*type_, work, cmd.transition);
       runInternal(*type_, work);
       spin();
       {
@@ -99,43 +99,6 @@ class Worker {
   std::jthread thread_;
 };
 
-/// Evaluation context for connector data transfer over the engine's
-/// snapshot (scope >= 0: end's exported variable; kConnectorScope: the
-/// connector-local scratch variables).
-class TransferContext final : public expr::EvalContext {
- public:
-  TransferContext(const System& system, const Connector& connector, GlobalState& state,
-                  std::vector<Value>& connectorVars)
-      : system_(&system), connector_(&connector), state_(&state), cvars_(&connectorVars) {}
-
-  Value read(expr::VarRef r) const override {
-    if (r.scope == expr::kConnectorScope) return (*cvars_)[static_cast<std::size_t>(r.index)];
-    return slot(r);
-  }
-  void write(expr::VarRef r, Value v) override {
-    if (r.scope == expr::kConnectorScope) {
-      (*cvars_)[static_cast<std::size_t>(r.index)] = v;
-      return;
-    }
-    slot(r) = v;
-  }
-
- private:
-  Value& slot(expr::VarRef r) const {
-    const ConnectorEnd& end = connector_->end(static_cast<std::size_t>(r.scope));
-    const AtomicType& type =
-        *system_->instance(static_cast<std::size_t>(end.port.instance)).type;
-    const int localVar = type.port(end.port.port).exports[static_cast<std::size_t>(r.index)];
-    return state_->components[static_cast<std::size_t>(end.port.instance)]
-        .vars[static_cast<std::size_t>(localVar)];
-  }
-
-  const System* system_;
-  const Connector* connector_;
-  GlobalState* state_;
-  std::vector<Value>* cvars_;
-};
-
 /// Footprint of an interaction = every instance attached to its connector
 /// (guards may read non-participating ends, so the whole connector
 /// conflicts).
@@ -159,11 +122,28 @@ bool overlaps(const std::vector<int>& instances, const std::vector<bool>& used) 
 MultiThreadEngine::MultiThreadEngine(const System& system, SchedulingPolicy& policy)
     : system_(&system), policy_(&policy) {
   system.validate();
+  // Lower every connector program while still single-threaded: run() only
+  // evaluates them from the engine thread, but the build must not race
+  // with a concurrently constructed sibling engine sharing the System.
+  // Skipped entirely when the interpreter escape hatch is active: that
+  // path must not depend on the compiler even building.
+  if (expr::compilationEnabled()) (void)system.compiled();
 }
 
 RunResult MultiThreadEngine::run(const MtOptions& options) {
   const System& system = *system_;
   const std::size_t n = system.instanceCount();
+
+  // Compilation may have been switched on after construction (the
+  // differential tests toggle it): force every lazily-lowered program now,
+  // while still single-threaded, so workers only ever read.
+  if (expr::compilationEnabled()) {
+    (void)system.compiled();
+    for (std::size_t i = 0; i < n; ++i) {
+      const AtomicType& type = *system.instance(i).type;
+      if (type.transitionCount() > 0) (void)type.compiledTransition(0);
+    }
+  }
 
   std::vector<std::unique_ptr<Worker>> workers;
   workers.reserve(n);
@@ -229,13 +209,7 @@ RunResult MultiThreadEngine::run(const MtOptions& options) {
     for (const Selected& sel : batch) {
       const EnabledInteraction& ei = sel.interaction;
       const Connector& c = system.connector(static_cast<std::size_t>(ei.connector));
-      std::vector<Value> connectorVars(c.variableCount(), 0);
-      TransferContext ctx(system, c, snapshot, connectorVars);
-      expr::applyAssignments(c.ups(), ctx);
-      for (const DownAssign& d : c.downs()) {
-        if ((ei.mask & (InteractionMask{1} << static_cast<unsigned>(d.end))) == 0) continue;
-        ctx.write(expr::VarRef{d.end, d.exportIndex}, d.value.eval(ctx));
-      }
+      connectorTransfer(system, snapshot, ei);
       for (std::size_t k = 0; k < ei.ends.size(); ++k) {
         const ConnectorEnd& end = c.end(static_cast<std::size_t>(ei.ends[k]));
         const int inst = end.port.instance;

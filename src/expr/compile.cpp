@@ -1,0 +1,329 @@
+#include "expr/compile.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "util/require.hpp"
+
+namespace cbip::expr {
+
+namespace {
+
+std::atomic<bool>& compileFlag() {
+  static std::atomic<bool> flag = [] {
+    const char* env = std::getenv("CBIP_NO_COMPILE");
+    const bool disabled = env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0');
+    return !disabled;
+  }();
+  return flag;
+}
+
+/// Stack slots evaluation needs for `e` (an upper bound once folding
+/// shrinks the program; postfix needs max(lhs, 1 + rhs) for binaries).
+int stackNeed(const Expr& e) {
+  switch (e.op()) {
+    case Op::kLit:
+    case Op::kVar:
+      return 1;
+    case Op::kNeg:
+    case Op::kAbs:
+    case Op::kNot:
+      return stackNeed(e.child(0));
+    case Op::kAnd:
+    case Op::kOr: {
+      // Branches run at the same depth as the left operand (the jumps pop
+      // it); the constant-left fold may append "Push 0; kNe" one slot
+      // above the right operand, hence the floor of 2.
+      int need = 2;
+      for (std::size_t i = 0; i < e.arity(); ++i) {
+        const int k = stackNeed(e.child(i));
+        if (k > need) need = k;
+      }
+      return need;
+    }
+    case Op::kIte: {
+      // Branches run at the same depth as the condition (jumps pop it).
+      int need = 1;
+      for (std::size_t i = 0; i < e.arity(); ++i) {
+        const int k = stackNeed(e.child(i));
+        if (k > need) need = k;
+      }
+      return need;
+    }
+    default: {
+      const int a = stackNeed(e.child(0));
+      const int b = 1 + stackNeed(e.child(1));
+      return a > b ? a : b;
+    }
+  }
+}
+
+// Lowering folds constant subprograms even though the Expr builders
+// already fold at construction (Expr::make): the compiler must stay
+// correct for any tree handed to it, independent of which builder
+// invariants happen to hold upstream.
+class Compiler {
+ public:
+  explicit Compiler(const SlotMap& slots) : slots_(&slots) {}
+
+  std::vector<Instr> lower(const Expr& e) {
+    emit(e);
+    return std::move(code_);
+  }
+
+ private:
+  /// True iff the instructions emitted since `from` are one literal push.
+  bool constSince(std::size_t from) const {
+    return code_.size() == from + 1 && code_.back().op == OpCode::kPush;
+  }
+
+  void pushLit(Value v) { code_.push_back(Instr{OpCode::kPush, 0, v}); }
+
+  std::int32_t here() const { return static_cast<std::int32_t>(code_.size()); }
+
+  /// Emits a jump with a placeholder target; patch later.
+  std::size_t emitJump(OpCode op) {
+    code_.push_back(Instr{op, -1, 0});
+    return code_.size() - 1;
+  }
+
+  void patch(std::size_t at) { code_[at].arg = here(); }
+
+  static bool applyBinary(Op op, Value a, Value b, Value& out) {
+    const auto toBool = [](bool c) { return c ? Value{1} : Value{0}; };
+    switch (op) {
+      case Op::kAdd: out = a + b; return true;
+      case Op::kSub: out = a - b; return true;
+      case Op::kMul: out = a * b; return true;
+      case Op::kDiv:
+        if (b == 0) return false;  // keep the runtime error
+        out = a / b;
+        return true;
+      case Op::kMod:
+        if (b == 0) return false;
+        out = a % b;
+        return true;
+      case Op::kMin: out = a < b ? a : b; return true;
+      case Op::kMax: out = a > b ? a : b; return true;
+      case Op::kEq: out = toBool(a == b); return true;
+      case Op::kNe: out = toBool(a != b); return true;
+      case Op::kLt: out = toBool(a < b); return true;
+      case Op::kLe: out = toBool(a <= b); return true;
+      case Op::kGt: out = toBool(a > b); return true;
+      case Op::kGe: out = toBool(a >= b); return true;
+      default: return false;
+    }
+  }
+
+  static OpCode binaryOpcode(Op op) {
+    switch (op) {
+      case Op::kAdd: return OpCode::kAdd;
+      case Op::kSub: return OpCode::kSub;
+      case Op::kMul: return OpCode::kMul;
+      case Op::kDiv: return OpCode::kDiv;
+      case Op::kMod: return OpCode::kMod;
+      case Op::kMin: return OpCode::kMin;
+      case Op::kMax: return OpCode::kMax;
+      case Op::kEq: return OpCode::kEq;
+      case Op::kNe: return OpCode::kNe;
+      case Op::kLt: return OpCode::kLt;
+      case Op::kLe: return OpCode::kLe;
+      case Op::kGt: return OpCode::kGt;
+      case Op::kGe: return OpCode::kGe;
+      default: throw ModelError("compile: not a binary operator");
+    }
+  }
+
+  void emit(const Expr& e) {
+    switch (e.op()) {
+      case Op::kLit:
+        pushLit(e.literal());
+        return;
+      case Op::kVar: {
+        const int slot = (*slots_)(e.ref());
+        require(slot >= 0, "compile: SlotMap returned a negative slot");
+        code_.push_back(Instr{OpCode::kLoad, slot, 0});
+        return;
+      }
+      case Op::kNeg:
+      case Op::kAbs:
+      case Op::kNot: {
+        const std::size_t from = code_.size();
+        emit(e.child(0));
+        if (constSince(from)) {
+          Value& v = code_.back().imm;
+          v = e.op() == Op::kNeg ? -v : e.op() == Op::kAbs ? (v < 0 ? -v : v) : (v == 0 ? 1 : 0);
+          return;
+        }
+        code_.push_back(Instr{e.op() == Op::kNeg   ? OpCode::kNeg
+                              : e.op() == Op::kAbs ? OpCode::kAbs
+                                                   : OpCode::kNot,
+                              0, 0});
+        return;
+      }
+      case Op::kAnd:
+      case Op::kOr: {
+        const bool isAnd = e.op() == Op::kAnd;
+        const std::size_t from = code_.size();
+        emit(e.child(0));
+        if (constSince(from)) {
+          // Short-circuit decided at compile time. The left operand is a
+          // literal, so discarding it removes no error or variable read.
+          const Value a = code_.back().imm;
+          code_.pop_back();
+          if (isAnd ? a == 0 : a != 0) {
+            pushLit(isAnd ? 0 : 1);
+            return;
+          }
+          // Result is the right operand, normalized to 0/1.
+          const std::size_t rhs = code_.size();
+          emit(e.child(1));
+          if (constSince(rhs)) {
+            Value& v = code_.back().imm;
+            v = v != 0 ? 1 : 0;
+            return;
+          }
+          pushLit(0);
+          code_.push_back(Instr{OpCode::kNe, 0, 0});
+          return;
+        }
+        const std::size_t shortJ = emitJump(isAnd ? OpCode::kJumpIfZero : OpCode::kJumpIfNonZero);
+        emit(e.child(1));
+        const std::size_t shortJ2 = emitJump(isAnd ? OpCode::kJumpIfZero : OpCode::kJumpIfNonZero);
+        pushLit(isAnd ? 1 : 0);
+        const std::size_t endJ = emitJump(OpCode::kJump);
+        patch(shortJ);
+        patch(shortJ2);
+        pushLit(isAnd ? 0 : 1);
+        patch(endJ);
+        return;
+      }
+      case Op::kIte: {
+        const std::size_t from = code_.size();
+        emit(e.child(0));
+        if (constSince(from)) {
+          const Value c = code_.back().imm;
+          code_.pop_back();
+          emit(e.child(c != 0 ? 1 : 2));  // the other branch would never run
+          return;
+        }
+        const std::size_t elseJ = emitJump(OpCode::kJumpIfZero);
+        emit(e.child(1));
+        const std::size_t endJ = emitJump(OpCode::kJump);
+        patch(elseJ);
+        emit(e.child(2));
+        patch(endJ);
+        return;
+      }
+      default: {  // binary arithmetic / comparison
+        const std::size_t a0 = code_.size();
+        emit(e.child(0));
+        const bool aConst = constSince(a0);
+        const std::size_t b0 = code_.size();
+        emit(e.child(1));
+        Value folded = 0;
+        if (aConst && constSince(b0) &&
+            applyBinary(e.op(), code_[a0].imm, code_[b0].imm, folded)) {
+          code_.resize(a0);
+          pushLit(folded);
+          return;
+        }
+        code_.push_back(Instr{binaryOpcode(e.op()), 0, 0});
+        return;
+      }
+    }
+  }
+
+  const SlotMap* slots_;
+  std::vector<Instr> code_;
+};
+
+}  // namespace
+
+Value ExprProgram::run(std::span<const Value> frame) const {
+  // Guards and actions are small; spill to the heap only for pathological
+  // nesting so the common case stays allocation-free.
+  constexpr int kInlineStack = 32;
+  Value inlineBuf[kInlineStack];
+  std::vector<Value> heapBuf;
+  Value* stack = inlineBuf;
+  if (maxStack_ > kInlineStack) {
+    heapBuf.resize(static_cast<std::size_t>(maxStack_));
+    stack = heapBuf.data();
+  }
+  const Instr* code = code_.data();
+  const std::size_t n = code_.size();
+  std::size_t pc = 0;
+  int sp = 0;
+  while (pc < n) {
+    const Instr& in = code[pc++];
+    switch (in.op) {
+      case OpCode::kPush: stack[sp++] = in.imm; break;
+      case OpCode::kLoad: stack[sp++] = frame[static_cast<std::size_t>(in.arg)]; break;
+      case OpCode::kAdd: --sp; stack[sp - 1] += stack[sp]; break;
+      case OpCode::kSub: --sp; stack[sp - 1] -= stack[sp]; break;
+      case OpCode::kMul: --sp; stack[sp - 1] *= stack[sp]; break;
+      case OpCode::kDiv:
+        --sp;
+        requireEval(stack[sp] != 0, "division by zero");
+        stack[sp - 1] /= stack[sp];
+        break;
+      case OpCode::kMod:
+        --sp;
+        requireEval(stack[sp] != 0, "modulo by zero");
+        stack[sp - 1] %= stack[sp];
+        break;
+      case OpCode::kMin:
+        --sp;
+        if (stack[sp] < stack[sp - 1]) stack[sp - 1] = stack[sp];
+        break;
+      case OpCode::kMax:
+        --sp;
+        if (stack[sp] > stack[sp - 1]) stack[sp - 1] = stack[sp];
+        break;
+      case OpCode::kEq: --sp; stack[sp - 1] = stack[sp - 1] == stack[sp] ? 1 : 0; break;
+      case OpCode::kNe: --sp; stack[sp - 1] = stack[sp - 1] != stack[sp] ? 1 : 0; break;
+      case OpCode::kLt: --sp; stack[sp - 1] = stack[sp - 1] < stack[sp] ? 1 : 0; break;
+      case OpCode::kLe: --sp; stack[sp - 1] = stack[sp - 1] <= stack[sp] ? 1 : 0; break;
+      case OpCode::kGt: --sp; stack[sp - 1] = stack[sp - 1] > stack[sp] ? 1 : 0; break;
+      case OpCode::kGe: --sp; stack[sp - 1] = stack[sp - 1] >= stack[sp] ? 1 : 0; break;
+      case OpCode::kNeg: stack[sp - 1] = -stack[sp - 1]; break;
+      case OpCode::kAbs:
+        if (stack[sp - 1] < 0) stack[sp - 1] = -stack[sp - 1];
+        break;
+      case OpCode::kNot: stack[sp - 1] = stack[sp - 1] == 0 ? 1 : 0; break;
+      case OpCode::kJump: pc = static_cast<std::size_t>(in.arg); break;
+      case OpCode::kJumpIfZero:
+        --sp;
+        if (stack[sp] == 0) pc = static_cast<std::size_t>(in.arg);
+        break;
+      case OpCode::kJumpIfNonZero:
+        --sp;
+        if (stack[sp] != 0) pc = static_cast<std::size_t>(in.arg);
+        break;
+    }
+  }
+  requireEval(sp == 1, "ExprProgram::run: corrupt program (stack imbalance)");
+  return stack[0];
+}
+
+ExprProgram compile(const Expr& e, const SlotMap& slots) {
+  Compiler c(slots);
+  ExprProgram p;
+  p.code_ = c.lower(e);
+  p.maxStack_ = stackNeed(e);
+  return p;
+}
+
+ExprProgram compileLocal(const Expr& e) {
+  return compile(e, [](VarRef r) {
+    require(r.scope == 0, "compileLocal: non-local variable scope");
+    return r.index;
+  });
+}
+
+bool compilationEnabled() { return compileFlag().load(std::memory_order_relaxed); }
+
+void setCompilationEnabled(bool on) { compileFlag().store(on, std::memory_order_relaxed); }
+
+}  // namespace cbip::expr

@@ -1,0 +1,101 @@
+// Bytecode compiler for the data sub-language.
+//
+// The symbolic Expr trees stay the single semantic reference — the
+// verifier inspects and abstracts them directly ("semantic coherency",
+// monograph Section 5.4). Execution, however, pays dearly for walking
+// shared_ptr subtrees through a virtual EvalContext on every engine step,
+// so this module lowers an Expr once into a flat postfix ExprProgram: a
+// dense instruction array evaluated iteratively on a small value stack
+// against a contiguous frame of variable slots. No recursion, no pointer
+// chasing, no virtual dispatch.
+//
+// Semantics are bit-identical to Expr::eval on the same tree:
+//   * && and || short-circuit (compiled to conditional jumps), so a
+//     division by zero in an unreached right operand never raises;
+//   * ite evaluates only the taken branch;
+//   * kDiv/kMod raise EvalError on zero divisors exactly like the
+//     interpreter.
+// The only permitted divergence is *which* EvalError a doomed expression
+// raises first, because the interpreter evaluates divisors before
+// dividends while postfix order is left-to-right.
+//
+// Variable references are resolved at compile time through a SlotMap from
+// (scope, index) VarRefs to flat frame offsets; an unmappable reference is
+// a compile-time ModelError instead of a per-evaluation check.
+//
+// The escape hatch: setting the CBIP_NO_COMPILE environment variable (or
+// calling setCompilationEnabled(false)) routes every execution-layer
+// evaluation back through the tree-walking interpreter. Traces must be
+// bit-identical either way; the differential tests rely on this switch.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "expr/expr.hpp"
+
+namespace cbip::expr {
+
+/// Maps a VarRef to a frame slot (>= 0). Throws ModelError for references
+/// the frame does not cover.
+using SlotMap = std::function<int(VarRef)>;
+
+enum class OpCode : std::uint8_t {
+  kPush,  // push immediate
+  kLoad,  // push frame[arg]
+  // Binary ops: pop b, pop a, push (a op b).
+  kAdd, kSub, kMul, kDiv, kMod,
+  kMin, kMax,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  // Unary ops on the stack top.
+  kNeg, kAbs, kNot,
+  // Control flow (short-circuit && / || and ite).
+  kJump,           // pc := arg
+  kJumpIfZero,     // pop v; if v == 0 then pc := arg
+  kJumpIfNonZero,  // pop v; if v != 0 then pc := arg
+};
+
+struct Instr {
+  OpCode op = OpCode::kPush;
+  std::int32_t arg = 0;  // kLoad: frame slot; jumps: target pc
+  Value imm = 0;         // kPush: the literal
+};
+
+/// A compiled expression. Default-constructed programs are empty (used for
+/// trivially-true guards that are never run).
+class ExprProgram {
+ public:
+  bool empty() const { return code_.empty(); }
+  std::size_t size() const { return code_.size(); }
+  const std::vector<Instr>& code() const { return code_; }
+
+  /// Evaluates against `frame`; every slot referenced by the program must
+  /// be within the span. Throws EvalError on division/modulo by zero.
+  Value run(std::span<const Value> frame) const;
+
+ private:
+  friend ExprProgram compile(const Expr&, const SlotMap&);
+  std::vector<Instr> code_;
+  int maxStack_ = 0;
+};
+
+/// Lowers `e` to bytecode, folding constant subprograms (a fold never
+/// removes a possible division by zero or a variable read).
+ExprProgram compile(const Expr& e, const SlotMap& slots);
+
+/// Lowering for component-local expressions: scope 0, slot = index (the
+/// frame is the component's variable vector).
+ExprProgram compileLocal(const Expr& e);
+
+/// True when the execution layer should evaluate compiled programs;
+/// defaults to true unless the CBIP_NO_COMPILE environment variable is set
+/// to a non-empty value other than "0".
+bool compilationEnabled();
+
+/// Overrides the compilation switch (differential tests and benchmarks
+/// toggle this to compare the two evaluation paths in one process).
+void setCompilationEnabled(bool on);
+
+}  // namespace cbip::expr

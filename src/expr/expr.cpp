@@ -41,11 +41,91 @@ Expr::Expr() {
   node_ = zero;
 }
 
-Expr Expr::make(Op op, std::vector<Expr> kids) {
+Expr Expr::makeRaw(Op op, std::vector<Expr> kids) {
   auto n = std::make_shared<Node>();
   n->op = op;
   n->kids = std::move(kids);
   return Expr(std::move(n));
+}
+
+namespace {
+
+/// True iff `e` is guaranteed to evaluate to 0 or 1.
+bool isBoolValued(const Expr& e) {
+  switch (e.op()) {
+    case Op::kEq:
+    case Op::kNe:
+    case Op::kLt:
+    case Op::kLe:
+    case Op::kGt:
+    case Op::kGe:
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kNot:
+      return true;
+    case Op::kLit:
+      return e.literal() == 0 || e.literal() == 1;
+    default:
+      return false;
+  }
+}
+
+/// Truthiness of `e` as a 0/1 value (the result type of && and ||).
+Expr boolify(Expr e) {
+  if (isBoolValued(e)) return e;
+  return std::move(e) != Expr::lit(0);
+}
+
+}  // namespace
+
+Expr Expr::make(Op op, std::vector<Expr> kids) {
+  const auto isLit = [](const Expr& e, Value v) { return e.isConst() && e.literal() == v; };
+  bool allConst = !kids.empty();
+  for (const Expr& k : kids) allConst = allConst && k.isConst();
+  if (allConst) {
+    // Division/modulo by a zero literal must stay: it is a runtime error,
+    // not a value.
+    const bool divByZero = (op == Op::kDiv || op == Op::kMod) && kids[1].literal() == 0;
+    if (!divByZero) {
+      std::vector<Value> noVars;
+      VecContext ctx(noVars);
+      return lit(makeRaw(op, std::move(kids)).eval(ctx));
+    }
+  }
+  switch (op) {
+    case Op::kAdd:
+      if (isLit(kids[0], 0)) return kids[1];
+      if (isLit(kids[1], 0)) return kids[0];
+      break;
+    case Op::kSub:
+      if (isLit(kids[1], 0)) return kids[0];
+      break;
+    case Op::kMul:
+      // x*0 does NOT fold: x may raise.
+      if (isLit(kids[0], 1)) return kids[1];
+      if (isLit(kids[1], 1)) return kids[0];
+      break;
+    case Op::kDiv:
+      if (isLit(kids[1], 1)) return kids[0];
+      break;
+    case Op::kAnd:
+      // A constant left operand resolves the short-circuit at build time;
+      // a constant truthy right operand reduces to the left's truthiness.
+      if (kids[0].isConst()) return kids[0].literal() == 0 ? lit(0) : boolify(kids[1]);
+      if (kids[1].isConst() && kids[1].literal() != 0) return boolify(kids[0]);
+      break;
+    case Op::kOr:
+      if (kids[0].isConst()) return kids[0].literal() != 0 ? lit(1) : boolify(kids[1]);
+      if (isLit(kids[1], 0)) return boolify(kids[0]);
+      break;
+    case Op::kIte:
+      // The untaken branch of a constant condition would never evaluate.
+      if (kids[0].isConst()) return kids[0].literal() != 0 ? kids[1] : kids[2];
+      break;
+    default:
+      break;
+  }
+  return makeRaw(op, std::move(kids));
 }
 
 Expr Expr::lit(Value v) {
@@ -156,58 +236,21 @@ Expr Expr::simplified() const {
   if (n.op == Op::kLit || n.op == Op::kVar) return *this;
   std::vector<Expr> kids;
   kids.reserve(n.kids.size());
-  bool allConst = true;
-  for (const Expr& k : n.kids) {
-    kids.push_back(k.simplified());
-    allConst = allConst && kids.back().isConst();
-  }
-  // Full constant folding — except division/modulo by zero, which must
-  // stay (it is a runtime error, not a value).
-  if (allConst) {
-    const bool divByZero =
-        (n.op == Op::kDiv || n.op == Op::kMod) && kids[1].literal() == 0;
-    if (!divByZero) {
-      std::vector<Value> noVars;
-      VecContext ctx(noVars);
-      return lit(make(n.op, kids).eval(ctx));
-    }
-  }
+  for (const Expr& k : n.kids) kids.push_back(k.simplified());
+  // Rebuilding through make() applies every error-preserving fold and
+  // identity (constants, x+0, short-circuit-safe &&/||, constant ite).
+  // Only the folds make() deliberately refuses are layered on here, with
+  // the documented caveat that they may *remove* a division by zero the
+  // original would have raised inside a dead operand.
   auto isLit = [](const Expr& e, Value v) { return e.isConst() && e.literal() == v; };
   switch (n.op) {
-    case Op::kAdd:
-      if (isLit(kids[0], 0)) return kids[1];
-      if (isLit(kids[1], 0)) return kids[0];
-      break;
-    case Op::kSub:
-      if (isLit(kids[1], 0)) return kids[0];
-      break;
     case Op::kMul:
-      if (isLit(kids[0], 1)) return kids[1];
-      if (isLit(kids[1], 1)) return kids[0];
       if (isLit(kids[0], 0) || isLit(kids[1], 0)) return lit(0);
-      break;
-    case Op::kAnd:
-      // Both operands may have side conditions (division); only the
-      // short-circuit-safe direction folds: a constant *left* operand.
-      if (isLit(kids[0], 0)) return lit(0);
-      if (kids[0].isConst()) return make(Op::kNe, {kids[1], lit(0)}).simplified();
-      if (isLit(kids[1], 1)) return make(Op::kNe, {kids[0], lit(0)}).simplified();
-      break;
-    case Op::kOr:
-      if (kids[0].isConst() && kids[0].literal() != 0) return lit(1);
-      if (isLit(kids[0], 0)) return make(Op::kNe, {kids[1], lit(0)}).simplified();
-      if (isLit(kids[1], 0)) return make(Op::kNe, {kids[0], lit(0)}).simplified();
       break;
     case Op::kNot:
       if (kids[0].op() == Op::kNot) {
-        return make(Op::kNe, {kids[0].child(0), lit(0)}).simplified();
+        return make(Op::kNe, {kids[0].child(0), lit(0)});
       }
-      break;
-    case Op::kNe:
-      // x != 0 where x is already boolean-valued: keep as is (cheap).
-      break;
-    case Op::kIte:
-      if (kids[0].isConst()) return kids[0].literal() != 0 ? kids[1] : kids[2];
       break;
     default:
       break;

@@ -143,7 +143,14 @@ class Expr {
  private:
   struct Node;
   explicit Expr(std::shared_ptr<const Node> node) : node_(std::move(node)) {}
+  /// Folding constructor used by every combinator: constant operands fold
+  /// at build time (lit(2) + lit(3) => lit(5), top() && e => e boolified)
+  /// so the interpreter, the verifier and the bytecode compiler all see
+  /// the smaller tree. Folds are semantics-preserving: a subexpression
+  /// whose evaluation could raise (division by zero) is never dropped.
   static Expr make(Op op, std::vector<Expr> kids);
+  /// Node construction without folding.
+  static Expr makeRaw(Op op, std::vector<Expr> kids);
 
   std::shared_ptr<const Node> node_;
 };

@@ -1,0 +1,387 @@
+// Tests for the bytecode expression compiler and the compiled execution
+// path: randomized differential checks (compiled evaluation == tree
+// walking, including division-by-zero error behaviour) and engine-level
+// cross-checks (bit-identical traces with compilation on vs the
+// interpreter escape hatch, for both engines).
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/semantics.hpp"
+#include "engine/engine.hpp"
+#include "engine/engine_mt.hpp"
+#include "expr/compile.hpp"
+#include "models/models.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace cbip {
+namespace {
+
+using expr::Expr;
+using expr::ExprProgram;
+using expr::VarRef;
+
+/// Restores the global compilation switch on scope exit.
+class CompileSwitch {
+ public:
+  explicit CompileSwitch(bool on) : saved_(expr::compilationEnabled()) {
+    expr::setCompilationEnabled(on);
+  }
+  ~CompileSwitch() { expr::setCompilationEnabled(saved_); }
+
+ private:
+  bool saved_;
+};
+
+Expr v(int i) { return Expr::local(i); }
+
+// ---- program-level behaviour --------------------------------------------
+
+TEST(ExprCompile, LiteralsAndVariables) {
+  std::vector<Value> frame{10, -3};
+  EXPECT_EQ(expr::compileLocal(Expr::lit(42)).run(frame), 42);
+  EXPECT_EQ(expr::compileLocal(v(0)).run(frame), 10);
+  EXPECT_EQ(expr::compileLocal(v(1)).run(frame), -3);
+}
+
+TEST(ExprCompile, ArithmeticAndComparisons) {
+  std::vector<Value> frame{7, 3};
+  EXPECT_EQ(expr::compileLocal(v(0) + v(1)).run(frame), 10);
+  EXPECT_EQ(expr::compileLocal(v(0) - v(1)).run(frame), 4);
+  EXPECT_EQ(expr::compileLocal(v(0) * v(1)).run(frame), 21);
+  EXPECT_EQ(expr::compileLocal(v(0) / v(1)).run(frame), 2);
+  EXPECT_EQ(expr::compileLocal(v(0) % v(1)).run(frame), 1);
+  EXPECT_EQ(expr::compileLocal(-v(0)).run(frame), -7);
+  EXPECT_EQ(expr::compileLocal(Expr::min(v(0), v(1))).run(frame), 3);
+  EXPECT_EQ(expr::compileLocal(Expr::max(v(0), v(1))).run(frame), 7);
+  EXPECT_EQ(expr::compileLocal(Expr::abs(v(1) - v(0))).run(frame), 4);
+  EXPECT_EQ(expr::compileLocal(v(0) > v(1)).run(frame), 1);
+  EXPECT_EQ(expr::compileLocal(v(0) <= v(1)).run(frame), 0);
+}
+
+TEST(ExprCompile, DivisionByZeroThrows) {
+  std::vector<Value> frame{1, 0};
+  EXPECT_THROW(expr::compileLocal(v(0) / v(1)).run(frame), EvalError);
+  EXPECT_THROW(expr::compileLocal(v(0) % v(1)).run(frame), EvalError);
+}
+
+TEST(ExprCompile, ShortCircuitSkipsDivisionByZero) {
+  // (v0 != 0) && (1/v0 > 0): the division must not execute when v0 == 0.
+  const Expr guarded = (v(0) != Expr::lit(0)) && (Expr::lit(1) / v(0) > Expr::lit(0));
+  const ExprProgram p = expr::compileLocal(guarded);
+  std::vector<Value> frame{0};
+  EXPECT_EQ(p.run(frame), 0);
+  frame[0] = 1;  // 1/1 > 0
+  EXPECT_EQ(p.run(frame), 1);
+  // Same for || short-circuiting past a doomed right operand.
+  const Expr orGuard = (v(0) == Expr::lit(0)) || (Expr::lit(1) / v(0) > Expr::lit(0));
+  frame[0] = 0;
+  EXPECT_EQ(expr::compileLocal(orGuard).run(frame), 1);
+}
+
+TEST(ExprCompile, IteEvaluatesOnlyTakenBranch) {
+  const Expr e = Expr::ite(v(0), Expr::lit(10) / v(0), Expr::lit(-1));
+  const ExprProgram p = expr::compileLocal(e);
+  std::vector<Value> frame{5};
+  EXPECT_EQ(p.run(frame), 2);
+  frame[0] = 0;  // the division (by zero) sits in the untaken branch
+  EXPECT_EQ(p.run(frame), -1);
+}
+
+TEST(ExprCompile, BuilderFoldingShrinksPrograms) {
+  // The combinators fold constants at construction, so these compile to a
+  // single push / tiny programs.
+  EXPECT_EQ(expr::compileLocal(Expr::lit(2) + Expr::lit(3)).size(), 1u);
+  EXPECT_EQ(expr::compileLocal(Expr::ite(Expr::lit(1), v(0), v(1) / Expr::lit(0))).size(), 1u);
+  EXPECT_EQ(expr::compileLocal(Expr::top() && (v(0) < v(1))).size(), 3u);
+  // Division by a zero literal must survive folding as a runtime error.
+  std::vector<Value> frame{1, 2};
+  EXPECT_THROW(expr::compileLocal(Expr::lit(1) / Expr::lit(0)).run(frame), EvalError);
+}
+
+TEST(ExprCompile, CustomSlotMapAndUnmappableReferences) {
+  // Scope 3 maps to slots 10+index; anything else must fail at compile
+  // time, not at run time.
+  const expr::SlotMap slots = [](VarRef r) {
+    require(r.scope == 3, "unmappable scope");
+    return 10 + r.index;
+  };
+  std::vector<Value> frame(12, 0);
+  frame[10] = 6;
+  frame[11] = 7;
+  const Expr e = Expr::var(3, 0) * Expr::var(3, 1);
+  EXPECT_EQ(expr::compile(e, slots).run(frame), 42);
+  EXPECT_THROW(expr::compile(v(0), slots), ModelError);
+}
+
+// ---- randomized differential test ---------------------------------------
+
+/// Generates a random expression over v0..v3 covering every operator,
+/// including division and modulo (which may fail at run time).
+Expr randomExpr(Rng& rng, int depth) {
+  if (depth == 0 || rng.chance(1, 4)) {
+    return rng.chance(1, 2) ? Expr::lit(rng.range(-3, 3))
+                            : v(static_cast<int>(rng.below(4)));
+  }
+  switch (rng.below(16)) {
+    case 0: return randomExpr(rng, depth - 1) + randomExpr(rng, depth - 1);
+    case 1: return randomExpr(rng, depth - 1) - randomExpr(rng, depth - 1);
+    case 2: return randomExpr(rng, depth - 1) * randomExpr(rng, depth - 1);
+    case 3: return randomExpr(rng, depth - 1) / randomExpr(rng, depth - 1);
+    case 4: return randomExpr(rng, depth - 1) % randomExpr(rng, depth - 1);
+    case 5: return -randomExpr(rng, depth - 1);
+    case 6: return Expr::min(randomExpr(rng, depth - 1), randomExpr(rng, depth - 1));
+    case 7: return Expr::max(randomExpr(rng, depth - 1), randomExpr(rng, depth - 1));
+    case 8: return Expr::abs(randomExpr(rng, depth - 1));
+    case 9: return randomExpr(rng, depth - 1) == randomExpr(rng, depth - 1);
+    case 10: return randomExpr(rng, depth - 1) < randomExpr(rng, depth - 1);
+    case 11: return randomExpr(rng, depth - 1) >= randomExpr(rng, depth - 1);
+    case 12: return randomExpr(rng, depth - 1) && randomExpr(rng, depth - 1);
+    case 13: return randomExpr(rng, depth - 1) || randomExpr(rng, depth - 1);
+    case 14: return !randomExpr(rng, depth - 1);
+    default:
+      return Expr::ite(randomExpr(rng, depth - 1), randomExpr(rng, depth - 1),
+                       randomExpr(rng, depth - 1));
+  }
+}
+
+/// Evaluates to a value or "threw EvalError".
+std::optional<Value> tryEval(const std::function<Value()>& f) {
+  try {
+    return f();
+  } catch (const EvalError&) {
+    return std::nullopt;
+  }
+}
+
+class CompileDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(CompileDifferential, CompiledAgreesWithInterpreter) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+  for (int round = 0; round < 300; ++round) {
+    const Expr e = randomExpr(rng, 4);
+    const ExprProgram p = expr::compileLocal(e);
+    for (int k = 0; k < 10; ++k) {
+      std::vector<Value> vars{rng.range(-3, 3), rng.range(-3, 3), rng.range(-3, 3),
+                              rng.range(-3, 3)};
+      const auto interpreted = tryEval([&] { return e.eval(vars); });
+      const auto compiled = tryEval([&] { return p.run(vars); });
+      // Either both throw EvalError or both produce the same value. (Which
+      // of several doomed subexpressions raises first may differ: the
+      // interpreter evaluates divisors before dividends.)
+      ASSERT_EQ(interpreted.has_value(), compiled.has_value())
+          << e.toString() << " with vars " << vars[0] << "," << vars[1] << "," << vars[2]
+          << "," << vars[3];
+      if (interpreted.has_value()) {
+        ASSERT_EQ(*interpreted, *compiled) << e.toString();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompileDifferential, ::testing::Values(1, 2, 3, 4, 5));
+
+// ---- builder constant folding -------------------------------------------
+
+TEST(BuilderFolding, FoldsConstantOperands) {
+  EXPECT_EQ((Expr::lit(2) + Expr::lit(3)).literal(), 5);
+  EXPECT_EQ((Expr::lit(7) * Expr::lit(-2)).literal(), -14);
+  EXPECT_EQ((Expr::lit(7) < Expr::lit(9)).literal(), 1);
+  EXPECT_EQ(Expr::min(Expr::lit(4), Expr::lit(2)).literal(), 2);
+  EXPECT_EQ((!Expr::lit(5)).literal(), 0);
+  EXPECT_TRUE((Expr::lit(1) && Expr::lit(1)).isTrue());
+}
+
+TEST(BuilderFolding, IdentitiesReturnTheOperand) {
+  const Expr x = v(0);
+  EXPECT_TRUE((x + Expr::lit(0)).equals(x));
+  EXPECT_TRUE((Expr::lit(0) + x).equals(x));
+  EXPECT_TRUE((x - Expr::lit(0)).equals(x));
+  EXPECT_TRUE((x * Expr::lit(1)).equals(x));
+  EXPECT_TRUE((Expr::lit(1) * x).equals(x));
+  EXPECT_TRUE((x / Expr::lit(1)).equals(x));
+  EXPECT_TRUE(Expr::ite(Expr::lit(1), x, v(1)).equals(x));
+  EXPECT_TRUE(Expr::ite(Expr::lit(0), v(1), x).equals(x));
+}
+
+TEST(BuilderFolding, TrueGuardConjunctionKeepsBooleanOperand) {
+  // top() && e folds to e when e is boolean-valued — the common guard
+  // shape — so trivial-guard checks (isTrue) see through composition.
+  const Expr cmp = v(0) < v(1);
+  EXPECT_TRUE((Expr::top() && cmp).equals(cmp));
+  EXPECT_TRUE((cmp && Expr::top()).equals(cmp));
+  EXPECT_TRUE((Expr::top() && Expr::top()).isTrue());
+  // Non-boolean operands are normalized to their truthiness instead.
+  std::vector<Value> vars{5, 0};
+  EXPECT_EQ((Expr::top() && v(0)).eval(vars), 1);
+  EXPECT_EQ((Expr::top() && v(1)).eval(vars), 0);
+}
+
+TEST(BuilderFolding, NeverDropsPossibleErrors) {
+  std::vector<Value> vars{0};
+  // x * 0 and x && false keep x: it may raise at run time.
+  EXPECT_THROW(((Expr::lit(1) / v(0)) * Expr::lit(0)).eval(vars), EvalError);
+  EXPECT_THROW(((Expr::lit(1) / v(0) > Expr::lit(0)) && Expr::lit(0)).eval(vars), EvalError);
+  // Constant division by zero stays a runtime error.
+  EXPECT_THROW((Expr::lit(1) / Expr::lit(0)).eval(vars), EvalError);
+  EXPECT_THROW((Expr::lit(1) % Expr::lit(0)).eval(vars), EvalError);
+  // But a short-circuited right operand still folds away.
+  EXPECT_EQ((Expr::lit(0) && (Expr::lit(1) / v(0))).literal(), 0);
+}
+
+TEST(ExprCompile, DuplicatePortExportsRejected) {
+  // A variable exported twice through one port would alias two connector
+  // frame slots (a down write through one slot would not be observable
+  // through the other), so validation forbids it.
+  AtomicType t("T");
+  const int l = t.addLocation("l");
+  const int x = t.addVariable("x", 0);
+  t.addPort("p", {x, x});
+  t.setInitialLocation(l);
+  EXPECT_THROW(t.validate(), ModelError);
+}
+
+// ---- engine-level cross-checks ------------------------------------------
+
+/// A small data-heavy system: two counters exchanging values through a
+/// connector with a guard, an up transfer, two down transfers and internal
+/// (tau) steps — every compiled code path in one model.
+System dataExchange() {
+  auto t = std::make_shared<AtomicType>("C");
+  const int idle = t->addLocation("idle");
+  const int busy = t->addLocation("busy");
+  const int x = t->addVariable("x", 1);
+  const int acc = t->addVariable("acc", 0);
+  const int p = t->addPort("p", {x});
+  t->addTransition(idle, p, Expr::local(x) < Expr::lit(1000),
+                   {expr::Assign{VarRef{0, acc}, Expr::local(acc) + Expr::local(x)}}, busy);
+  // Tau step back to idle, mixing the accumulator into x.
+  t->addTransition(busy, kInternalPort, Expr::top(),
+                   {expr::Assign{VarRef{0, x},
+                                 (Expr::local(x) * Expr::lit(3) + Expr::local(acc)) %
+                                         Expr::lit(257) +
+                                     Expr::lit(1)}},
+                   idle);
+  t->setInitialLocation(idle);
+
+  System sys;
+  const int a = sys.addInstance("a", t);
+  const int b = sys.addInstance("b", t);
+  Connector c("swap");
+  const int ea = c.addSynchron(PortRef{a, 0});
+  const int eb = c.addSynchron(PortRef{b, 0});
+  const int sum = c.addVariable("sum");
+  c.setGuard(Expr::var(ea, 0) + Expr::var(eb, 0) > Expr::lit(1));
+  c.addUp(sum, Expr::var(ea, 0) + Expr::var(eb, 0));
+  c.addDown(ea, 0, Expr::var(expr::kConnectorScope, sum) / Expr::lit(2));
+  c.addDown(eb, 0, Expr::var(expr::kConnectorScope, sum) % Expr::lit(97) + Expr::lit(1));
+  sys.addConnector(std::move(c));
+  sys.validate();
+  return sys;
+}
+
+void expectIdenticalRuns(const RunResult& on, const RunResult& off, const std::string& what) {
+  EXPECT_EQ(on.reason, off.reason) << what;
+  EXPECT_EQ(on.steps, off.steps) << what;
+  EXPECT_EQ(on.finalState, off.finalState) << what;
+  ASSERT_EQ(on.trace.events.size(), off.trace.events.size()) << what;
+  for (std::size_t i = 0; i < on.trace.events.size(); ++i) {
+    EXPECT_EQ(on.trace.events[i].step, off.trace.events[i].step) << what << " event " << i;
+    EXPECT_EQ(on.trace.events[i].connector, off.trace.events[i].connector)
+        << what << " event " << i;
+    EXPECT_EQ(on.trace.events[i].mask, off.trace.events[i].mask) << what << " event " << i;
+    EXPECT_EQ(on.trace.events[i].label, off.trace.events[i].label) << what << " event " << i;
+  }
+}
+
+TEST(EngineCompileCrossCheck, SequentialTracesBitIdentical) {
+  const System models[] = {models::philosophersAtomic(6), models::gasStation(2, 4),
+                           models::producerConsumerBounded(3, 7), models::tokenRing(8),
+                           dataExchange()};
+  const char* names[] = {"phil", "gas", "prodcons", "ring", "dataExchange"};
+  for (std::size_t m = 0; m < std::size(models); ++m) {
+    for (std::uint64_t seed : {3ULL, 17ULL, 99ULL}) {
+      RunResult runs[2];
+      for (int compiledOn = 0; compiledOn < 2; ++compiledOn) {
+        CompileSwitch sw(compiledOn == 1);
+        RandomPolicy policy(seed);
+        SequentialEngine engine(models[m], policy);
+        RunOptions opt;
+        opt.maxSteps = 300;
+        runs[compiledOn] = engine.run(opt);
+      }
+      expectIdenticalRuns(runs[1], runs[0],
+                          std::string(names[m]) + " seed " + std::to_string(seed));
+    }
+  }
+}
+
+TEST(EngineCompileCrossCheck, SequentialAgreesWithAndWithoutIncrementalCache) {
+  // Compilation and the enabled-set cache compose: all four on/off
+  // combinations must produce the same run.
+  const System sys = dataExchange();
+  std::vector<RunResult> runs;
+  for (int compiledOn = 0; compiledOn < 2; ++compiledOn) {
+    for (int cacheOn = 0; cacheOn < 2; ++cacheOn) {
+      CompileSwitch sw(compiledOn == 1);
+      RandomPolicy policy(42);
+      SequentialEngine engine(sys, policy);
+      RunOptions opt;
+      opt.maxSteps = 200;
+      opt.incrementalCache = (cacheOn == 1);
+      runs.push_back(engine.run(opt));
+    }
+  }
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    expectIdenticalRuns(runs[0], runs[i], "combination " + std::to_string(i));
+  }
+}
+
+TEST(EngineCompileCrossCheck, MultiThreadTracesBitIdentical) {
+  const System models[] = {models::philosophersAtomic(5), models::producerConsumerBounded(2, 5),
+                           dataExchange()};
+  const char* names[] = {"phil", "prodcons", "dataExchange"};
+  for (std::size_t m = 0; m < std::size(models); ++m) {
+    RunResult runs[2];
+    for (int compiledOn = 0; compiledOn < 2; ++compiledOn) {
+      CompileSwitch sw(compiledOn == 1);
+      RandomPolicy policy(7);
+      MultiThreadEngine engine(models[m], policy);
+      MtOptions opt;
+      opt.maxSteps = 200;
+      runs[compiledOn] = engine.run(opt);
+    }
+    expectIdenticalRuns(runs[1], runs[0], names[m]);
+  }
+}
+
+TEST(EngineCompileCrossCheck, SuccessorsAndDeadlocksAgree)  {
+  // The shared semantic kernel (enabledInteractions/successors) must give
+  // the verifier the same view either way.
+  const System sys = dataExchange();
+  GlobalState g = initialState(sys);
+  for (int step = 0; step < 30; ++step) {
+    std::vector<GlobalState> succOn, succOff;
+    {
+      CompileSwitch sw(true);
+      succOn = successors(sys, g);
+    }
+    {
+      CompileSwitch sw(false);
+      succOff = successors(sys, g);
+    }
+    ASSERT_EQ(succOn.size(), succOff.size()) << "step " << step;
+    for (std::size_t i = 0; i < succOn.size(); ++i) {
+      ASSERT_EQ(succOn[i], succOff[i]) << "step " << step << " successor " << i;
+    }
+    if (succOn.empty()) break;
+    g = succOn.front();
+  }
+}
+
+}  // namespace
+}  // namespace cbip
