@@ -1,0 +1,85 @@
+// Sharded vs multithreaded engine throughput at 256 components.
+//
+// The multithreaded engine pays one offer/execute message round through
+// per-component worker threads for every interaction; the sharded engine
+// pays three barriers per epoch of up to shards * epochBatch interactions
+// and runs everything shard-local lock-free on per-shard frames. The
+// acceptance shape for the shard subsystem is >= 1.5x engine-step
+// throughput over MtEngine at 256 components / 4 shards (Release).
+//
+// BM_Partition256 tracks the partitioner itself (greedy graph growing on
+// the 256-node philosophers ring).
+#include <benchmark/benchmark.h>
+
+#include "engine/engine.hpp"
+#include "engine/engine_mt.hpp"
+#include "models/models.hpp"
+#include "shard/engine_sharded.hpp"
+
+namespace {
+
+using namespace cbip;
+
+constexpr int kPhilosophers = 128;  // 128 philosophers + 128 forks = 256 components
+constexpr std::uint64_t kSteps = 500;
+
+void BM_MtEngine256(benchmark::State& state) {
+  const System sys = models::philosophersAtomic(kPhilosophers);
+  RandomPolicy policy(3);
+  MultiThreadEngine engine(sys, policy);
+  for (auto _ : state) {
+    MtOptions opt;
+    opt.maxSteps = kSteps;
+    opt.recordTrace = false;
+    benchmark::DoNotOptimize(engine.run(opt));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(kSteps));
+}
+BENCHMARK(BM_MtEngine256)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_ShardedEngine256(benchmark::State& state) {
+  const System sys = models::philosophersAtomic(kPhilosophers);
+  shard::ShardedEngine engine(sys, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    shard::ShardedOptions opt;
+    opt.maxSteps = kSteps;
+    opt.recordTrace = false;
+    opt.seed = 3;
+    benchmark::DoNotOptimize(engine.run(opt));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(kSteps));
+}
+BENCHMARK(BM_ShardedEngine256)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// Sequential reference point on the same workload.
+void BM_SequentialEngine256(benchmark::State& state) {
+  const System sys = models::philosophersAtomic(kPhilosophers);
+  RandomPolicy policy(3);
+  SequentialEngine engine(sys, policy);
+  for (auto _ : state) {
+    RunOptions opt;
+    opt.maxSteps = kSteps;
+    opt.recordTrace = false;
+    benchmark::DoNotOptimize(engine.run(opt));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(kSteps));
+}
+BENCHMARK(BM_SequentialEngine256)->Unit(benchmark::kMillisecond);
+
+void BM_Partition256(benchmark::State& state) {
+  const System sys = models::philosophersAtomic(kPhilosophers);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        shard::partitionSystem(sys, shard::PartitionOptions{4, 1.125, {}}));
+  }
+}
+BENCHMARK(BM_Partition256)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

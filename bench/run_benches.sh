@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Runs the engine benchmark suite and emits a single BENCH_engine.json.
+#
+# Usage: bench/run_benches.sh [BUILD_DIR] [OUTPUT_JSON]
+#   BUILD_DIR    CMake build tree containing the bench_* executables
+#                (default: build; configure with the default Release type
+#                and google-benchmark installed so the targets exist).
+#   OUTPUT_JSON  merged output file (default: BENCH_engine.json).
+#
+# BENCH_ARGS overrides the per-binary benchmark flags; CI uses a minimal
+# --benchmark_min_time so the smoke run stays fast. Note: benchmark 1.7.x
+# (Ubuntu's libbenchmark-dev) wants a bare double for min_time, no "s"
+# suffix.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_engine.json}"
+: "${BENCH_ARGS:=--benchmark_min_time=0.05}"
+
+for bench in bench_engine bench_sharded; do
+  if [[ ! -x "$BUILD_DIR/$bench" ]]; then
+    echo "error: $BUILD_DIR/$bench not found or not executable" >&2
+    echo "       (configure with google-benchmark installed: the bench_*" >&2
+    echo "        targets are skipped when the package is absent)" >&2
+    exit 1
+  fi
+done
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+for bench in bench_engine bench_sharded; do
+  echo "== $bench $BENCH_ARGS" >&2
+  # shellcheck disable=SC2086  # BENCH_ARGS is intentionally word-split
+  "$BUILD_DIR/$bench" --benchmark_format=json $BENCH_ARGS > "$tmpdir/$bench.json"
+done
+
+{
+  printf '{\n"bench_engine":\n'
+  cat "$tmpdir/bench_engine.json"
+  printf ',\n"bench_sharded":\n'
+  cat "$tmpdir/bench_sharded.json"
+  printf '}\n'
+} > "$OUT"
+
+echo "wrote $OUT" >&2

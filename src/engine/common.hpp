@@ -1,0 +1,67 @@
+// Plumbing shared by every execution engine (sequential, multi-threaded,
+// sharded): scheduling policies, stop reasons, and the run-result record.
+//
+// Extracted from engine.hpp so that new engines (engine_mt.hpp,
+// shard/engine_sharded.hpp) reuse one definition of the policy interface
+// and result types instead of growing per-engine copies.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <utility>
+#include <vector>
+
+#include "core/semantics.hpp"
+#include "core/system.hpp"
+#include "engine/trace.hpp"
+#include "util/rng.hpp"
+
+namespace cbip {
+
+/// Resolves scheduler nondeterminism: picks one enabled interaction and
+/// one transition per participant.
+class SchedulingPolicy {
+ public:
+  virtual ~SchedulingPolicy() = default;
+  /// `enabled` is non-empty. Returns (interaction index, per-participant
+  /// transition-choice vector).
+  virtual std::pair<std::size_t, std::vector<int>> pick(
+      const System& system, const GlobalState& state,
+      const std::vector<EnabledInteraction>& enabled) = 0;
+};
+
+/// Uniformly random choice among interactions and transition options.
+class RandomPolicy final : public SchedulingPolicy {
+ public:
+  explicit RandomPolicy(std::uint64_t seed) : rng_(seed) {}
+  std::pair<std::size_t, std::vector<int>> pick(
+      const System& system, const GlobalState& state,
+      const std::vector<EnabledInteraction>& enabled) override;
+
+ private:
+  Rng rng_;
+};
+
+/// Deterministic: first interaction, first transitions.
+class FirstPolicy final : public SchedulingPolicy {
+ public:
+  std::pair<std::size_t, std::vector<int>> pick(
+      const System& system, const GlobalState& state,
+      const std::vector<EnabledInteraction>& enabled) override;
+};
+
+/// Why a run stopped.
+enum class StopReason { kStepLimit, kDeadlock, kPredicate };
+
+/// Enumerator name ("kStepLimit", ...) for diagnostics and test output.
+const char* to_string(StopReason reason);
+std::ostream& operator<<(std::ostream& os, StopReason reason);
+
+struct RunResult {
+  StopReason reason = StopReason::kStepLimit;
+  std::uint64_t steps = 0;
+  Trace trace;
+  GlobalState finalState;
+};
+
+}  // namespace cbip

@@ -4,23 +4,6 @@
 
 namespace cbip {
 
-std::pair<std::size_t, std::vector<int>> RandomPolicy::pick(
-    const System&, const GlobalState&, const std::vector<EnabledInteraction>& enabled) {
-  const std::size_t i = rng_.index(enabled.size());
-  const EnabledInteraction& ei = enabled[i];
-  std::vector<int> choice;
-  choice.reserve(ei.choices.size());
-  for (const std::vector<int>& options : ei.choices) {
-    choice.push_back(static_cast<int>(rng_.index(options.size())));
-  }
-  return {i, std::move(choice)};
-}
-
-std::pair<std::size_t, std::vector<int>> FirstPolicy::pick(
-    const System&, const GlobalState&, const std::vector<EnabledInteraction>& enabled) {
-  return {0, std::vector<int>(enabled.front().choices.size(), 0)};
-}
-
 SequentialEngine::SequentialEngine(const System& system, SchedulingPolicy& policy)
     : system_(&system), policy_(&policy) {
   system.validate();

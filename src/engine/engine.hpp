@@ -5,68 +5,27 @@
 // applies priorities, resolves the remaining nondeterminism with a
 // scheduling policy, and executes the chosen interaction.
 //
-// Two engines are provided, mirroring the BIP toolset:
+// Three engines are provided, mirroring and extending the BIP toolset:
 //   * SequentialEngine — single-threaded reference implementation;
 //   * MultiThreadEngine (engine_mt.hpp) — one worker thread per component,
 //     communicating exclusively with the engine thread (components never
-//     talk to each other directly).
+//     talk to each other directly);
+//   * ShardedEngine (shard/engine_sharded.hpp) — one worker per shard of a
+//     partitioned component graph, coordinating only on cross-shard
+//     interactions.
+// Scheduling policies, StopReason and RunResult are shared by all three
+// and live in engine/common.hpp.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <optional>
-#include <string>
-#include <utility>
-#include <vector>
 
 #include "core/semantics.hpp"
 #include "core/system.hpp"
-#include "engine/trace.hpp"
-#include "util/rng.hpp"
+#include "engine/common.hpp"
 
 namespace cbip {
-
-/// Resolves scheduler nondeterminism: picks one enabled interaction and
-/// one transition per participant.
-class SchedulingPolicy {
- public:
-  virtual ~SchedulingPolicy() = default;
-  /// `enabled` is non-empty. Returns (interaction index, per-participant
-  /// transition-choice vector).
-  virtual std::pair<std::size_t, std::vector<int>> pick(
-      const System& system, const GlobalState& state,
-      const std::vector<EnabledInteraction>& enabled) = 0;
-};
-
-/// Uniformly random choice among interactions and transition options.
-class RandomPolicy final : public SchedulingPolicy {
- public:
-  explicit RandomPolicy(std::uint64_t seed) : rng_(seed) {}
-  std::pair<std::size_t, std::vector<int>> pick(
-      const System& system, const GlobalState& state,
-      const std::vector<EnabledInteraction>& enabled) override;
-
- private:
-  Rng rng_;
-};
-
-/// Deterministic: first interaction, first transitions.
-class FirstPolicy final : public SchedulingPolicy {
- public:
-  std::pair<std::size_t, std::vector<int>> pick(
-      const System& system, const GlobalState& state,
-      const std::vector<EnabledInteraction>& enabled) override;
-};
-
-/// Why a run stopped.
-enum class StopReason { kStepLimit, kDeadlock, kPredicate };
-
-struct RunResult {
-  StopReason reason = StopReason::kStepLimit;
-  std::uint64_t steps = 0;
-  Trace trace;
-  GlobalState finalState;
-};
 
 struct RunOptions {
   std::uint64_t maxSteps = 1000;

@@ -240,7 +240,7 @@ class Compiler {
 
 }  // namespace
 
-Value ExprProgram::run(std::span<const Value> frame) const {
+Value ExprProgram::run(std::span<const Value> frame, std::int32_t base) const {
   // Guards and actions are small; spill to the heap only for pathological
   // nesting so the common case stays allocation-free.
   constexpr int kInlineStack = 32;
@@ -259,7 +259,7 @@ Value ExprProgram::run(std::span<const Value> frame) const {
     const Instr& in = code[pc++];
     switch (in.op) {
       case OpCode::kPush: stack[sp++] = in.imm; break;
-      case OpCode::kLoad: stack[sp++] = frame[static_cast<std::size_t>(in.arg)]; break;
+      case OpCode::kLoad: stack[sp++] = frame[static_cast<std::size_t>(base + in.arg)]; break;
       case OpCode::kAdd: --sp; stack[sp - 1] += stack[sp]; break;
       case OpCode::kSub: --sp; stack[sp - 1] -= stack[sp]; break;
       case OpCode::kMul: --sp; stack[sp - 1] *= stack[sp]; break;

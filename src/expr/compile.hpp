@@ -73,7 +73,16 @@ class ExprProgram {
 
   /// Evaluates against `frame`; every slot referenced by the program must
   /// be within the span. Throws EvalError on division/modulo by zero.
-  Value run(std::span<const Value> frame) const;
+  Value run(std::span<const Value> frame) const { return run(frame, 0); }
+
+  /// Frame-base-relative evaluation: every kLoad reads
+  /// `frame[base + slot]`. Lets one program compiled against a local
+  /// layout (slot = variable index, see compileLocal) execute against any
+  /// region of a larger shared frame — the sharded engine runs a
+  /// component type's transition programs against the owning shard's
+  /// contiguous variable frame this way, with `base` the instance's
+  /// offset in that frame.
+  Value run(std::span<const Value> frame, std::int32_t base) const;
 
  private:
   friend ExprProgram compile(const Expr&, const SlotMap&);

@@ -1,0 +1,437 @@
+#include "shard/engine_sharded.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace cbip::shard {
+
+namespace {
+
+/// Independent deterministic policy seed per shard; shard 0 keeps the
+/// user seed so a K=1 run consumes the identical RandomPolicy stream as
+/// SequentialEngine with RandomPolicy(seed).
+std::uint64_t shardSeed(std::uint64_t seed, std::size_t shard) {
+  return seed + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(shard);
+}
+
+/// One interaction executed during the run, with enough ordering
+/// structure to rebuild the canonical serialization afterwards: epochs
+/// ascending; within an epoch the cross phase (accepted order) precedes
+/// the local phase (shard-ascending, then execution order).
+struct Event {
+  std::uint64_t epoch = 0;
+  int phase = 0;  // 0 = cross, 1 = local
+  int shard = 0;  // 0 for cross events (ordered by seq alone)
+  std::uint64_t seq = 0;
+  int connector = 0;
+  InteractionMask mask = 0;
+  std::string label;
+};
+
+bool eventBefore(const Event& a, const Event& b) {
+  return std::tie(a.epoch, a.phase, a.shard, a.seq) <
+         std::tie(b.epoch, b.phase, b.shard, b.seq);
+}
+
+/// Per-shard worker bookkeeping. Enabled sets are cached per owned
+/// connector (local connectors of the shard + cross connectors the shard
+/// owns), maintained incrementally like EnabledInteractionCache.
+struct Worker {
+  std::vector<std::vector<EnabledInteraction>> perLocal;  // by position in localConnectors
+  std::vector<std::vector<EnabledInteraction>> perCross;  // by position in ownedCross
+  std::unique_ptr<SchedulingPolicy> policy;
+
+  // Instances this shard dirtied during the epoch (cross + local
+  // executions). Written only by the owning worker; read by every worker
+  // during the next plan phase to refresh cross-connector caches.
+  std::vector<int> dirtyLog;
+
+  // Instances of this shard dirtied by cross-shard executions (possibly
+  // performed by another shard's worker). Guarded by `mutex`, which
+  // doubles as the shard's frame lock during the cross phase.
+  std::mutex mutex;
+  std::vector<int> crossDirty;
+
+  // Published at plan time, consumed by the barrier completion.
+  std::vector<EnabledInteraction> crossCandidates;
+  std::size_t localEnabledCount = 0;
+
+  std::uint64_t localExecuted = 0;  // this epoch
+  std::vector<Event> events;
+
+  // Scratch.
+  std::vector<char> connectorQueued;  // dedup marks, sized connectorCount
+  std::vector<EnabledInteraction> flat;
+  std::vector<int> drained;
+};
+
+struct AcceptedCross {
+  EnabledInteraction interaction;
+  int crossIndex = 0;  // into ShardedSystem::crossConnectors()
+};
+
+}  // namespace
+
+ShardedEngine::ShardedEngine(const System& system, Partition partition)
+    : sharded_(system, std::move(partition)) {}
+
+ShardedEngine::ShardedEngine(const System& system, std::size_t shards)
+    : sharded_(system, partitionSystem(system, PartitionOptions{shards, 1.125, {}})) {}
+
+RunResult ShardedEngine::run(const ShardedOptions& options) {
+  require(options.epochBatch >= 1, "ShardedEngine: epochBatch must be >= 1");
+  ShardedSystem& ss = sharded_;
+  const System& system = ss.system();
+  const std::size_t K = ss.shardCount();
+  const std::size_t connectorCount = system.connectorCount();
+  // Compilation may have been toggled on after construction; force every
+  // program now, while still single-threaded (mirrors the other engines).
+  ss.ensureCompiled();
+
+  ShardedState state = ss.initialState();
+
+  // Position of each local connector within its home shard's list, and of
+  // each cross connector within its owner's list.
+  std::vector<int> localPos(connectorCount, -1);
+  std::vector<int> ownedPos(ss.crossConnectors().size(), -1);
+  for (std::size_t s = 0; s < K; ++s) {
+    const ShardedSystem::Shard& shard = ss.shard(s);
+    for (std::size_t i = 0; i < shard.localConnectors.size(); ++i) {
+      localPos[static_cast<std::size_t>(shard.localConnectors[i])] = static_cast<int>(i);
+    }
+    for (std::size_t i = 0; i < shard.ownedCross.size(); ++i) {
+      ownedPos[static_cast<std::size_t>(shard.ownedCross[i])] = static_cast<int>(i);
+    }
+  }
+
+  std::vector<std::unique_ptr<Worker>> workers;
+  workers.reserve(K);
+  for (std::size_t s = 0; s < K; ++s) {
+    auto w = std::make_unique<Worker>();
+    w->perLocal.resize(ss.shard(s).localConnectors.size());
+    w->perCross.resize(ss.shard(s).ownedCross.size());
+    w->policy = options.policyFactory ? options.policyFactory(s)
+                                      : std::make_unique<RandomPolicy>(
+                                            shardSeed(options.seed, s));
+    w->connectorQueued.assign(connectorCount, 0);
+    workers.push_back(std::move(w));
+  }
+
+  // ---- shared epoch state (all transitions ride the barriers) ----
+  const GlobalState placeholder;  // handed to policies; see ShardedOptions
+  std::uint64_t epoch = 0;
+  std::uint64_t executedTotal = 0;
+  bool bootstrap = true;
+  bool stop = false;
+  StopReason reason = StopReason::kStepLimit;
+  std::vector<AcceptedCross> accepted;
+  std::vector<std::uint64_t> localQuota(K, 0);
+  std::vector<char> instanceUsed(system.instanceCount(), 0);
+  std::atomic<bool> abort{false};
+  std::mutex errorMutex;
+  std::exception_ptr firstError;
+
+  const auto capture = [&]() {
+    const std::scoped_lock lock(errorMutex);
+    if (!firstError) firstError = std::current_exception();
+    abort.store(true, std::memory_order_relaxed);
+  };
+
+  // Plan resolution: runs on one thread at the plan barrier.
+  const auto resolvePlan = [&]() noexcept {
+    accepted.clear();
+    std::fill(localQuota.begin(), localQuota.end(), 0);
+    if (abort.load(std::memory_order_relaxed)) return;
+    const std::uint64_t remaining = options.maxSteps - executedTotal;
+    // Deterministic conflict resolution over all published cross-shard
+    // candidates: (connector, mask) order, greedy instance-disjoint.
+    std::vector<std::pair<const EnabledInteraction*, int>> candidates;
+    for (std::size_t s = 0; s < K; ++s) {
+      for (const EnabledInteraction& ei : workers[s]->crossCandidates) {
+        candidates.push_back({&ei, ss.crossIndexOf(ei.connector)});
+      }
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const auto& a, const auto& b) {
+                return std::tie(a.first->connector, a.first->mask) <
+                       std::tie(b.first->connector, b.first->mask);
+              });
+    std::fill(instanceUsed.begin(), instanceUsed.end(), 0);
+    for (const auto& [ei, xi] : candidates) {
+      if (accepted.size() >= remaining) break;
+      const std::vector<int>& footprint = ss.connectorInstances(ei->connector);
+      bool clash = false;
+      for (int inst : footprint) {
+        if (instanceUsed[static_cast<std::size_t>(inst)] != 0) {
+          clash = true;
+          break;
+        }
+      }
+      if (clash) continue;
+      for (int inst : footprint) instanceUsed[static_cast<std::size_t>(inst)] = 1;
+      accepted.push_back(AcceptedCross{*ei, xi});
+    }
+    // Local step quotas: rotate the deal across shards that reported
+    // enabled local work so no shard starves under a tight budget.
+    std::uint64_t budget = remaining - accepted.size();
+    bool progress = true;
+    while (budget > 0 && progress) {
+      progress = false;
+      for (std::size_t i = 0; i < K && budget > 0; ++i) {
+        const std::size_t s = (epoch + i) % K;
+        if (workers[s]->localEnabledCount == 0) continue;
+        if (localQuota[s] >= options.epochBatch) continue;
+        ++localQuota[s];
+        --budget;
+        progress = true;
+      }
+    }
+  };
+
+  // Epoch bookkeeping: runs on one thread at the end-of-epoch barrier.
+  const auto closeEpoch = [&]() noexcept {
+    if (bootstrap) {
+      bootstrap = false;
+      return;
+    }
+    std::uint64_t epochExec = accepted.size();
+    for (const auto& w : workers) epochExec += w->localExecuted;
+    executedTotal += epochExec;
+    if (abort.load(std::memory_order_relaxed)) {
+      stop = true;
+    } else if (executedTotal >= options.maxSteps) {
+      reason = StopReason::kStepLimit;
+      stop = true;
+    } else if (epochExec == 0) {
+      reason = StopReason::kDeadlock;
+      stop = true;
+    }
+    ++epoch;
+  };
+
+  std::barrier planBarrier(static_cast<std::ptrdiff_t>(K), resolvePlan);
+  std::barrier crossBarrier(static_cast<std::ptrdiff_t>(K), []() noexcept {});
+  std::barrier epochBarrier(static_cast<std::ptrdiff_t>(K), closeEpoch);
+
+  // Re-derives this shard's local connectors touching `inst`. Never
+  // touches cross connectors: their recompute reads foreign frames, which
+  // is only safe in the plan phase (all frames quiescent) — intra-epoch
+  // changes reach them through the dirty log instead. A local connector
+  // with an end on one of this shard's instances is necessarily homed
+  // here, so `localPos` membership is the whole ownership check.
+  const auto refreshLocalsOf = [&](Worker& w, int inst) {
+    for (int ci : system.connectorsOf(static_cast<std::size_t>(inst))) {
+      auto& queued = w.connectorQueued[static_cast<std::size_t>(ci)];
+      if (queued) continue;
+      queued = 1;
+      const int li = localPos[static_cast<std::size_t>(ci)];
+      if (li < 0) continue;
+      auto& list = w.perLocal[static_cast<std::size_t>(li)];
+      list.clear();
+      ss.appendConnectorInteractions(state, ci, list);
+    }
+  };
+  const auto clearQueuedOf = [&](Worker& w, int inst) {
+    for (int ci : system.connectorsOf(static_cast<std::size_t>(inst))) {
+      w.connectorQueued[static_cast<std::size_t>(ci)] = 0;
+    }
+  };
+
+  const auto planPhase = [&](std::size_t s) {
+    Worker& w = *workers[s];
+    const ShardedSystem::Shard& shard = ss.shard(s);
+    if (epoch == 0) {
+      // First epoch: full recompute of everything this shard owns.
+      for (std::size_t i = 0; i < shard.localConnectors.size(); ++i) {
+        w.perLocal[i].clear();
+        ss.appendConnectorInteractions(state, shard.localConnectors[i], w.perLocal[i]);
+      }
+      for (std::size_t i = 0; i < shard.ownedCross.size(); ++i) {
+        const int ci =
+            ss.crossConnectors()[static_cast<std::size_t>(shard.ownedCross[i])].connector;
+        w.perCross[i].clear();
+        ss.appendConnectorInteractions(state, ci, w.perCross[i]);
+      }
+    } else {
+      // Refresh owned cross connectors touched by any shard's executions
+      // last epoch. (Local connectors never need this pass: only cross
+      // executions and this shard's own local executions can dirty them,
+      // and both update them within the epoch.)
+      for (std::size_t t = 0; t < K; ++t) {
+        for (int inst : workers[t]->dirtyLog) {
+          for (int ci : system.connectorsOf(static_cast<std::size_t>(inst))) {
+            const int xi = ss.crossIndexOf(ci);
+            if (xi < 0 ||
+                ss.crossConnectors()[static_cast<std::size_t>(xi)].owner !=
+                    static_cast<int>(s)) {
+              continue;
+            }
+            auto& queued = w.connectorQueued[static_cast<std::size_t>(ci)];
+            if (queued) continue;
+            queued = 1;
+            auto& list =
+                w.perCross[static_cast<std::size_t>(ownedPos[static_cast<std::size_t>(xi)])];
+            list.clear();
+            ss.appendConnectorInteractions(state, ci, list);
+          }
+        }
+      }
+      for (std::size_t t = 0; t < K; ++t) {
+        for (int inst : workers[t]->dirtyLog) {
+          for (int ci : system.connectorsOf(static_cast<std::size_t>(inst))) {
+            w.connectorQueued[static_cast<std::size_t>(ci)] = 0;
+          }
+        }
+      }
+    }
+    w.crossCandidates.clear();
+    for (const auto& list : w.perCross) {
+      w.crossCandidates.insert(w.crossCandidates.end(), list.begin(), list.end());
+    }
+    w.localEnabledCount = 0;
+    for (const auto& list : w.perLocal) w.localEnabledCount += list.size();
+  };
+
+  const auto crossPhase = [&](std::size_t s) {
+    Worker& w = *workers[s];
+    w.dirtyLog.clear();  // every shard finished reading it during plan
+    w.localExecuted = 0;
+    for (std::size_t idx = 0; idx < accepted.size(); ++idx) {
+      const AcceptedCross& entry = accepted[idx];
+      const ShardedSystem::CrossConnector& x =
+          ss.crossConnectors()[static_cast<std::size_t>(entry.crossIndex)];
+      if (x.owner != static_cast<int>(s)) continue;
+      // Transition choices come from the owner's policy, consumed in
+      // deterministic accepted order.
+      std::vector<EnabledInteraction> one{entry.interaction};
+      const auto [pick, choice] = w.policy->pick(system, placeholder, one);
+      require(pick == 0, "SchedulingPolicy returned out-of-range interaction");
+      // Ordered locking of every involved shard (ascending shard id,
+      // deadlock-free): serializes frame access and dirty-queue pushes
+      // against the other accepted crosses sharing a shard. RAII locks so
+      // an EvalError out of executeInteraction (rethrown after the run)
+      // cannot leave a mutex held and wedge the other owners.
+      {
+        std::vector<std::unique_lock<std::mutex>> locks;
+        locks.reserve(x.shards.size());
+        for (int t : x.shards) {
+          locks.emplace_back(workers[static_cast<std::size_t>(t)]->mutex);
+        }
+        ss.executeInteraction(state, entry.interaction, choice);
+        for (int inst : ss.connectorInstances(entry.interaction.connector)) {
+          w.dirtyLog.push_back(inst);
+          workers[static_cast<std::size_t>(ss.shardOf(inst))]->crossDirty.push_back(inst);
+        }
+      }
+      if (options.recordTrace) {
+        w.events.push_back(Event{epoch, 0, 0, idx, entry.interaction.connector,
+                                 entry.interaction.mask,
+                                 interactionLabel(system, entry.interaction)});
+      }
+    }
+  };
+
+  const auto localPhase = [&](std::size_t s) {
+    Worker& w = *workers[s];
+    // Refresh local connectors dirtied by this epoch's cross executions.
+    {
+      const std::scoped_lock lock(w.mutex);
+      w.drained.assign(w.crossDirty.begin(), w.crossDirty.end());
+      w.crossDirty.clear();
+    }
+    for (int inst : w.drained) refreshLocalsOf(w, inst);
+    for (int inst : w.drained) clearQueuedOf(w, inst);
+    // Shard-local run loop: the sequential engine's step loop confined to
+    // this shard's frame.
+    const std::uint64_t quota = localQuota[s];
+    while (w.localExecuted < quota) {
+      w.flat.clear();
+      for (const auto& list : w.perLocal) {
+        w.flat.insert(w.flat.end(), list.begin(), list.end());
+      }
+      if (w.flat.empty()) break;
+      const auto [idx, choice] = w.policy->pick(system, placeholder, w.flat);
+      require(idx < w.flat.size(), "SchedulingPolicy returned out-of-range interaction");
+      const EnabledInteraction ei = w.flat[idx];
+      ss.executeInteraction(state, ei, choice);
+      if (options.recordTrace) {
+        w.events.push_back(Event{epoch, 1, static_cast<int>(s), w.localExecuted, ei.connector,
+                                 ei.mask, interactionLabel(system, ei)});
+      }
+      ++w.localExecuted;
+      // Incremental cache maintenance: re-derive the local connectors
+      // touching the dirtied instances now; cross connectors are deferred
+      // to the next plan phase through the dirty log.
+      const std::vector<int>& dirty = ss.connectorInstances(ei.connector);
+      for (int inst : dirty) {
+        w.dirtyLog.push_back(inst);
+        refreshLocalsOf(w, inst);
+      }
+      for (int inst : dirty) clearQueuedOf(w, inst);
+    }
+  };
+
+  const auto guarded = [&](auto&& phase) {
+    if (abort.load(std::memory_order_relaxed)) return;
+    try {
+      phase();
+    } catch (...) {
+      capture();
+    }
+  };
+
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(K);
+    for (std::size_t s = 0; s < K; ++s) {
+      threads.emplace_back([&, s] {
+        // Bootstrap: settle initial tau steps of this shard's members so
+        // offers reflect stable states (mirrors SequentialEngine).
+        guarded([&] {
+          for (int inst : ss.shard(s).members) ss.runInternalAt(state, inst);
+        });
+        epochBarrier.arrive_and_wait();  // completion: bootstrap no-op
+        if (options.maxSteps == 0) return;
+        while (true) {
+          guarded([&] { planPhase(s); });
+          planBarrier.arrive_and_wait();  // completion: resolvePlan
+          guarded([&] { crossPhase(s); });
+          crossBarrier.arrive_and_wait();
+          guarded([&] { localPhase(s); });
+          epochBarrier.arrive_and_wait();  // completion: closeEpoch
+          if (stop) break;
+        }
+      });
+    }
+  }  // join
+
+  if (firstError) std::rethrow_exception(firstError);
+
+  RunResult result;
+  result.reason = options.maxSteps == 0 ? StopReason::kStepLimit : reason;
+  result.steps = executedTotal;
+  result.finalState = ss.toGlobal(state);
+  if (options.recordTrace) {
+    std::vector<Event> all;
+    for (const auto& w : workers) {
+      all.insert(all.end(), w->events.begin(), w->events.end());
+    }
+    std::sort(all.begin(), all.end(), eventBefore);
+    result.trace.events.reserve(all.size());
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      result.trace.events.push_back(TraceEvent{i, all[i].connector, all[i].mask,
+                                               std::move(all[i].label)});
+    }
+  }
+  return result;
+}
+
+}  // namespace cbip::shard

@@ -1,0 +1,91 @@
+// Sharded BIP engine: one worker thread per shard of a partitioned
+// component graph.
+//
+// Where the multithreaded engine (engine/engine_mt.hpp) pays a
+// message-round handshake per *interaction*, the sharded engine pays
+// three synchronization barriers per *epoch* of up to
+// shardCount * epochBatch interactions: shard-local interactions (the overwhelming majority under
+// a good partition, see shard/partition.hpp) execute entirely inside
+// their shard — enabled-set maintenance, policy choice, data transfer and
+// transition firing all touch one worker's own frame, with no locks.
+//
+// Cross-shard interactions are coordinated by an epoch-based conflict
+// scheduler with no global lock:
+//
+//   plan    All frames are quiescent. Every shard refreshes the enabled
+//           sets of the connectors it owns (cross-shard connectors are
+//           owned by their lowest involved shard) from the dirty-instance
+//           logs of the previous epoch, and publishes its cross-shard
+//           candidates. [barrier: one thread deterministically resolves
+//           conflicts — candidates sorted by (connector, mask), greedily
+//           accepted while their instance footprints stay disjoint — and
+//           deals out per-shard step quotas for the local phase.]
+//
+//   cross   Owners execute the accepted cross-shard interactions. Each
+//           acquires the involved shards' mutexes in ascending shard
+//           order (ordered two-shard locking in the common case; ordered
+//           k-shard locking for wider connectors, deadlock-free by the
+//           total order), executes against the two frames through the
+//           foreign-frame slot maps, and queues the dirtied instances to
+//           the affected shards. [barrier]
+//
+//   local   Every shard drains its dirty queue, then runs up to its quota
+//           of shard-local interactions: pick via its own seeded policy,
+//           execute in place on the shard frame, update its local enabled
+//           caches incrementally. [barrier: count the epoch's executed
+//           interactions; 0 executed means global deadlock.]
+//
+// Because every interaction executed within one epoch has a pairwise
+// disjoint instance footprint against the concurrent ones (accepted
+// crosses by construction; locals by shard-locality), the epoch's
+// interactions serialize: cross interactions in accepted order followed
+// by each shard's local sequence is a valid sequential schedule with an
+// identical final state. The differential suite (tests/test_sharded.cpp)
+// replays exactly that schedule through SequentialEngine. With a single
+// shard the engine degenerates to the sequential loop and its traces are
+// bit-identical to SequentialEngine under the same seeded policy.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "engine/common.hpp"
+#include "shard/sharded.hpp"
+
+namespace cbip::shard {
+
+struct ShardedOptions {
+  std::uint64_t maxSteps = 1000;  // counts interactions, like MtOptions
+  bool recordTrace = true;
+  /// Seed for the default per-shard scheduling policies.
+  std::uint64_t seed = 0;
+  /// Upper bound on shard-local interactions one shard executes per
+  /// epoch. Larger values amortize the per-epoch barriers; 1 globally
+  /// synchronizes every step.
+  std::uint64_t epochBatch = 8;
+  /// Scheduling policy per shard. Default: RandomPolicy(seed) for shard 0
+  /// — making a one-shard run bit-identical to SequentialEngine with
+  /// RandomPolicy(seed) — and an independently seeded RandomPolicy per
+  /// further shard. Policies are handed an empty placeholder GlobalState;
+  /// state-inspecting policies are not supported here.
+  std::function<std::unique_ptr<SchedulingPolicy>(std::size_t shard)> policyFactory;
+};
+
+class ShardedEngine {
+ public:
+  /// The system must outlive the engine.
+  ShardedEngine(const System& system, Partition partition);
+  /// Convenience: greedy-partitions the system into `shards` shards.
+  ShardedEngine(const System& system, std::size_t shards);
+
+  /// Runs from the system's initial state.
+  RunResult run(const ShardedOptions& options);
+
+  const ShardedSystem& sharded() const { return sharded_; }
+
+ private:
+  ShardedSystem sharded_;
+};
+
+}  // namespace cbip::shard

@@ -1,0 +1,188 @@
+#include "shard/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace cbip::shard {
+
+namespace {
+
+/// Weighted adjacency of the component affinity graph, as a sorted
+/// (neighbour, weight) list per instance.
+std::vector<std::vector<std::pair<int, int>>> affinityGraph(const System& system) {
+  const std::size_t n = system.instanceCount();
+  std::vector<std::vector<std::pair<int, int>>> adj(n);
+  for (const Connector& c : system.connectors()) {
+    // Distinct instances on the connector (validation forbids duplicate
+    // instances among the ends, but stay defensive).
+    std::vector<int> members;
+    members.reserve(c.endCount());
+    for (const ConnectorEnd& e : c.ends()) members.push_back(e.port.instance);
+    std::sort(members.begin(), members.end());
+    members.erase(std::unique(members.begin(), members.end()), members.end());
+    for (std::size_t a = 0; a < members.size(); ++a) {
+      for (std::size_t b = a + 1; b < members.size(); ++b) {
+        adj[static_cast<std::size_t>(members[a])].push_back({members[b], 1});
+        adj[static_cast<std::size_t>(members[b])].push_back({members[a], 1});
+      }
+    }
+  }
+  // Merge parallel edges into one weighted edge.
+  for (std::vector<std::pair<int, int>>& edges : adj) {
+    std::sort(edges.begin(), edges.end());
+    std::vector<std::pair<int, int>> merged;
+    for (const auto& [to, w] : edges) {
+      if (!merged.empty() && merged.back().first == to) {
+        merged.back().second += w;
+      } else {
+        merged.push_back({to, w});
+      }
+    }
+    edges = std::move(merged);
+  }
+  return adj;
+}
+
+}  // namespace
+
+Partition partitionSystem(const System& system, const PartitionOptions& options) {
+  const std::size_t n = system.instanceCount();
+  require(options.shards >= 1, "partitionSystem: need at least one shard");
+  require(options.tolerance >= 1.0, "partitionSystem: tolerance must be >= 1.0");
+  const std::size_t k = std::min(options.shards, std::max<std::size_t>(n, 1));
+  std::vector<int> shardOf(n, -1);
+  if (k == 1) {
+    std::fill(shardOf.begin(), shardOf.end(), 0);
+    return Partition(std::move(shardOf), 1);
+  }
+
+  const auto adj = affinityGraph(system);
+  std::vector<std::size_t> load(k, 0);
+  std::size_t assigned = 0;
+  for (const auto& [inst, s] : options.pins) {
+    require(inst >= 0 && static_cast<std::size_t>(inst) < n,
+            "partitionSystem: pinned instance out of range");
+    require(s >= 0 && static_cast<std::size_t>(s) < k,
+            "partitionSystem: pinned shard out of range");
+    require(shardOf[static_cast<std::size_t>(inst)] == -1 ||
+                shardOf[static_cast<std::size_t>(inst)] == s,
+            "partitionSystem: instance pinned to two shards");
+    if (shardOf[static_cast<std::size_t>(inst)] == -1) {
+      shardOf[static_cast<std::size_t>(inst)] = s;
+      ++load[static_cast<std::size_t>(s)];
+      ++assigned;
+    }
+  }
+
+  const std::size_t cap = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::ceil(options.tolerance * static_cast<double>(n) / static_cast<double>(k))));
+
+  // Total incident weight per instance; high-degree instances make the
+  // best growth seeds (their edges are the most expensive to cut).
+  std::vector<long long> degree(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const auto& [to, w] : adj[i]) {
+      (void)to;
+      degree[i] += w;
+    }
+  }
+
+  // Affinity of each unassigned instance to the shard currently growing.
+  std::vector<long long> affinity(n, 0);
+  for (std::size_t s = 0; s < k; ++s) {
+    // Even share of what is left over the shards still to fill; the last
+    // shard absorbs every remainder.
+    const std::size_t remainingShards = k - s;
+    const std::size_t target =
+        load[s] + (n - assigned + remainingShards - 1) / remainingShards;
+    std::fill(affinity.begin(), affinity.end(), 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (shardOf[i] != static_cast<int>(s)) continue;
+      for (const auto& [to, w] : adj[i]) {
+        if (shardOf[static_cast<std::size_t>(to)] == -1) {
+          affinity[static_cast<std::size_t>(to)] += w;
+        }
+      }
+    }
+    while (assigned < n && load[s] < cap) {
+      // Leave at least one instance for every shard after this one.
+      if (n - assigned <= remainingShards - 1) break;
+      // Best candidate: strongest affinity; ties and the empty-frontier
+      // case fall back to the highest-degree (then lowest-index)
+      // unassigned instance, which seeds the next growth region.
+      int best = -1;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (shardOf[i] != -1) continue;
+        if (best == -1) {
+          best = static_cast<int>(i);
+          continue;
+        }
+        const std::size_t b = static_cast<std::size_t>(best);
+        if (affinity[i] > affinity[b] ||
+            (affinity[i] == affinity[b] && degree[i] > degree[b])) {
+          best = static_cast<int>(i);
+        }
+      }
+      const std::size_t pick = static_cast<std::size_t>(best);
+      // Past the even share, keep growing only while the candidate
+      // actually touches the shard (tolerance buys smaller cuts, not
+      // arbitrary imbalance).
+      if (load[s] >= target && affinity[pick] == 0) break;
+      shardOf[pick] = static_cast<int>(s);
+      ++load[s];
+      ++assigned;
+      for (const auto& [to, w] : adj[pick]) {
+        if (shardOf[static_cast<std::size_t>(to)] == -1) {
+          affinity[static_cast<std::size_t>(to)] += w;
+        }
+      }
+    }
+  }
+  // Anything left (cap exhausted everywhere) goes to the lightest shard.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (shardOf[i] != -1) continue;
+    const std::size_t s = static_cast<std::size_t>(
+        std::min_element(load.begin(), load.end()) - load.begin());
+    shardOf[i] = static_cast<int>(s);
+    ++load[s];
+  }
+  return Partition(std::move(shardOf), k);
+}
+
+PartitionQuality partitionQuality(const System& system, const Partition& partition) {
+  require(partition.instanceCount() == system.instanceCount(),
+          "partitionQuality: partition does not match the system");
+  PartitionQuality q;
+  const auto adj = affinityGraph(system);
+  for (std::size_t i = 0; i < adj.size(); ++i) {
+    for (const auto& [to, w] : adj[i]) {
+      if (static_cast<std::size_t>(to) > i &&
+          partition.shardOf(i) != partition.shardOf(static_cast<std::size_t>(to))) {
+        q.edgeCut += static_cast<std::size_t>(w);
+      }
+    }
+  }
+  for (const Connector& c : system.connectors()) {
+    bool cross = false;
+    for (const ConnectorEnd& e : c.ends()) {
+      if (partition.shardOf(static_cast<std::size_t>(e.port.instance)) !=
+          partition.shardOf(static_cast<std::size_t>(c.end(0).port.instance))) {
+        cross = true;
+        break;
+      }
+    }
+    if (cross) ++q.crossConnectors;
+  }
+  std::vector<std::size_t> load(partition.shardCount(), 0);
+  for (std::size_t i = 0; i < partition.instanceCount(); ++i) {
+    ++load[static_cast<std::size_t>(partition.shardOf(i))];
+  }
+  q.maxLoad = load.empty() ? 0 : *std::max_element(load.begin(), load.end());
+  q.minLoad = load.empty() ? 0 : *std::min_element(load.begin(), load.end());
+  return q;
+}
+
+}  // namespace cbip::shard

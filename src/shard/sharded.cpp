@@ -1,0 +1,479 @@
+#include "shard/sharded.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "util/require.hpp"
+
+namespace cbip::shard {
+
+namespace {
+
+/// Evaluation context for a component's local expressions against its
+/// variable block inside a shard frame (interpreted escape-hatch twin of
+/// ExprProgram::run(frame, base); mirrors expr::VecContext).
+class FrameContext final : public expr::EvalContext {
+ public:
+  FrameContext(std::span<Value> frame, int base, std::size_t varCount)
+      : frame_(frame), base_(base), varCount_(varCount) {}
+
+  Value read(expr::VarRef ref) const override {
+    check(ref);
+    return frame_[static_cast<std::size_t>(base_ + ref.index)];
+  }
+
+  void write(expr::VarRef ref, Value value) override {
+    check(ref);
+    frame_[static_cast<std::size_t>(base_ + ref.index)] = value;
+  }
+
+ private:
+  void check(expr::VarRef ref) const {
+    requireEval(ref.scope == 0, "FrameContext: only scope 0 is bound");
+    requireEval(ref.index >= 0 && static_cast<std::size_t>(ref.index) < varCount_,
+                "FrameContext: variable index out of range");
+  }
+
+  std::span<Value> frame_;
+  int base_;
+  std::size_t varCount_;
+};
+
+/// Resolves connector expressions against a sharded state: scope >= 0 is
+/// the scope-th end's exported variable (found in the owning shard's
+/// frame), kConnectorScope the transfer-local variable vector. The
+/// interpreted twin of the compiled local/cross connector programs,
+/// mirroring the sequential InteractionContext in core/semantics.cpp.
+class ShardInteractionContext final : public expr::EvalContext {
+ public:
+  ShardInteractionContext(const ShardedSystem& sharded, const Connector& connector,
+                          ShardedState& state, std::vector<Value>& connectorVars)
+      : sharded_(&sharded), connector_(&connector), state_(&state), vars_(&connectorVars) {}
+
+  Value read(expr::VarRef ref) const override {
+    if (ref.scope == expr::kConnectorScope) {
+      requireEval(ref.index >= 0 && static_cast<std::size_t>(ref.index) < vars_->size(),
+                  "connector variable out of range");
+      return (*vars_)[static_cast<std::size_t>(ref.index)];
+    }
+    return componentVar(ref);
+  }
+
+  void write(expr::VarRef ref, Value value) override {
+    if (ref.scope == expr::kConnectorScope) {
+      requireEval(ref.index >= 0 && static_cast<std::size_t>(ref.index) < vars_->size(),
+                  "connector variable out of range");
+      (*vars_)[static_cast<std::size_t>(ref.index)] = value;
+      return;
+    }
+    componentVar(ref) = value;
+  }
+
+ private:
+  Value& componentVar(expr::VarRef ref) const {
+    requireEval(ref.scope >= 0 && static_cast<std::size_t>(ref.scope) < connector_->endCount(),
+                "connector expression: end scope out of range");
+    const ConnectorEnd& end = connector_->end(static_cast<std::size_t>(ref.scope));
+    const AtomicType& type =
+        *sharded_->system().instance(static_cast<std::size_t>(end.port.instance)).type;
+    const PortDecl& port = type.port(end.port.port);
+    requireEval(ref.index >= 0 && static_cast<std::size_t>(ref.index) < port.exports.size(),
+                "connector expression: export index out of range");
+    std::vector<Value>& frame =
+        state_->frames[static_cast<std::size_t>(sharded_->shardOf(end.port.instance))];
+    return frame[static_cast<std::size_t>(
+        sharded_->frameBase(end.port.instance) +
+        port.exports[static_cast<std::size_t>(ref.index)])];
+  }
+
+  const ShardedSystem* sharded_;
+  const Connector* connector_;
+  ShardedState* state_;
+  std::vector<Value>* vars_;
+};
+
+}  // namespace
+
+ShardedSystem::ShardedSystem(const System& system, Partition partition)
+    : system_(&system), partition_(std::move(partition)) {
+  system.validate();
+  const std::size_t n = system.instanceCount();
+  require(partition_.instanceCount() == n,
+          "ShardedSystem: partition does not match the system");
+  require(system.priorities().empty() && !system.maximalProgress(),
+          "ShardedSystem: priority rules / maximal progress are global filters; "
+          "sharded execution does not support them");
+  require(partition_.shardCount() >= 1, "ShardedSystem: partition has no shards");
+  for (std::size_t i = 0; i < n; ++i) {
+    require(partition_.shardOf(i) >= 0 &&
+                static_cast<std::size_t>(partition_.shardOf(i)) < partition_.shardCount(),
+            "ShardedSystem: partition assigns an instance to an out-of-range shard");
+  }
+  shards_.resize(partition_.shardCount());
+  frameBase_.resize(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    Shard& s = shards_[static_cast<std::size_t>(partition_.shardOf(i))];
+    s.members.push_back(static_cast<int>(i));
+    frameBase_[i] = static_cast<int>(s.frameSize);
+    s.frameSize += system.instance(i).type->variableCount();
+  }
+  const std::size_t cc = system.connectorCount();
+  crossIndex_.assign(cc, -1);
+  footprint_.resize(cc);
+  localPrograms_.resize(cc);
+  for (std::size_t ci = 0; ci < cc; ++ci) {
+    const Connector& c = system.connector(ci);
+    std::vector<int>& insts = footprint_[ci];
+    insts.reserve(c.endCount());
+    for (const ConnectorEnd& e : c.ends()) insts.push_back(e.port.instance);
+    std::sort(insts.begin(), insts.end());
+    insts.erase(std::unique(insts.begin(), insts.end()), insts.end());
+    std::vector<int> touched;
+    for (int inst : insts) touched.push_back(shardOf(inst));
+    std::sort(touched.begin(), touched.end());
+    touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+    if (touched.size() <= 1) {
+      const std::size_t s =
+          touched.empty() ? 0 : static_cast<std::size_t>(touched.front());
+      Shard& home = shards_[s];
+      home.localConnectors.push_back(static_cast<int>(ci));
+      // Connector-local variables live at the tail of the home frame.
+      LocalProgram& lp = localPrograms_[ci];
+      lp.connector = static_cast<int>(ci);
+      lp.homeShard = static_cast<int>(s);
+      lp.varBase = static_cast<int>(home.frameSize);
+      lp.varCount = static_cast<int>(c.variableCount());
+      home.frameSize += c.variableCount();
+    } else {
+      CrossConnector x;
+      x.connector = static_cast<int>(ci);
+      x.shards = std::move(touched);
+      x.owner = x.shards.front();
+      crossIndex_[ci] = static_cast<int>(cross_.size());
+      shards_[static_cast<std::size_t>(x.owner)].ownedCross.push_back(
+          static_cast<int>(cross_.size()));
+      cross_.push_back(std::move(x));
+    }
+  }
+  // Force the lazily-built structures the workers will read while still
+  // single-threaded: the System's component->connector reverse index and
+  // every type's location/port transition index (rebuildIndexIfNeeded has
+  // no internal synchronization).
+  if (n > 0) system.connectorsOf(0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const AtomicType& type = *system.instance(i).type;
+    (void)type.transitionsFrom(type.initialLocation(), kInternalPort);
+  }
+  if (expr::compilationEnabled()) ensureCompiled();
+}
+
+void ShardedSystem::ensureCompiled() {
+  if (compiledBuilt_ || !expr::compilationEnabled()) return;
+  // Transition programs may not have been lowered if compilation was
+  // toggled on after validate(); force them now (single-threaded).
+  for (std::size_t i = 0; i < system_->instanceCount(); ++i) {
+    const AtomicType& type = *system_->instance(i).type;
+    if (type.transitionCount() > 0) (void)type.compiledTransition(0);
+  }
+  for (const Shard& shard : shards_) {
+    for (int ci : shard.localConnectors) {
+      const Connector& c = system_->connector(static_cast<std::size_t>(ci));
+      LocalProgram& lp = localPrograms_[static_cast<std::size_t>(ci)];
+      const expr::SlotMap slots = [&](expr::VarRef r) {
+        if (r.scope == expr::kConnectorScope) {
+          require(r.index >= 0 && static_cast<std::size_t>(r.index) < c.variableCount(),
+                  "connector '" + c.name() + "': connector variable out of range");
+          return lp.varBase + r.index;
+        }
+        require(r.scope >= 0 && static_cast<std::size_t>(r.scope) < c.endCount(),
+                "connector '" + c.name() + "': end scope out of range");
+        const ConnectorEnd& end = c.end(static_cast<std::size_t>(r.scope));
+        const AtomicType& type =
+            *system_->instance(static_cast<std::size_t>(end.port.instance)).type;
+        const PortDecl& port = type.port(end.port.port);
+        require(r.index >= 0 && static_cast<std::size_t>(r.index) < port.exports.size(),
+                "connector '" + c.name() + "': export index out of range");
+        return frameBase_[static_cast<std::size_t>(end.port.instance)] +
+               port.exports[static_cast<std::size_t>(r.index)];
+      };
+      lp.guard = expr::ExprProgram();
+      if (!c.guard().isTrue()) lp.guard = expr::compile(c.guard(), slots);
+      lp.ups.clear();
+      for (const expr::Assign& up : c.ups()) {
+        require(up.target.scope == expr::kConnectorScope,
+                "connector '" + c.name() + "': up target is not a connector variable");
+        lp.ups.push_back(LocalProgram::UpOp{slots(up.target), expr::compile(up.value, slots)});
+      }
+      lp.downs.clear();
+      for (const DownAssign& d : c.downs()) {
+        lp.downs.push_back(LocalProgram::DownOp{
+            d.end, slots(expr::VarRef{d.end, d.exportIndex}), expr::compile(d.value, slots)});
+      }
+    }
+  }
+  for (CrossConnector& x : cross_) {
+    const auto place = [this, &x](int instance) {
+      const auto it = std::lower_bound(x.shards.begin(), x.shards.end(), shardOf(instance));
+      return CompiledConnector::FramePlacement{
+          static_cast<int>(it - x.shards.begin()), frameBase(instance)};
+    };
+    x.compiled.emplace(*system_, system_->connector(static_cast<std::size_t>(x.connector)),
+                       place);
+  }
+  compiledBuilt_ = true;
+}
+
+ShardedState ShardedSystem::initialState() const {
+  ShardedState state;
+  state.locations.resize(system_->instanceCount());
+  for (std::size_t i = 0; i < system_->instanceCount(); ++i) {
+    state.locations[i] = system_->instance(i).type->initialLocation();
+  }
+  state.frames.resize(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    // Connector-variable tail slots start zero; every transfer re-zeroes
+    // them before running its ups (fresh-zero semantics).
+    state.frames[s].assign(shards_[s].frameSize, 0);
+    for (int inst : shards_[s].members) {
+      const AtomicType& type = *system_->instance(static_cast<std::size_t>(inst)).type;
+      for (std::size_t v = 0; v < type.variableCount(); ++v) {
+        state.frames[s][static_cast<std::size_t>(frameBase_[static_cast<std::size_t>(inst)]) +
+                        v] = type.variable(static_cast<int>(v)).init;
+      }
+    }
+  }
+  return state;
+}
+
+GlobalState ShardedSystem::toGlobal(const ShardedState& state) const {
+  GlobalState g;
+  g.components.resize(system_->instanceCount());
+  for (std::size_t i = 0; i < system_->instanceCount(); ++i) {
+    const AtomicType& type = *system_->instance(i).type;
+    AtomicState& comp = g.components[i];
+    comp.location = state.locations[i];
+    const std::vector<Value>& frame =
+        state.frames[static_cast<std::size_t>(partition_.shardOf(i))];
+    const std::size_t base = static_cast<std::size_t>(frameBase_[i]);
+    comp.vars.assign(frame.begin() + static_cast<std::ptrdiff_t>(base),
+                     frame.begin() + static_cast<std::ptrdiff_t>(base + type.variableCount()));
+  }
+  return g;
+}
+
+ShardedState ShardedSystem::fromGlobal(const GlobalState& state) const {
+  requireEval(state.components.size() == system_->instanceCount(),
+              "ShardedSystem::fromGlobal: state does not match the system");
+  ShardedState out = initialState();
+  for (std::size_t i = 0; i < system_->instanceCount(); ++i) {
+    requireEval(state.components[i].vars.size() ==
+                    system_->instance(i).type->variableCount(),
+                "ShardedSystem::fromGlobal: component variable count mismatch");
+    out.locations[i] = state.components[i].location;
+    std::vector<Value>& frame = out.frames[static_cast<std::size_t>(partition_.shardOf(i))];
+    const std::size_t base = static_cast<std::size_t>(frameBase_[i]);
+    for (std::size_t v = 0; v < state.components[i].vars.size(); ++v) {
+      frame[base + v] = state.components[i].vars[v];
+    }
+  }
+  return out;
+}
+
+bool ShardedSystem::guardHoldsAt(const ShardedState& state, int instance, int ti) const {
+  const AtomicType& type = *system_->instance(static_cast<std::size_t>(instance)).type;
+  const Transition& t = type.transition(ti);
+  if (t.guard.isTrue()) return true;
+  const std::vector<Value>& frame =
+      state.frames[static_cast<std::size_t>(shardOf(instance))];
+  const int base = frameBase_[static_cast<std::size_t>(instance)];
+  if (expr::compilationEnabled()) {
+    return type.compiledTransition(ti).guard.run(frame, base) != 0;
+  }
+  auto& mutableFrame = const_cast<std::vector<Value>&>(frame);
+  FrameContext ctx(mutableFrame, base, type.variableCount());
+  return t.guard.eval(ctx) != 0;
+}
+
+void ShardedSystem::enabledTransitionsAt(const ShardedState& state, int instance, int port,
+                                         std::vector<int>& out) const {
+  out.clear();
+  const AtomicType& type = *system_->instance(static_cast<std::size_t>(instance)).type;
+  for (int ti :
+       type.transitionsFrom(state.locations[static_cast<std::size_t>(instance)], port)) {
+    if (guardHoldsAt(state, instance, ti)) out.push_back(ti);
+  }
+}
+
+void ShardedSystem::fireAt(ShardedState& state, int instance, int ti) const {
+  const AtomicType& type = *system_->instance(static_cast<std::size_t>(instance)).type;
+  const Transition& t = type.transition(ti);
+  int& location = state.locations[static_cast<std::size_t>(instance)];
+  require(t.from == location, type.name() + ": firing transition from wrong location");
+  std::vector<Value>& frame = state.frames[static_cast<std::size_t>(shardOf(instance))];
+  const int base = frameBase_[static_cast<std::size_t>(instance)];
+  if (expr::compilationEnabled()) {
+    const CompiledTransition& ct = type.compiledTransition(ti);
+    // Sequential assignment semantics: each action sees earlier writes
+    // because the frame region *is* the live variable block.
+    for (const CompiledTransition::Action& a : ct.actions) {
+      frame[static_cast<std::size_t>(base + a.target)] = a.value.run(frame, base);
+    }
+  } else {
+    FrameContext ctx(frame, base, type.variableCount());
+    expr::applyAssignments(t.actions, ctx);
+  }
+  location = t.to;
+}
+
+void ShardedSystem::runInternalAt(ShardedState& state, int instance, int maxSteps) const {
+  const AtomicType& type = *system_->instance(static_cast<std::size_t>(instance)).type;
+  std::vector<int> enabled;
+  for (int step = 0; step < maxSteps; ++step) {
+    enabledTransitionsAt(state, instance, kInternalPort, enabled);
+    if (enabled.empty()) return;
+    fireAt(state, instance, enabled.front());
+  }
+  throw EvalError(type.name() + ": internal transitions diverge (> " +
+                  std::to_string(maxSteps) + " tau steps)");
+}
+
+void ShardedSystem::appendConnectorInteractions(const ShardedState& state, int ci,
+                                                std::vector<EnabledInteraction>& out) const {
+  const Connector& c = system_->connector(static_cast<std::size_t>(ci));
+  std::vector<std::vector<int>> endEnabled(c.endCount());
+  for (std::size_t e = 0; e < c.endCount(); ++e) {
+    enabledTransitionsAt(state, c.end(e).port.instance, c.end(e).port.port, endEnabled[e]);
+  }
+  // Lazy single guard evaluation per scan, like the reference
+  // appendConnectorInteractions.
+  std::optional<bool> guardOk;
+  const auto guardHolds = [&]() {
+    if (!guardOk.has_value()) {
+      if (expr::compilationEnabled()) {
+        requireEval(compiledBuilt_, "ShardedSystem: ensureCompiled() has not run");
+        const int xi = crossIndex_[static_cast<std::size_t>(ci)];
+        if (xi < 0) {
+          // Shard-local: the guard program addresses the shard frame
+          // directly — no gather at all.
+          const LocalProgram& lp = localPrograms_[static_cast<std::size_t>(ci)];
+          guardOk =
+              lp.guard.run(state.frames[static_cast<std::size_t>(lp.homeShard)]) != 0;
+        } else {
+          const CrossConnector& x = cross_[static_cast<std::size_t>(xi)];
+          static thread_local std::vector<Value> scratch;
+          static thread_local std::vector<std::span<const Value>> frames;
+          scratch.resize(x.compiled->frameSize());
+          frames.clear();
+          for (int s : x.shards) frames.push_back(state.frames[static_cast<std::size_t>(s)]);
+          x.compiled->gather(frames, scratch);
+          guardOk = x.compiled->evalGuard(scratch) != 0;
+        }
+      } else {
+        // Mirror the interpreter exactly, including its empty
+        // connector-variable vector during guard evaluation.
+        auto& mutableState = const_cast<ShardedState&>(state);
+        std::vector<Value> noVars;
+        ShardInteractionContext ctx(*this, c, mutableState, noVars);
+        guardOk = c.guard().eval(ctx) != 0;
+      }
+    }
+    return *guardOk;
+  };
+  for (InteractionMask mask : c.feasibleMasks()) {
+    bool allEnabled = true;
+    for (std::size_t e = 0; e < c.endCount(); ++e) {
+      if ((mask & (InteractionMask{1} << e)) != 0 && endEnabled[e].empty()) {
+        allEnabled = false;
+        break;
+      }
+    }
+    if (!allEnabled) continue;
+    if (!c.guard().isTrue() && !guardHolds()) continue;
+    EnabledInteraction ei;
+    ei.connector = ci;
+    ei.mask = mask;
+    for (std::size_t e = 0; e < c.endCount(); ++e) {
+      if ((mask & (InteractionMask{1} << e)) == 0) continue;
+      ei.ends.push_back(static_cast<int>(e));
+      ei.choices.push_back(endEnabled[e]);
+    }
+    out.push_back(std::move(ei));
+  }
+}
+
+void ShardedSystem::connectorTransfer(ShardedState& state,
+                                      const EnabledInteraction& interaction) const {
+  const int ci = interaction.connector;
+  const Connector& c = system_->connector(static_cast<std::size_t>(ci));
+  if (expr::compilationEnabled()) {
+    requireEval(compiledBuilt_, "ShardedSystem: ensureCompiled() has not run");
+    const int xi = crossIndex_[static_cast<std::size_t>(ci)];
+    if (xi < 0) {
+      const LocalProgram& lp = localPrograms_[static_cast<std::size_t>(ci)];
+      if (lp.ups.empty() && lp.downs.empty()) return;
+      std::vector<Value>& frame = state.frames[static_cast<std::size_t>(lp.homeShard)];
+      // Fresh-zero connector variables (interpreter semantics), then run
+      // ups and participating downs in place on the live frame.
+      std::fill(frame.begin() + lp.varBase, frame.begin() + lp.varBase + lp.varCount, 0);
+      for (const LocalProgram::UpOp& u : lp.ups) {
+        frame[static_cast<std::size_t>(u.slot)] = u.value.run(frame);
+      }
+      for (const LocalProgram::DownOp& d : lp.downs) {
+        if ((interaction.mask & (InteractionMask{1} << static_cast<unsigned>(d.end))) == 0) {
+          continue;
+        }
+        frame[static_cast<std::size_t>(d.slot)] = d.value.run(frame);
+      }
+      return;
+    }
+    const CrossConnector& x = cross_[static_cast<std::size_t>(xi)];
+    if (!x.compiled->hasTransfer()) return;
+    static thread_local std::vector<Value> scratch;
+    static thread_local std::vector<std::span<const Value>> constFrames;
+    static thread_local std::vector<std::span<Value>> mutFrames;
+    scratch.resize(x.compiled->frameSize());
+    constFrames.clear();
+    mutFrames.clear();
+    for (int s : x.shards) {
+      constFrames.push_back(state.frames[static_cast<std::size_t>(s)]);
+      mutFrames.push_back(state.frames[static_cast<std::size_t>(s)]);
+    }
+    x.compiled->gather(constFrames, scratch);
+    x.compiled->transfer(mutFrames, scratch, interaction.mask);
+    return;
+  }
+  // Interpreted fallback: up then down (down only to participating ends),
+  // mirroring connectorTransfer in core/semantics.cpp.
+  std::vector<Value> connectorVars(c.variableCount(), 0);
+  ShardInteractionContext ctx(*this, c, state, connectorVars);
+  expr::applyAssignments(c.ups(), ctx);
+  for (const DownAssign& d : c.downs()) {
+    const bool participates =
+        (interaction.mask & (InteractionMask{1} << static_cast<unsigned>(d.end))) != 0;
+    if (!participates) continue;
+    const Value v = d.value.eval(ctx);
+    ctx.write(expr::VarRef{d.end, d.exportIndex}, v);
+  }
+}
+
+void ShardedSystem::executeInteraction(ShardedState& state,
+                                       const EnabledInteraction& interaction,
+                                       std::span<const int> transitionChoice) const {
+  const Connector& c = system_->connector(static_cast<std::size_t>(interaction.connector));
+  require(transitionChoice.size() == interaction.ends.size(),
+          "executeInteraction: transition choice arity mismatch");
+  connectorTransfer(state, interaction);
+  for (std::size_t k = 0; k < interaction.ends.size(); ++k) {
+    const ConnectorEnd& end = c.end(static_cast<std::size_t>(interaction.ends[k]));
+    const std::vector<int>& options = interaction.choices[k];
+    const int pick = transitionChoice[k];
+    require(pick >= 0 && static_cast<std::size_t>(pick) < options.size(),
+            "executeInteraction: transition choice out of range");
+    fireAt(state, end.port.instance, options[static_cast<std::size_t>(pick)]);
+  }
+  for (std::size_t k = 0; k < interaction.ends.size(); ++k) {
+    runInternalAt(state, c.end(static_cast<std::size_t>(interaction.ends[k])).port.instance);
+  }
+}
+
+}  // namespace cbip::shard

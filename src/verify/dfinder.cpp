@@ -1,11 +1,24 @@
 #include "verify/dfinder.hpp"
 
 #include <map>
+#include <ostream>
 
 #include "sat/solver.hpp"
 #include "util/require.hpp"
 
 namespace cbip::verify {
+
+const char* to_string(DFinderVerdict verdict) {
+  switch (verdict) {
+    case DFinderVerdict::kDeadlockFree: return "kDeadlockFree";
+    case DFinderVerdict::kPotentialDeadlock: return "kPotentialDeadlock";
+  }
+  return "<invalid DFinderVerdict>";
+}
+
+std::ostream& operator<<(std::ostream& os, DFinderVerdict verdict) {
+  return os << to_string(verdict);
+}
 
 namespace {
 

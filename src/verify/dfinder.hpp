@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <vector>
 
 #include "core/system.hpp"
@@ -29,6 +30,10 @@ enum class DFinderVerdict {
   kDeadlockFree,       // certified
   kPotentialDeadlock,  // abstraction admits a deadlocked valuation
 };
+
+/// Enumerator name ("kDeadlockFree", ...) for diagnostics and test output.
+const char* to_string(DFinderVerdict verdict);
+std::ostream& operator<<(std::ostream& os, DFinderVerdict verdict);
 
 struct DFinderResult {
   DFinderVerdict verdict = DFinderVerdict::kPotentialDeadlock;

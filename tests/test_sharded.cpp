@@ -1,0 +1,407 @@
+// Tests for the sharded execution subsystem: partitioner quality, and the
+// differential discipline of shard/engine_sharded.hpp — every sharded
+// trace is a schedule SequentialEngine itself can reproduce, and a
+// one-shard run is bit-identical to SequentialEngine.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "engine/engine_mt.hpp"
+#include "models/models.hpp"
+#include "shard/engine_sharded.hpp"
+#include "util/require.hpp"
+#include "verify/dfinder.hpp"
+
+namespace cbip {
+namespace {
+
+using shard::Partition;
+using shard::PartitionOptions;
+using shard::PartitionQuality;
+using shard::ShardedEngine;
+using shard::ShardedOptions;
+
+/// Drives SequentialEngine along a recorded trace: at every step it picks
+/// the enabled interaction matching the next recorded (connector, mask).
+/// The models used here resolve to exactly one enabled transition per
+/// participant, so the choice vector is canonical.
+class ReplayPolicy final : public SchedulingPolicy {
+ public:
+  explicit ReplayPolicy(const Trace& trace) : trace_(&trace) {}
+
+  std::pair<std::size_t, std::vector<int>> pick(
+      const System&, const GlobalState&,
+      const std::vector<EnabledInteraction>& enabled) override {
+    const TraceEvent& e = trace_->events.at(next_);
+    ++next_;
+    for (std::size_t i = 0; i < enabled.size(); ++i) {
+      if (enabled[i].connector == e.connector && enabled[i].mask == e.mask) {
+        for (const std::vector<int>& options : enabled[i].choices) {
+          EXPECT_EQ(options.size(), 1u)
+              << "replay requires a unique transition choice per participant";
+        }
+        return {i, std::vector<int>(enabled[i].choices.size(), 0)};
+      }
+    }
+    ADD_FAILURE() << "trace event #" << (next_ - 1) << " (" << e.label
+                  << ") is not enabled at its replay point";
+    throw std::runtime_error("trace replay failed");
+  }
+
+ private:
+  const Trace* trace_;
+  std::size_t next_ = 0;
+};
+
+/// Asserts that `sharded` (trace + final state) is reproducible by
+/// SequentialEngine scheduling the very same interactions in order.
+void expectSequentiallyReplayable(const System& sys, const RunResult& sharded) {
+  ReplayPolicy replay(sharded.trace);
+  SequentialEngine seq(sys, replay);
+  RunOptions opt;
+  opt.maxSteps = sharded.trace.events.size();
+  const RunResult r = seq.run(opt);
+  EXPECT_EQ(r.trace.labels(), sharded.trace.labels());
+  EXPECT_EQ(r.finalState, sharded.finalState);
+  EXPECT_EQ(r.steps, sharded.steps);
+}
+
+/// Replays a trace on the bare reference semantics, optionally checking
+/// an invariant after every step. Returns the reached state.
+GlobalState replayOnReference(const System& sys, const Trace& trace,
+                              const std::function<void(const GlobalState&)>& check = {}) {
+  GlobalState g = initialState(sys);
+  for (const TraceEvent& e : trace.events) {
+    bool found = false;
+    for (const EnabledInteraction& ei : enabledInteractions(sys, g)) {
+      if (ei.connector == e.connector && ei.mask == e.mask) {
+        executeDefault(sys, g, ei);
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "event " << e.label << " not replayable";
+    if (!found) break;
+    if (check) check(g);
+  }
+  return g;
+}
+
+/// Token ring with real connector data machinery: the token's value rides
+/// an up into a connector variable (incremented), then a down into the
+/// receiver, behind a non-trivial connector guard. Exactly one
+/// interaction is enabled at any time, so every engine must produce the
+/// identical trace and token value — a sharp differential check on the
+/// cross-shard gather/transfer path.
+System transferRing(int n) {
+  System sys;
+  auto makeCell = [](const std::string& name, bool holder) {
+    auto t = std::make_shared<AtomicType>("Cell" + name);
+    const int idle = t->addLocation("idle");
+    const int have = t->addLocation("have");
+    const int v = t->addVariable("v", holder ? 1 : 0);
+    t->addPort("recv", {v});
+    t->addPort("send", {v});
+    t->addTransition(idle, t->portIndex("recv"), have);
+    t->addTransition(have, t->portIndex("send"), idle);
+    t->setInitialLocation(holder ? have : idle);
+    return t;
+  };
+  auto holder = makeCell("H", true);
+  auto cell = makeCell("N", false);
+  for (int i = 0; i < n; ++i) {
+    sys.addInstance("c" + std::to_string(i), i == 0 ? holder : cell);
+  }
+  for (int i = 0; i < n; ++i) {
+    Connector c("pass" + std::to_string(i));
+    const int eS = c.addSynchron(PortRef{i, holder->portIndex("send")});
+    const int eR = c.addSynchron(PortRef{(i + 1) % n, holder->portIndex("recv")});
+    const int t = c.addVariable("t");
+    c.setGuard(Expr::var(eS, 0) > Expr::lit(0));
+    c.addUp(t, Expr::var(eS, 0) + Expr::lit(1));
+    c.addDown(eR, 0, Expr::var(expr::kConnectorScope, t));
+    sys.addConnector(std::move(c));
+  }
+  sys.validate();
+  return sys;
+}
+
+// ---- partitioner ----
+
+TEST(Partition, BalancedRingWithSmallCut) {
+  const System sys = models::philosophersAtomic(16);  // 32 instances in a ring
+  const Partition p = shard::partitionSystem(sys, PartitionOptions{4, 1.125, {}});
+  ASSERT_EQ(p.shardCount(), 4u);
+  const PartitionQuality q = shard::partitionQuality(sys, p);
+  EXPECT_GE(q.minLoad, 4u);
+  EXPECT_LE(q.maxLoad, 12u);
+  EXPECT_GT(q.edgeCut, 0u);  // a ring always cuts somewhere
+  // A contiguous 4-way split of the ring coordinates far fewer than half
+  // of the connectors.
+  EXPECT_LE(q.crossConnectors, sys.connectorCount() / 2);
+  // Deterministic.
+  const Partition p2 = shard::partitionSystem(sys, PartitionOptions{4, 1.125, {}});
+  EXPECT_EQ(p.assignment(), p2.assignment());
+}
+
+TEST(Partition, PinningWins) {
+  const System sys = models::tokenRing(8);
+  PartitionOptions opt;
+  opt.shards = 4;
+  opt.pins = {{0, 3}, {1, 3}};
+  const Partition p = shard::partitionSystem(sys, opt);
+  EXPECT_EQ(p.shardOf(0), 3);
+  EXPECT_EQ(p.shardOf(1), 3);
+}
+
+TEST(Partition, ShardCountClampedToInstances) {
+  const System sys = models::producerConsumer(2);  // 3 instances
+  const Partition p = shard::partitionSystem(sys, PartitionOptions{16, 1.125, {}});
+  EXPECT_EQ(p.shardCount(), 3u);
+  const PartitionQuality q = shard::partitionQuality(sys, p);
+  EXPECT_EQ(q.minLoad, 1u);
+  EXPECT_EQ(q.maxLoad, 1u);
+}
+
+TEST(Partition, SingleShardHasNoCut) {
+  const System sys = models::philosophersAtomic(4);
+  const Partition p = shard::partitionSystem(sys, PartitionOptions{1, 1.125, {}});
+  const PartitionQuality q = shard::partitionQuality(sys, p);
+  EXPECT_EQ(q.edgeCut, 0u);
+  EXPECT_EQ(q.crossConnectors, 0u);
+}
+
+// ---- sharded engine: differential suite ----
+
+TEST(ShardedEngine, OneShardBitIdenticalToSequential) {
+  const System systems[] = {models::philosophersAtomic(6), models::tokenRing(6),
+                            models::producerConsumer(3)};
+  for (const System& sys : systems) {
+    for (const std::uint64_t seed : {7ULL, 99ULL}) {
+      RandomPolicy policy(seed);
+      SequentialEngine seq(sys, policy);
+      RunOptions so;
+      so.maxSteps = 300;
+      const RunResult rs = seq.run(so);
+
+      ShardedEngine engine(sys, 1);
+      ShardedOptions opt;
+      opt.maxSteps = 300;
+      opt.seed = seed;
+      const RunResult rh = engine.run(opt);
+
+      EXPECT_EQ(rh.trace.labels(), rs.trace.labels());
+      EXPECT_EQ(rh.finalState, rs.finalState);
+      EXPECT_EQ(rh.steps, rs.steps);
+      EXPECT_EQ(rh.reason, rs.reason);
+    }
+  }
+}
+
+TEST(ShardedEngine, TracesAreSequentialSchedules) {
+  const System systems[] = {models::philosophersAtomic(8), models::tokenRing(8),
+                            models::producerConsumer(3)};
+  for (const System& sys : systems) {
+    for (const std::size_t k : {1u, 2u, 4u}) {
+      ShardedEngine engine(sys, k);
+      ShardedOptions opt;
+      opt.maxSteps = 250;
+      opt.seed = 42;
+      const RunResult r = engine.run(opt);
+      EXPECT_EQ(r.trace.events.size(), r.steps);
+      expectSequentiallyReplayable(sys, r);
+    }
+  }
+}
+
+TEST(ShardedEngine, CrossShardDataTransfer) {
+  // One token, so every engine is forced onto the same trace; the token's
+  // value counts the hops through connector up/down transfers — any slip
+  // in the foreign-frame slot maps shows up as a wrong value.
+  const System sys = transferRing(8);
+  for (const std::size_t k : {1u, 2u, 4u}) {
+    ShardedEngine engine(sys, k);
+    ShardedOptions opt;
+    opt.maxSteps = 40;
+    opt.seed = 5;
+    const RunResult r = engine.run(opt);
+    EXPECT_EQ(r.steps, 40u);
+    expectSequentiallyReplayable(sys, r);
+    // Token made 40 hops: value 1 + 40, sitting at instance 40 % 8 = 0.
+    EXPECT_EQ(r.finalState.components[0].vars[0], 41);
+  }
+}
+
+TEST(ShardedEngine, SeededRunsReproduce) {
+  const System sys = models::philosophersAtomic(12);
+  const auto runOnce = [&](std::uint64_t seed) {
+    ShardedEngine engine(sys, 4);
+    ShardedOptions opt;
+    opt.maxSteps = 300;
+    opt.seed = seed;
+    return engine.run(opt);
+  };
+  const RunResult a = runOnce(11);
+  const RunResult b = runOnce(11);
+  const RunResult c = runOnce(12);
+  EXPECT_EQ(a.trace.labels(), b.trace.labels());
+  EXPECT_EQ(a.finalState, b.finalState);
+  EXPECT_NE(a.trace.labels(), c.trace.labels());  // overwhelmingly
+}
+
+TEST(ShardedEngine, CompiledAndInterpretedTracesIdentical) {
+  const System sys = models::producerConsumer(3);
+  const auto runWith = [&](bool compiled) {
+    const bool saved = expr::compilationEnabled();
+    expr::setCompilationEnabled(compiled);
+    ShardedEngine engine(sys, 2);
+    ShardedOptions opt;
+    opt.maxSteps = 200;
+    opt.seed = 3;
+    const RunResult r = engine.run(opt);
+    expr::setCompilationEnabled(saved);
+    return r;
+  };
+  const RunResult on = runWith(true);
+  const RunResult off = runWith(false);
+  EXPECT_EQ(on.trace.labels(), off.trace.labels());
+  EXPECT_EQ(on.finalState, off.finalState);
+}
+
+TEST(ShardedEngine, DetectsDeadlock) {
+  // Two one-shot components on separate shards: two steps, then nothing.
+  System sys;
+  auto once = std::make_shared<AtomicType>("Once");
+  {
+    const int s0 = once->addLocation("s0");
+    const int s1 = once->addLocation("s1");
+    const int go = once->addPort("go");
+    once->addTransition(s0, go, s1);
+    once->setInitialLocation(s0);
+  }
+  sys.addInstance("x", once);
+  sys.addInstance("y", once);
+  sys.addConnector(rendezvous("goX", {PortRef{0, 0}}));
+  sys.addConnector(rendezvous("goY", {PortRef{1, 0}}));
+  ShardedEngine engine(sys, 2);
+  ShardedOptions opt;
+  opt.maxSteps = 10;
+  opt.seed = 1;
+  const RunResult r = engine.run(opt);
+  EXPECT_EQ(r.reason, StopReason::kDeadlock);
+  EXPECT_EQ(r.steps, 2u);
+}
+
+// Satellite: same seeded RandomPolicy on the three engines over the
+// dining-philosophers and mutual-exclusion models. Each engine schedules
+// differently, but every trace must be a valid behaviour of the reference
+// semantics, and the mutual-exclusion invariant must hold throughout.
+TEST(ShardedEngine, SeededCrossEngineEquivalence) {
+  const std::uint64_t seed = 42;
+  {
+    const System sys = models::philosophersAtomic(6);
+    RandomPolicy pSeq(seed);
+    SequentialEngine seq(sys, pSeq);
+    RunOptions so;
+    so.maxSteps = 150;
+    const RunResult rs = seq.run(so);
+
+    RandomPolicy pMt(seed);
+    MultiThreadEngine mt(sys, pMt);
+    MtOptions mo;
+    mo.maxSteps = 150;
+    const RunResult rm = mt.run(mo);
+
+    ShardedEngine sh(sys, 3);
+    ShardedOptions ho;
+    ho.maxSteps = 150;
+    ho.seed = seed;
+    const RunResult rh = sh.run(ho);
+
+    for (const RunResult* r : {&rs, &rm, &rh}) {
+      EXPECT_EQ(r->steps, 150u);
+      replayOnReference(sys, r->trace);
+    }
+  }
+  {
+    const System sys = models::tokenRing(6);
+    RandomPolicy pSeq(seed);
+    SequentialEngine seq(sys, pSeq);
+    RunOptions so;
+    so.maxSteps = 150;
+    const RunResult rs = seq.run(so);
+
+    RandomPolicy pMt(seed);
+    MultiThreadEngine mt(sys, pMt);
+    MtOptions mo;
+    mo.maxSteps = 150;
+    const RunResult rm = mt.run(mo);
+
+    ShardedEngine sh(sys, 3);
+    ShardedOptions ho;
+    ho.maxSteps = 150;
+    ho.seed = seed;
+    const RunResult rh = sh.run(ho);
+
+    const auto mutexHolds = [&](const GlobalState& g) {
+      EXPECT_TRUE(models::tokenRingMutex(sys, g));
+    };
+    for (const RunResult* r : {&rs, &rm, &rh}) {
+      EXPECT_EQ(r->steps, 150u);
+      replayOnReference(sys, r->trace, mutexHolds);
+    }
+  }
+}
+
+TEST(ShardedEngine, RejectsPriorities) {
+  System sys = models::philosophersAtomic(4);
+  sys.addPriority(PriorityRule{"eat0", "eat1", std::nullopt});
+  EXPECT_THROW(ShardedEngine(sys, 2), ModelError);
+}
+
+TEST(ShardedEngine, RejectsMalformedPartition) {
+  const System sys = models::producerConsumer(2);  // 3 instances
+  EXPECT_THROW(ShardedEngine(sys, Partition({0, 7, 0}, 2)), ModelError);
+  EXPECT_THROW(ShardedEngine(sys, Partition({0, -1, 0}, 2)), ModelError);
+}
+
+TEST(ShardedSystem, GlobalStateRoundTrips) {
+  const System sys = models::producerConsumer(3);
+  ShardedEngine engine(sys, 2);
+  ShardedOptions opt;
+  opt.maxSteps = 50;
+  opt.seed = 9;
+  const RunResult r = engine.run(opt);
+  // An evolved mid-run state survives the frame layout and back.
+  const shard::ShardedState sharded = engine.sharded().fromGlobal(r.finalState);
+  EXPECT_EQ(engine.sharded().toGlobal(sharded), r.finalState);
+  // Mismatched shapes are EvalErrors, not silent frame corruption.
+  GlobalState bad = r.finalState;
+  bad.components[0].vars.push_back(0);
+  EXPECT_THROW(engine.sharded().fromGlobal(bad), EvalError);
+}
+
+// ---- satellite: enum printing ----
+
+TEST(EnumPrinting, StopReasonNames) {
+  EXPECT_STREQ(to_string(StopReason::kStepLimit), "kStepLimit");
+  EXPECT_STREQ(to_string(StopReason::kDeadlock), "kDeadlock");
+  EXPECT_STREQ(to_string(StopReason::kPredicate), "kPredicate");
+  std::ostringstream os;
+  os << StopReason::kDeadlock;
+  EXPECT_EQ(os.str(), "kDeadlock");
+}
+
+TEST(EnumPrinting, DFinderVerdictNames) {
+  EXPECT_STREQ(verify::to_string(verify::DFinderVerdict::kDeadlockFree), "kDeadlockFree");
+  std::ostringstream os;
+  os << verify::DFinderVerdict::kPotentialDeadlock;
+  EXPECT_EQ(os.str(), "kPotentialDeadlock");
+}
+
+}  // namespace
+}  // namespace cbip
