@@ -11,6 +11,7 @@
 
 #include <cstdio>
 
+#include "core/semantics.hpp"
 #include "engine/engine.hpp"
 #include "engine/engine_mt.hpp"
 #include "expr/compile.hpp"
@@ -139,6 +140,56 @@ void BM_SequentialEngineCompiledVsInterpreted(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 500);
 }
 BENCHMARK(BM_SequentialEngineCompiledVsInterpreted)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+/// Enabled-set-scan throughput, batched (arg1 = 1, CompiledConnector::
+/// scanEnabled over one gathered frame) vs scalar (arg1 = 0, per-end
+/// vectors + per-mask end loop), full recompute of every connector at
+/// arg0 = 128 / 256 components. items/s = connector scans per second;
+/// the acceptance shape for this PR is >= 1.5x batched over scalar.
+void BM_EnabledScan(benchmark::State& state) {
+  const System sys = models::philosophersAtomic(static_cast<int>(state.range(0)) / 2);
+  const bool saved = batchScanEnabled();
+  setBatchScanEnabled(state.range(1) != 0);
+  sys.warmIndices();
+  const GlobalState g = initialState(sys);
+  EnabledInteractionCache cache(sys);
+  for (auto _ : state) {
+    cache.reset(g);
+    benchmark::DoNotOptimize(cache.enabled().size());
+  }
+  setBatchScanEnabled(saved);
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(sys.connectorCount()));
+}
+BENCHMARK(BM_EnabledScan)
+    ->Args({128, 0})
+    ->Args({128, 1})
+    ->Args({256, 0})
+    ->Args({256, 1})
+    ->Unit(benchmark::kMillisecond);
+
+/// Same scan comparison on a guard-heavy shape (every transition and
+/// connector carries a non-trivial guard), where the batch pass spends
+/// its time in ExprProgram::runBatch rather than in list bookkeeping.
+void BM_EnabledScanDataHeavy(benchmark::State& state) {
+  const System sys = dataHeavyPairs(static_cast<int>(state.range(0)) / 2);
+  const bool saved = batchScanEnabled();
+  setBatchScanEnabled(state.range(1) != 0);
+  sys.warmIndices();
+  const GlobalState g = initialState(sys);
+  EnabledInteractionCache cache(sys);
+  for (auto _ : state) {
+    cache.reset(g);
+    benchmark::DoNotOptimize(cache.enabled().size());
+  }
+  setBatchScanEnabled(saved);
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(sys.connectorCount()));
+}
+BENCHMARK(BM_EnabledScanDataHeavy)
+    ->Args({128, 0})
+    ->Args({128, 1})
+    ->Args({256, 0})
+    ->Args({256, 1})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_MultiThreadConflicting(benchmark::State& state) {
   // Philosophers: neighbouring interactions conflict, batches shrink.

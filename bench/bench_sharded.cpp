@@ -71,6 +71,33 @@ void BM_SequentialEngine256(benchmark::State& state) {
 }
 BENCHMARK(BM_SequentialEngine256)->Unit(benchmark::kMillisecond);
 
+/// Enabled-set-scan throughput over shard-local frames: scans every
+/// connector of the 4-shard partition, batched (arg = 1, the zero-gather
+/// scanEnabled variant — transition and connector guards run
+/// frame-base-relative against the live shard frame in one
+/// ExprProgram::runBatch pass) vs scalar (arg = 0). items/s = connector
+/// scans per second.
+void BM_ShardedScan256(benchmark::State& state) {
+  const System sys = models::philosophersAtomic(kPhilosophers);
+  shard::ShardedSystem ss(
+      sys, shard::partitionSystem(sys, shard::PartitionOptions{4, 1.125, {}}));
+  const bool saved = batchScanEnabled();
+  setBatchScanEnabled(state.range(0) != 0);
+  ss.ensureCompiled();
+  const shard::ShardedState st = ss.initialState();
+  std::vector<EnabledInteraction> out;
+  for (auto _ : state) {
+    out.clear();
+    for (std::size_t ci = 0; ci < sys.connectorCount(); ++ci) {
+      ss.appendConnectorInteractions(st, static_cast<int>(ci), out);
+    }
+    benchmark::DoNotOptimize(out.size());
+  }
+  setBatchScanEnabled(saved);
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(sys.connectorCount()));
+}
+BENCHMARK(BM_ShardedScan256)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
 void BM_Partition256(benchmark::State& state) {
   const System sys = models::philosophersAtomic(kPhilosophers);
   for (auto _ : state) {

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: compare a fresh BENCH_engine.json against the
+committed baseline and fail on large throughput regressions.
+
+Usage: bench/compare_benches.py BASELINE_JSON NEW_JSON [--max-regression PCT]
+
+Both files are the merged format emitted by bench/run_benches.sh
+({"bench_engine": {...}, "bench_sharded": {...}}). Two tiers of checks:
+
+* Ratio gates (always enforced): same-run A/B ratios — the batched scan
+  over the scalar scan, the compiled engine over the interpreted one.
+  Both sides of each ratio come from one process on one machine, so the
+  comparison is meaningful even when the committed baseline was recorded
+  on different hardware than the CI runner. A ratio regressing by more
+  than the threshold vs the baseline's ratio fails the gate.
+* Absolute gates (enforced only when the baseline's recorded context —
+  host_name and num_cpus — matches the new file's): raw items_per_second
+  of the key engine-step counters. On a context mismatch these are
+  reported as SKIP, because cross-machine absolute throughput differs by
+  far more than any useful threshold.
+
+Key counters missing from either file are reported and skipped (new
+benchmarks have no baseline yet), so the gate never blocks adding
+benchmarks — only slowing existing ones down. CI smoke runs are noisy
+(shared runners, minimal iteration counts), hence the deliberately loose
+default threshold of 25%; BENCH_MAX_REGRESSION overrides it.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# Same-run A/B pairs: (suite, numerator benchmark, denominator benchmark).
+# Each captures the batched-over-scalar (or compiled-over-interpreted)
+# speedup this repo's PRs optimize for, independent of the machine.
+KEY_RATIOS = [
+    ("bench_engine", "BM_EnabledScan/128/1", "BM_EnabledScan/128/0"),
+    ("bench_engine", "BM_EnabledScan/256/1", "BM_EnabledScan/256/0"),
+    ("bench_engine", "BM_EnabledScanDataHeavy/256/1", "BM_EnabledScanDataHeavy/256/0"),
+    ("bench_sharded", "BM_ShardedScan256/1", "BM_ShardedScan256/0"),
+    ("bench_engine", "BM_SequentialEngineCompiledVsInterpreted/1",
+     "BM_SequentialEngineCompiledVsInterpreted/0"),
+]
+
+# Absolute throughput counters, only comparable on matching context.
+KEY_COUNTERS = [
+    ("bench_engine", "BM_SequentialEngine/0"),
+    ("bench_engine", "BM_EnabledScan/256/1"),
+    ("bench_sharded", "BM_SequentialEngine256"),
+    ("bench_sharded", "BM_ShardedEngine256/4/real_time"),
+]
+
+
+def load(path):
+    with open(path) as f:
+        merged = json.load(f)
+    counters = {}
+    context = {}
+    for suite, payload in merged.items():
+        ctx = payload.get("context", {})
+        context[suite] = (ctx.get("host_name"), ctx.get("num_cpus"))
+        for bench in payload.get("benchmarks", []):
+            ips = bench.get("items_per_second")
+            if ips is not None:
+                counters[(suite, bench["name"])] = ips
+    return counters, context
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("new")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=float(os.environ.get("BENCH_MAX_REGRESSION", "25")),
+        help="maximum tolerated throughput drop, in percent (default 25)",
+    )
+    args = parser.parse_args()
+
+    base, baseCtx = load(args.baseline)
+    new, newCtx = load(args.new)
+    floor = 1.0 - args.max_regression / 100.0
+    failures = []
+
+    def check(label, baseValue, newValue):
+        ratio = newValue / baseValue
+        status = "OK  " if ratio >= floor else "FAIL"
+        print(f"{status}  {label}  {baseValue:.3g} -> {newValue:.3g}  ({ratio:.2f}x)")
+        if ratio < floor:
+            failures.append(f"{label} regressed to {ratio:.2f}x of baseline "
+                            f"(floor {floor:.2f}x)")
+
+    for suite, num, den in KEY_RATIOS:
+        if (suite, num) not in new or (suite, den) not in new:
+            failures.append(f"{suite}:{num}/{den} missing from the new results")
+            continue
+        if (suite, num) not in base or (suite, den) not in base:
+            print(f"SKIP  {suite}:{num} over {den} (no baseline)")
+            continue
+        check(f"{suite}:{num} over {den} [speedup ratio]",
+              base[(suite, num)] / base[(suite, den)],
+              new[(suite, num)] / new[(suite, den)])
+
+    for suite, name in KEY_COUNTERS:
+        if (suite, name) not in base:
+            print(f"SKIP  {suite}:{name} (no baseline counter)")
+            continue
+        if (suite, name) not in new:
+            failures.append(f"{suite}:{name} missing from the new results")
+            continue
+        if baseCtx.get(suite) != newCtx.get(suite):
+            print(f"SKIP  {suite}:{name} (baseline context {baseCtx.get(suite)} != "
+                  f"{newCtx.get(suite)}; absolute throughput not comparable)")
+            continue
+        check(f"{suite}:{name} [items/s]", base[(suite, name)], new[(suite, name)])
+
+    if failures:
+        print(f"\nbench-regression gate FAILED ({len(failures)} check(s)):",
+              file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nbench-regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -136,9 +136,20 @@ void AtomicType::compileIfNeeded() const {
 
 const CompiledTransition& AtomicType::compiledTransition(int i) const {
   compileIfNeeded();
-  require(i >= 0 && static_cast<std::size_t>(i) < compiled_.size(),
-          name_ + ": transition index out of range");
+  // Engine-hot accessor (see transition()): no eager message string.
+  if (i < 0 || static_cast<std::size_t>(i) >= compiled_.size()) {
+    throw ModelError(name_ + ": transition index out of range");
+  }
   return compiled_[static_cast<std::size_t>(i)];
+}
+
+bool AtomicType::indicesWarm() const {
+  // bySource_ is non-empty once built (validated types have >= 1
+  // location); it is cleared, like compiledBuilt_, whenever a transition
+  // is added.
+  if (bySource_.empty() && !locations_.empty()) return false;
+  return !expr::compilationEnabled() || transitions_.empty() ||
+         compiledBuilt_.load(std::memory_order_acquire);
 }
 
 const std::string& AtomicType::locationName(int i) const {
@@ -160,8 +171,11 @@ const PortDecl& AtomicType::port(int i) const {
 }
 
 const Transition& AtomicType::transition(int i) const {
-  require(i >= 0 && static_cast<std::size_t>(i) < transitions_.size(),
-          name_ + ": transition index out of range");
+  // Engine-hot accessor: the error string is built only on failure (a
+  // require() call would concatenate it on every lookup).
+  if (i < 0 || static_cast<std::size_t>(i) >= transitions_.size()) {
+    throw ModelError(name_ + ": transition index out of range");
+  }
   return transitions_[static_cast<std::size_t>(i)];
 }
 
@@ -227,10 +241,13 @@ void AtomicType::rebuildIndexIfNeeded() const {
 
 const std::vector<int>& AtomicType::transitionsFrom(int location, int port) const {
   rebuildIndexIfNeeded();
-  require(location >= 0 && static_cast<std::size_t>(location) < locations_.size(),
-          name_ + ": location index out of range");
-  require(port >= kInternalPort && port < static_cast<int>(ports_.size()),
-          name_ + ": port index out of range");
+  // Engine-hot accessor (see transition()): no eager message strings.
+  if (location < 0 || static_cast<std::size_t>(location) >= locations_.size()) {
+    throw ModelError(name_ + ": location index out of range");
+  }
+  if (port < kInternalPort || port >= static_cast<int>(ports_.size())) {
+    throw ModelError(name_ + ": port index out of range");
+  }
   return bySource_[static_cast<std::size_t>(location)][static_cast<std::size_t>(port + 1)];
 }
 
@@ -249,9 +266,11 @@ bool guardHolds(const AtomicType& type, const AtomicState& state, int ti) {
   if (t.guard.isTrue()) return true;
   if (expr::compilationEnabled()) {
     // Programs are range-checked against the type's variable table at
-    // lowering time; the frame only needs to cover that table.
-    requireEval(state.vars.size() >= type.variableCount(),
-                type.name() + ": state has fewer variables than the type");
+    // lowering time; the frame only needs to cover that table. (The error
+    // string is built only on failure — this check runs per guard.)
+    if (state.vars.size() < type.variableCount()) {
+      throw EvalError(type.name() + ": state has fewer variables than the type");
+    }
     return type.compiledTransition(ti).guard.run(state.vars) != 0;
   }
   return guardHolds(type, state, t);
@@ -266,10 +285,16 @@ bool guardHolds(const AtomicType&, const AtomicState& state, const Transition& t
 
 std::vector<int> enabledTransitions(const AtomicType& type, const AtomicState& state, int port) {
   std::vector<int> out;
+  enabledTransitions(type, state, port, out);
+  return out;
+}
+
+void enabledTransitions(const AtomicType& type, const AtomicState& state, int port,
+                        std::vector<int>& out) {
+  out.clear();
   for (int ti : type.transitionsFrom(state.location, port)) {
     if (guardHolds(type, state, ti)) out.push_back(ti);
   }
-  return out;
 }
 
 bool portEnabled(const AtomicType& type, const AtomicState& state, int port) {
@@ -285,9 +310,13 @@ void fire(const AtomicType& type, AtomicState& state, int ti) {
     fire(type, state, t);
     return;
   }
-  require(t.from == state.location, type.name() + ": firing transition from wrong location");
-  requireEval(state.vars.size() >= type.variableCount(),
-              type.name() + ": state has fewer variables than the type");
+  // Per-fire checks: error strings built only on failure.
+  if (t.from != state.location) {
+    throw ModelError(type.name() + ": firing transition from wrong location");
+  }
+  if (state.vars.size() < type.variableCount()) {
+    throw EvalError(type.name() + ": state has fewer variables than the type");
+  }
   const CompiledTransition& ct = type.compiledTransition(ti);
   // Sequential assignment semantics: each action sees earlier writes
   // because the frame *is* the live variable vector.
@@ -305,8 +334,11 @@ void fire(const AtomicType& type, AtomicState& state, const Transition& t) {
 }
 
 void runInternal(const AtomicType& type, AtomicState& state, int maxSteps) {
+  // One buffer for the whole quiescence loop; a component with no enabled
+  // tau steps (the common case) never allocates here.
+  std::vector<int> enabled;
   for (int step = 0; step < maxSteps; ++step) {
-    const std::vector<int> enabled = enabledTransitions(type, state, kInternalPort);
+    enabledTransitions(type, state, kInternalPort, enabled);
     if (enabled.empty()) return;
     fire(type, state, enabled.front());
   }

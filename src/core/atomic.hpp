@@ -116,6 +116,11 @@ class AtomicType {
   /// single-threaded and worker threads only ever read.
   const CompiledTransition& compiledTransition(int i) const;
 
+  /// True when the lazily-built structures the engines read concurrently
+  /// — the transitionsFrom index and, when compilation is enabled, the
+  /// compiled transition programs — are built (see System::indicesWarm).
+  bool indicesWarm() const;
+
  private:
   void rebuildIndexIfNeeded() const;
   void compileIfNeeded() const;
@@ -164,6 +169,12 @@ bool guardHolds(const AtomicType& type, const AtomicState& state, const Transiti
 
 /// Indices of enabled transitions from `state` labelled by `port`.
 std::vector<int> enabledTransitions(const AtomicType& type, const AtomicState& state, int port);
+
+/// Scratch-reuse overload: clears `out`, then appends the enabled
+/// transition indices (engine-hot; a reused buffer keeps the per-scan
+/// allocation out of the steady state).
+void enabledTransitions(const AtomicType& type, const AtomicState& state, int port,
+                        std::vector<int>& out);
 
 /// True iff some transition labelled `port` is enabled in `state`.
 bool portEnabled(const AtomicType& type, const AtomicState& state, int port);

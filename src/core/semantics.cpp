@@ -1,6 +1,7 @@
 #include "core/semantics.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <optional>
 
 #include "util/require.hpp"
@@ -66,6 +67,32 @@ bool maskSubset(InteractionMask a, InteractionMask b) {  // a strictly inside b
 void appendConnectorInteractions(const System& system, const GlobalState& state,
                                  std::size_t ci, std::vector<EnabledInteraction>& out) {
   const Connector& c = system.connector(ci);
+  if (expr::compilationEnabled() && batchScanEnabled()) {
+    // Batched scan: one gathered frame, every transition guard in one
+    // bytecode pass, mask set by bit operations over the cached feasible
+    // masks (see CompiledConnector::scanEnabled). Scratch reused across
+    // calls so steady-state scans never allocate.
+    const CompiledConnector& cc = system.compiled().connector(ci);
+    static thread_local CompiledConnector::ScanScratch scratch;
+    if (!cc.scanEnabled(system, state, scratch)) return;
+    const std::vector<InteractionMask>& masks = cc.masks();
+    for (std::size_t i = 0; i < masks.size(); ++i) {
+      if ((scratch.maskBits[i >> 6] & (std::uint64_t{1} << (i & 63))) == 0) continue;
+      EnabledInteraction ei;
+      ei.connector = static_cast<int>(ci);
+      ei.mask = masks[i];
+      const int participants = std::popcount(masks[i]);
+      ei.ends.reserve(static_cast<std::size_t>(participants));
+      ei.choices.reserve(static_cast<std::size_t>(participants));
+      for (std::size_t e = 0; e < c.endCount(); ++e) {
+        if ((masks[i] & (InteractionMask{1} << e)) == 0) continue;
+        ei.ends.push_back(static_cast<int>(e));
+        ei.choices.push_back(scratch.endEnabled[e]);
+      }
+      out.push_back(std::move(ei));
+    }
+    return;
+  }
   // Per-end enabled transitions, computed once per connector.
   std::vector<std::vector<int>> endEnabled(c.endCount());
   for (std::size_t e = 0; e < c.endCount(); ++e) {
@@ -132,7 +159,8 @@ std::vector<EnabledInteraction> enabledInteractions(const System& system,
 
 EnabledInteractionCache::EnabledInteractionCache(const System& system)
     : system_(&system),
-      perConnector_(system.connectorCount()),
+      flatOffset_(system.connectorCount(), 0),
+      flatCount_(system.connectorCount(), 0),
       connectorQueued_(system.connectorCount(), 0) {
   // Force the lazily-built reverse index now, while construction is still
   // single-threaded; afterwards connectorsOf() is a pure read.
@@ -140,13 +168,36 @@ EnabledInteractionCache::EnabledInteractionCache(const System& system)
 }
 
 void EnabledInteractionCache::recomputeConnector(std::size_t ci, const GlobalState& state) {
-  perConnector_[ci].clear();
-  appendConnectorInteractions(*system_, state, ci, perConnector_[ci]);
+  scratch_.clear();
+  appendConnectorInteractions(*system_, state, ci, scratch_);
+  // Splice the connector's span in place by move; shift only when the
+  // span length changed (EnabledInteraction moves are pointer swaps, so a
+  // shift never allocates).
+  const auto oldCount = static_cast<std::ptrdiff_t>(flatCount_[ci]);
+  const auto newCount = static_cast<std::ptrdiff_t>(scratch_.size());
+  const auto at = flat_.begin() + flatOffset_[ci];
+  if (newCount <= oldCount) {
+    std::move(scratch_.begin(), scratch_.end(), at);
+    flat_.erase(at + newCount, at + oldCount);
+  } else {
+    std::move(scratch_.begin(), scratch_.begin() + oldCount, at);
+    flat_.insert(at + oldCount, std::make_move_iterator(scratch_.begin() + oldCount),
+                 std::make_move_iterator(scratch_.end()));
+  }
+  if (newCount != oldCount) {
+    flatCount_[ci] = static_cast<int>(newCount);
+    const int delta = static_cast<int>(newCount - oldCount);
+    for (std::size_t j = ci + 1; j < flatOffset_.size(); ++j) flatOffset_[j] += delta;
+  }
 }
 
 void EnabledInteractionCache::reset(const GlobalState& state) {
-  for (std::size_t ci = 0; ci < perConnector_.size(); ++ci) recomputeConnector(ci, state);
-  flatStale_ = true;
+  flat_.clear();
+  for (std::size_t ci = 0; ci < flatOffset_.size(); ++ci) {
+    flatOffset_[ci] = static_cast<int>(flat_.size());
+    appendConnectorInteractions(*system_, state, ci, flat_);
+    flatCount_[ci] = static_cast<int>(flat_.size()) - flatOffset_[ci];
+  }
 }
 
 void EnabledInteractionCache::update(const GlobalState& state,
@@ -162,7 +213,6 @@ void EnabledInteractionCache::update(const GlobalState& state,
       if (!queued) continue;  // already recomputed via an earlier instance
       queued = 0;
       recomputeConnector(static_cast<std::size_t>(ci), state);
-      flatStale_ = true;
     }
   }
 }
@@ -170,21 +220,11 @@ void EnabledInteractionCache::update(const GlobalState& state,
 void EnabledInteractionCache::updateAfterExecute(const GlobalState& state,
                                                  const EnabledInteraction& executed) {
   const Connector& c = system_->connector(static_cast<std::size_t>(executed.connector));
-  std::vector<int> dirty;
-  dirty.reserve(c.endCount());
-  for (const ConnectorEnd& e : c.ends()) dirty.push_back(e.port.instance);
-  update(state, dirty);
-}
-
-const std::vector<EnabledInteraction>& EnabledInteractionCache::enabled() const {
-  if (flatStale_) {
-    flat_.clear();
-    for (const std::vector<EnabledInteraction>& list : perConnector_) {
-      flat_.insert(flat_.end(), list.begin(), list.end());
-    }
-    flatStale_ = false;
-  }
-  return flat_;
+  // Reused member buffer: the per-step dirty set allocates only until its
+  // capacity covers the widest executed connector.
+  dirtyScratch_.clear();
+  for (const ConnectorEnd& e : c.ends()) dirtyScratch_.push_back(e.port.instance);
+  update(state, dirtyScratch_);
 }
 
 std::vector<EnabledInteraction> applyPriorities(const System& system, const GlobalState& state,

@@ -71,18 +71,27 @@ class EnabledInteractionCache {
 
   /// Current enabled set, connector-ascending — element-wise equal to
   /// `enabledInteractions(system, state)` for the last reset/update state.
-  const std::vector<EnabledInteraction>& enabled() const;
+  ///
+  /// Maintained incrementally as one flat vector with per-connector
+  /// (offset, count) spans: a dirty connector's recompute splices its new
+  /// interactions into place by move, so a step touching d connectors
+  /// costs O(d) list constructions plus element moves — the previous
+  /// design re-deep-copied the *entire* enabled set into a flat list
+  /// every step, which dominated the engine step at 128+ components.
+  const std::vector<EnabledInteraction>& enabled() const { return flat_; }
 
-  bool empty() const { return enabled().empty(); }
+  bool empty() const { return flat_.empty(); }
 
  private:
   void recomputeConnector(std::size_t ci, const GlobalState& state);
 
   const System* system_;
-  std::vector<std::vector<EnabledInteraction>> perConnector_;
+  std::vector<int> flatOffset_;        // per connector: start of its span in flat_
+  std::vector<int> flatCount_;         // per connector: span length
   std::vector<char> connectorQueued_;  // scratch: dedup within one update
-  mutable std::vector<EnabledInteraction> flat_;
-  mutable bool flatStale_ = true;
+  std::vector<EnabledInteraction> flat_;
+  std::vector<EnabledInteraction> scratch_;  // recompute buffer (capacity reused)
+  std::vector<int> dirtyScratch_;            // updateAfterExecute buffer
 };
 
 /// Applies priority rules and (if enabled) maximal progress; keeps the

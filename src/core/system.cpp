@@ -58,6 +58,28 @@ const std::vector<int>& System::connectorsOf(std::size_t i) const {
   return connectorsByInstance_[i];
 }
 
+void System::warmIndices() const {
+  rebuildReverseIndexIfNeeded();
+  for (const Instance& inst : instances_) {
+    const AtomicType& type = *inst.type;
+    // Any transitionsFrom call rebuilds the whole location/port index.
+    (void)type.transitionsFrom(type.initialLocation(), kInternalPort);
+    if (expr::compilationEnabled() && type.transitionCount() > 0) {
+      (void)type.compiledTransition(0);
+    }
+  }
+  if (expr::compilationEnabled()) (void)compiled();
+}
+
+bool System::indicesWarm() const {
+  if (!instances_.empty() && connectorsByInstance_.empty()) return false;
+  for (const Instance& inst : instances_) {
+    if (!inst.type->indicesWarm()) return false;
+  }
+  return !expr::compilationEnabled() ||
+         compiledPub_.load(std::memory_order_acquire) != nullptr;
+}
+
 void System::addPriority(PriorityRule rule) { priorities_.push_back(std::move(rule)); }
 
 void System::validate() const {

@@ -90,6 +90,19 @@ class System {
   /// construction calls, so it is cheap to query every engine step.
   const std::vector<int>& connectorsOf(std::size_t i) const;
 
+  /// Forces every lazily-built structure the engines read concurrently:
+  /// the component->connector reverse index, each type's transitionsFrom
+  /// index and — when compilation is enabled — the compiled transition and
+  /// connector programs. Idempotent; the engines call it before going
+  /// multi-threaded (the lazy builds have no internal synchronization
+  /// beyond the compiled-program publication), so workers only ever read.
+  void warmIndices() const;
+
+  /// True when the structures warmIndices() forces are built; the
+  /// concurrent engines assert this before starting workers (under TSan a
+  /// violated assumption would otherwise surface only as a data race).
+  bool indicesWarm() const;
+
   /// Bytecode form of every connector, built lazily once per System
   /// revision (invalidated by addInstance/addConnector). The engines force
   /// the build at construction time; afterwards this is a pure read.

@@ -7,11 +7,11 @@ namespace cbip {
 SequentialEngine::SequentialEngine(const System& system, SchedulingPolicy& policy)
     : system_(&system), policy_(&policy) {
   system.validate();
-  // Lower every connector program now so the run loop never pays the
-  // (one-time) compilation cost mid-measurement. Skipped entirely when the
-  // interpreter escape hatch is active: that path must not depend on the
-  // compiler even building.
-  if (expr::compilationEnabled()) (void)system.compiled();
+  // Warm every lazy index and lower every program now so the run loop
+  // never pays the (one-time) build cost mid-measurement. The compiled
+  // programs are skipped when the interpreter escape hatch is active:
+  // that path must not depend on the compiler even building.
+  system.warmIndices();
 }
 
 RunResult SequentialEngine::run(const RunOptions& options) {

@@ -122,12 +122,12 @@ bool overlaps(const std::vector<int>& instances, const std::vector<bool>& used) 
 MultiThreadEngine::MultiThreadEngine(const System& system, SchedulingPolicy& policy)
     : system_(&system), policy_(&policy) {
   system.validate();
-  // Lower every connector program while still single-threaded: run() only
-  // evaluates them from the engine thread, but the build must not race
-  // with a concurrently constructed sibling engine sharing the System.
-  // Skipped entirely when the interpreter escape hatch is active: that
-  // path must not depend on the compiler even building.
-  if (expr::compilationEnabled()) (void)system.compiled();
+  // Warm every lazy index and program while still single-threaded: run()
+  // only evaluates them from the engine thread, but the build must not
+  // race with a concurrently constructed sibling engine sharing the
+  // System. Compiled programs are skipped when the interpreter escape
+  // hatch is active: that path must not depend on the compiler building.
+  system.warmIndices();
 }
 
 RunResult MultiThreadEngine::run(const MtOptions& options) {
@@ -135,15 +135,10 @@ RunResult MultiThreadEngine::run(const MtOptions& options) {
   const std::size_t n = system.instanceCount();
 
   // Compilation may have been switched on after construction (the
-  // differential tests toggle it): force every lazily-lowered program now,
-  // while still single-threaded, so workers only ever read.
-  if (expr::compilationEnabled()) {
-    (void)system.compiled();
-    for (std::size_t i = 0; i < n; ++i) {
-      const AtomicType& type = *system.instance(i).type;
-      if (type.transitionCount() > 0) (void)type.compiledTransition(0);
-    }
-  }
+  // differential tests toggle it): re-warm now, while still
+  // single-threaded, so workers only ever read.
+  system.warmIndices();
+  require(system.indicesWarm(), "MultiThreadEngine: indices must be warm before workers start");
 
   std::vector<std::unique_ptr<Worker>> workers;
   workers.reserve(n);

@@ -251,6 +251,32 @@ Value ExprProgram::run(std::span<const Value> frame, std::int32_t base) const {
     heapBuf.resize(static_cast<std::size_t>(maxStack_));
     stack = heapBuf.data();
   }
+  return exec(frame, base, stack);
+}
+
+void ExprProgram::runBatch(std::span<const BatchOp> ops, std::span<const Value> frame,
+                           std::span<Value> out) {
+  requireEval(ops.size() == out.size(), "ExprProgram::runBatch: ops/out size mismatch");
+  constexpr int kInlineStack = 32;
+  Value inlineBuf[kInlineStack];
+  std::vector<Value> heapBuf;
+  Value* stack = inlineBuf;
+  int need = 0;
+  for (const BatchOp& op : ops) {
+    requireEval(op.program != nullptr && !op.program->empty(),
+                "ExprProgram::runBatch: empty program in batch");
+    if (op.program->maxStack_ > need) need = op.program->maxStack_;
+  }
+  if (need > kInlineStack) {
+    heapBuf.resize(static_cast<std::size_t>(need));
+    stack = heapBuf.data();
+  }
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    out[i] = ops[i].program->exec(frame, ops[i].base, stack);
+  }
+}
+
+Value ExprProgram::exec(std::span<const Value> frame, std::int32_t base, Value* stack) const {
   const Instr* code = code_.data();
   const std::size_t n = code_.size();
   std::size_t pc = 0;

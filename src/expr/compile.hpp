@@ -63,6 +63,16 @@ struct Instr {
   Value imm = 0;         // kPush: the literal
 };
 
+class ExprProgram;
+
+/// One element of a batch evaluation: a program plus the frame base offset
+/// it runs at (see ExprProgram::runBatch). The program must be non-empty
+/// and outlive the batch call.
+struct BatchOp {
+  const ExprProgram* program = nullptr;
+  std::int32_t base = 0;
+};
+
 /// A compiled expression. Default-constructed programs are empty (used for
 /// trivially-true guards that are never run).
 class ExprProgram {
@@ -84,8 +94,27 @@ class ExprProgram {
   /// offset in that frame.
   Value run(std::span<const Value> frame, std::int32_t base) const;
 
+  /// Batch evaluation over one shared frame: `out[i] =
+  /// ops[i].program->run(frame, ops[i].base)` for every i, in order, with
+  /// the evaluation stack set up once for the whole batch instead of once
+  /// per program. This is the enabled-set scan primitive: a connector scan
+  /// gathers its participants' variables once and then evaluates every
+  /// transition guard (frame-base-relative, one base per participant) in a
+  /// single pass. Short-circuit jumps behave per program exactly as in
+  /// run(); an EvalError raised by ops[i] propagates immediately with
+  /// out[0..i-1] already written. `ops.size()` must equal `out.size()` and
+  /// every op's program must be non-empty (trivially-true guards are
+  /// skipped by callers, never batched).
+  static void runBatch(std::span<const BatchOp> ops, std::span<const Value> frame,
+                       std::span<Value> out);
+
  private:
   friend ExprProgram compile(const Expr&, const SlotMap&);
+
+  /// Interpreter core shared by run and runBatch; `stack` must hold at
+  /// least maxStack_ slots.
+  Value exec(std::span<const Value> frame, std::int32_t base, Value* stack) const;
+
   std::vector<Instr> code_;
   int maxStack_ = 0;
 };

@@ -92,9 +92,14 @@ RunResult ShardedEngine::run(const ShardedOptions& options) {
   const System& system = ss.system();
   const std::size_t K = ss.shardCount();
   const std::size_t connectorCount = system.connectorCount();
-  // Compilation may have been toggled on after construction; force every
-  // program now, while still single-threaded (mirrors the other engines).
+  // Compilation may have been toggled on after construction; re-warm every
+  // lazy index and program now, while still single-threaded (mirrors the
+  // other engines), and assert the warm-up actually happened — under TSan
+  // a missed build would otherwise surface only as a data race between
+  // workers.
+  system.warmIndices();
   ss.ensureCompiled();
+  require(system.indicesWarm(), "ShardedEngine: indices must be warm before workers start");
 
   ShardedState state = ss.initialState();
 

@@ -1,6 +1,7 @@
 #include "shard/sharded.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <optional>
 
 #include "util/require.hpp"
@@ -92,6 +93,44 @@ class ShardInteractionContext final : public expr::EvalContext {
   std::vector<Value>* vars_;
 };
 
+/// Shared tail of the batched scan: derives the enabled mask set from the
+/// per-end lists in `s` with bit operations over the cached feasible
+/// masks and materializes one EnabledInteraction per enabled mask. The
+/// connector guard is pure over the current state (its value is shared by
+/// every mask), so `guardHolds` is invoked lazily — at the first
+/// port-feasible mask, where the scalar path evaluates it — and at most
+/// once; a false guard rejects every mask.
+template <typename GuardHolds>
+void appendScannedMasks(const Connector& c, int ci, const std::vector<InteractionMask>& masks,
+                        const CompiledConnector::ScanScratch& s,
+                        std::vector<EnabledInteraction>& out, GuardHolds&& guardHolds) {
+  const std::size_t nEnds = c.endCount();
+  InteractionMask enabledEnds = 0;
+  for (std::size_t e = 0; e < nEnds; ++e) {
+    if (!s.endEnabled[e].empty()) enabledEnds |= InteractionMask{1} << e;
+  }
+  std::optional<bool> guardOk;
+  for (InteractionMask mask : masks) {
+    if ((mask & ~enabledEnds) != 0) continue;
+    if (!c.guard().isTrue()) {
+      if (!guardOk.has_value()) guardOk = guardHolds();
+      if (!*guardOk) return;
+    }
+    EnabledInteraction ei;
+    ei.connector = ci;
+    ei.mask = mask;
+    const int participants = std::popcount(mask);
+    ei.ends.reserve(static_cast<std::size_t>(participants));
+    ei.choices.reserve(static_cast<std::size_t>(participants));
+    for (std::size_t e = 0; e < nEnds; ++e) {
+      if ((mask & (InteractionMask{1} << e)) == 0) continue;
+      ei.ends.push_back(static_cast<int>(e));
+      ei.choices.push_back(s.endEnabled[e]);
+    }
+    out.push_back(std::move(ei));
+  }
+}
+
 }  // namespace
 
 ShardedSystem::ShardedSystem(const System& system, Partition partition)
@@ -155,26 +194,23 @@ ShardedSystem::ShardedSystem(const System& system, Partition partition)
       cross_.push_back(std::move(x));
     }
   }
+  // Cached feasible masks per connector (the batched scan derives the
+  // enabled mask set from these with bit operations instead of rebuilding
+  // the list every scan).
+  masks_.resize(cc);
+  for (std::size_t ci = 0; ci < cc; ++ci) masks_[ci] = system.connector(ci).feasibleMasks();
   // Force the lazily-built structures the workers will read while still
-  // single-threaded: the System's component->connector reverse index and
-  // every type's location/port transition index (rebuildIndexIfNeeded has
-  // no internal synchronization).
-  if (n > 0) system.connectorsOf(0);
-  for (std::size_t i = 0; i < n; ++i) {
-    const AtomicType& type = *system.instance(i).type;
-    (void)type.transitionsFrom(type.initialLocation(), kInternalPort);
-  }
+  // single-threaded (reverse index, transition indexes, compiled
+  // programs; the lazy builds have no internal synchronization).
+  system.warmIndices();
   if (expr::compilationEnabled()) ensureCompiled();
 }
 
 void ShardedSystem::ensureCompiled() {
   if (compiledBuilt_ || !expr::compilationEnabled()) return;
-  // Transition programs may not have been lowered if compilation was
-  // toggled on after validate(); force them now (single-threaded).
-  for (std::size_t i = 0; i < system_->instanceCount(); ++i) {
-    const AtomicType& type = *system_->instance(i).type;
-    if (type.transitionCount() > 0) (void)type.compiledTransition(0);
-  }
+  // Programs may not have been lowered if compilation was toggled on
+  // after validate(); warmIndices re-forces them (single-threaded).
+  system_->warmIndices();
   for (const Shard& shard : shards_) {
     for (int ci : shard.localConnectors) {
       const Connector& c = system_->connector(static_cast<std::size_t>(ci));
@@ -340,6 +376,77 @@ void ShardedSystem::runInternalAt(ShardedState& state, int instance, int maxStep
 void ShardedSystem::appendConnectorInteractions(const ShardedState& state, int ci,
                                                 std::vector<EnabledInteraction>& out) const {
   const Connector& c = system_->connector(static_cast<std::size_t>(ci));
+  if (expr::compilationEnabled() && batchScanEnabled()) {
+    // Batched scan twin of the compiled scalar path below: per-end enabled
+    // transitions into reusable scratch, then the mask set by bit
+    // operations over the masks cached at construction. Shard-local
+    // connectors take the zero-gather form — their transition guards and
+    // connector guard run frame-base-relative against the home shard's
+    // live frame in one ExprProgram::runBatch pass (the frame *is* the
+    // gathered frame); cross-shard connectors keep the classic gather for
+    // the connector guard only. Evaluation order (end-ascending, then
+    // transition order, then the lazily-evaluated shared guard) matches
+    // the scalar path, so the first EvalError of a doomed scan agrees.
+    const std::size_t nEnds = c.endCount();
+    static thread_local CompiledConnector::ScanScratch s;
+    if (s.endEnabled.size() < nEnds) s.endEnabled.resize(nEnds);
+    const int xi = crossIndex_[static_cast<std::size_t>(ci)];
+    if (xi < 0) {
+      const LocalProgram& lp = localPrograms_[static_cast<std::size_t>(ci)];
+      const std::vector<Value>& frame = state.frames[static_cast<std::size_t>(lp.homeShard)];
+      if (s.endTis.size() < nEnds) s.endTis.resize(nEnds);
+      s.ops.clear();
+      s.trivial.clear();
+      for (std::size_t e = 0; e < nEnds; ++e) {
+        const PortRef& p = c.end(e).port;
+        const AtomicType& type = *system_->instance(static_cast<std::size_t>(p.instance)).type;
+        const std::vector<int>& tis = type.transitionsFrom(
+            state.locations[static_cast<std::size_t>(p.instance)], p.port);
+        s.endTis[e] = &tis;
+        for (int ti : tis) {
+          const expr::ExprProgram& g = type.compiledTransition(ti).guard;
+          s.trivial.push_back(g.empty() ? 1 : 0);
+          if (!g.empty()) {
+            s.ops.push_back(expr::BatchOp{&g, frameBase_[static_cast<std::size_t>(p.instance)]});
+          }
+        }
+      }
+      if (!s.ops.empty()) {
+        s.results.resize(s.ops.size());
+        expr::ExprProgram::runBatch(s.ops, frame, s.results);
+      }
+      std::size_t k = 0;
+      std::size_t r = 0;
+      for (std::size_t e = 0; e < nEnds; ++e) {
+        std::vector<int>& list = s.endEnabled[e];
+        list.clear();
+        for (int ti : *s.endTis[e]) {
+          if (s.trivial[k++] != 0 || s.results[r++] != 0) list.push_back(ti);
+        }
+      }
+      appendScannedMasks(c, ci, masks_[static_cast<std::size_t>(ci)], s, out, [&] {
+        requireEval(compiledBuilt_, "ShardedSystem: ensureCompiled() has not run");
+        return lp.guard.run(frame) != 0;
+      });
+    } else {
+      for (std::size_t e = 0; e < nEnds; ++e) {
+        const PortRef& p = c.end(e).port;
+        enabledTransitionsAt(state, p.instance, p.port, s.endEnabled[e]);
+      }
+      appendScannedMasks(c, ci, masks_[static_cast<std::size_t>(ci)], s, out, [&] {
+        requireEval(compiledBuilt_, "ShardedSystem: ensureCompiled() has not run");
+        const CrossConnector& x = cross_[static_cast<std::size_t>(xi)];
+        static thread_local std::vector<Value> scratch;
+        static thread_local std::vector<std::span<const Value>> frames;
+        scratch.resize(x.compiled->frameSize());
+        frames.clear();
+        for (int sh : x.shards) frames.push_back(state.frames[static_cast<std::size_t>(sh)]);
+        x.compiled->gather(frames, scratch);
+        return x.compiled->evalGuard(scratch) != 0;
+      });
+    }
+    return;
+  }
   std::vector<std::vector<int>> endEnabled(c.endCount());
   for (std::size_t e = 0; e < c.endCount(); ++e) {
     enabledTransitionsAt(state, c.end(e).port.instance, c.end(e).port.port, endEnabled[e]);

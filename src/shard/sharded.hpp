@@ -154,6 +154,7 @@ class ShardedSystem {
   std::vector<std::vector<int>> footprint_;   // per connector: distinct instances
   std::vector<LocalProgram> localPrograms_;   // per connector (empty entry when cross)
   std::vector<CrossConnector> cross_;
+  std::vector<std::vector<InteractionMask>> masks_;  // per connector: feasible masks
   bool compiledBuilt_ = false;
 };
 

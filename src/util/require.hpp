@@ -16,6 +16,7 @@ namespace cbip {
 class ModelError : public std::logic_error {
  public:
   explicit ModelError(const std::string& what) : std::logic_error(what) {}
+  explicit ModelError(const char* what) : std::logic_error(what) {}
 };
 
 /// Error thrown when evaluation fails at runtime (division by zero,
@@ -23,6 +24,7 @@ class ModelError : public std::logic_error {
 class EvalError : public std::runtime_error {
  public:
   explicit EvalError(const std::string& what) : std::runtime_error(what) {}
+  explicit EvalError(const char* what) : std::runtime_error(what) {}
 };
 
 /// Throws ModelError with `message` when `condition` is false.
@@ -30,8 +32,20 @@ inline void require(bool condition, const std::string& message) {
   if (!condition) throw ModelError(message);
 }
 
+/// Literal-message overload: engine-hot checks pass string literals, and
+/// converting one to std::string on every call is a hidden allocation —
+/// this overload defers any copy to the throw.
+inline void require(bool condition, const char* message) {
+  if (!condition) throw ModelError(message);
+}
+
 /// Throws EvalError with `message` when `condition` is false.
 inline void requireEval(bool condition, const std::string& message) {
+  if (!condition) throw EvalError(message);
+}
+
+/// Literal-message overload (see require).
+inline void requireEval(bool condition, const char* message) {
   if (!condition) throw EvalError(message);
 }
 

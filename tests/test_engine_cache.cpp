@@ -52,6 +52,55 @@ TEST(EnabledInteractionCache, AgreesOnPhilosophersAtomic) {
   crossCheck(models::philosophersAtomic(5), 11, 300);
 }
 
+TEST(EnabledInteractionCache, AgreesOnEveryScanPath) {
+  // The incremental maintenance must stay exact on all three evaluation
+  // paths: batched scan (default), compiled scalar (CBIP_NO_BATCH_SCAN)
+  // and the tree-walking interpreter (CBIP_NO_COMPILE).
+  struct Path {
+    bool compiled;
+    bool batch;
+    const char* name;
+  };
+  for (const Path& path : {Path{true, true, "batched"}, Path{true, false, "scalar"},
+                           Path{false, false, "interpreted"}}) {
+    SCOPED_TRACE(path.name);
+    const bool savedCompile = expr::compilationEnabled();
+    const bool savedBatch = batchScanEnabled();
+    expr::setCompilationEnabled(path.compiled);
+    setBatchScanEnabled(path.batch);
+    crossCheck(models::philosophersAtomic(5), 11, 200);
+    crossCheck(models::gasStation(2, 3), 5, 200);
+    expr::setCompilationEnabled(savedCompile);
+    setBatchScanEnabled(savedBatch);
+  }
+}
+
+TEST(SequentialEngine, BatchScanOnAndOffProduceIdenticalRuns) {
+  for (const char* model : {"phil", "ring", "gas"}) {
+    const System sys = std::string(model) == "phil"   ? models::philosophersAtomic(6)
+                       : std::string(model) == "ring" ? models::tokenRing(8)
+                                                      : models::gasStation(2, 4);
+    RunResult runs[2];
+    for (int batch = 0; batch < 2; ++batch) {
+      const bool saved = batchScanEnabled();
+      setBatchScanEnabled(batch == 1);
+      RandomPolicy policy(99);
+      SequentialEngine engine(sys, policy);
+      RunOptions opt;
+      opt.maxSteps = 400;
+      runs[batch] = engine.run(opt);
+      setBatchScanEnabled(saved);
+    }
+    EXPECT_EQ(runs[0].reason, runs[1].reason) << model;
+    EXPECT_EQ(runs[0].steps, runs[1].steps) << model;
+    EXPECT_EQ(runs[0].finalState, runs[1].finalState) << model;
+    ASSERT_EQ(runs[0].trace.events.size(), runs[1].trace.events.size()) << model;
+    for (std::size_t i = 0; i < runs[0].trace.events.size(); ++i) {
+      EXPECT_EQ(runs[0].trace.events[i].label, runs[1].trace.events[i].label) << model;
+    }
+  }
+}
+
 TEST(EnabledInteractionCache, AgreesOnPhilosophersTwoStep) {
   // Runs into the circular-wait deadlock on some seeds; the cache must
   // agree on the empty set there too.

@@ -185,6 +185,181 @@ TEST_P(CompileDifferential, CompiledAgreesWithInterpreter) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CompileDifferential, ::testing::Values(1, 2, 3, 4, 5));
 
+// ---- batch evaluation ----------------------------------------------------
+
+/// Restores the batch-scan switch on scope exit.
+class BatchScanSwitch {
+ public:
+  explicit BatchScanSwitch(bool on) : saved_(batchScanEnabled()) { setBatchScanEnabled(on); }
+  ~BatchScanSwitch() { setBatchScanEnabled(saved_); }
+
+ private:
+  bool saved_;
+};
+
+TEST(RunBatch, MatchesIndividualRuns) {
+  // Random programs evaluated at several frame bases in one batch must
+  // agree with one run() per (program, base) — including which batches
+  // raise EvalError.
+  Rng rng(4242);
+  for (int round = 0; round < 200; ++round) {
+    std::vector<ExprProgram> programs;
+    for (int p = 0; p < 4; ++p) programs.push_back(expr::compileLocal(randomExpr(rng, 3)));
+    std::vector<Value> frame(16);
+    for (Value& v : frame) v = rng.range(-3, 3);
+    std::vector<expr::BatchOp> ops;
+    for (const ExprProgram& p : programs) {
+      if (p.empty()) continue;  // trivial programs are never batched
+      for (std::int32_t base : {0, 4, 8, 12}) ops.push_back(expr::BatchOp{&p, base});
+    }
+    std::vector<Value> batched(ops.size());
+    const auto viaBatch = tryEval([&] {
+      ExprProgram::runBatch(ops, frame, batched);
+      return Value{0};
+    });
+    std::vector<Value> scalar(ops.size());
+    const auto viaRuns = tryEval([&] {
+      for (std::size_t i = 0; i < ops.size(); ++i) {
+        scalar[i] = ops[i].program->run(frame, ops[i].base);
+      }
+      return Value{0};
+    });
+    ASSERT_EQ(viaBatch.has_value(), viaRuns.has_value()) << "round " << round;
+    if (viaBatch.has_value()) {
+      ASSERT_EQ(batched, scalar) << "round " << round;
+    }
+  }
+}
+
+TEST(RunBatch, RejectsEmptyProgramsAndSizeMismatch) {
+  const ExprProgram p = expr::compileLocal(v(0) + Expr::lit(1));
+  const ExprProgram empty;
+  std::vector<Value> frame{1, 2};
+  std::vector<Value> out(1);
+  const std::vector<expr::BatchOp> bad{expr::BatchOp{&empty, 0}};
+  EXPECT_THROW(ExprProgram::runBatch(bad, frame, out), EvalError);
+  const std::vector<expr::BatchOp> two{expr::BatchOp{&p, 0}, expr::BatchOp{&p, 0}};
+  EXPECT_THROW(ExprProgram::runBatch(two, frame, out), EvalError);
+}
+
+/// Random system for the batched-scan differential: types with random
+/// transition guards over their local variables, connectors with random
+/// trigger/synchron ends and random guards over the end exports.
+System randomScanSystem(Rng& rng) {
+  System sys;
+  std::vector<AtomicTypePtr> types;
+  const int typeCount = 1 + static_cast<int>(rng.below(2));
+  for (int t = 0; t < typeCount; ++t) {
+    auto type = std::make_shared<AtomicType>("T" + std::to_string(t));
+    const int locs = 1 + static_cast<int>(rng.below(2));
+    for (int l = 0; l < locs; ++l) type->addLocation("l" + std::to_string(l));
+    // Four variables so transition guards may use randomExpr's full
+    // v0..v3 range; ports export the first two.
+    for (const char* name : {"x", "y", "z", "w"}) type->addVariable(name, rng.range(-3, 3));
+    const int ports = 1 + static_cast<int>(rng.below(2));
+    for (int p = 0; p < ports; ++p) type->addPort("p" + std::to_string(p), {0, 1});
+    const int transitions = 1 + static_cast<int>(rng.below(4));
+    for (int k = 0; k < transitions; ++k) {
+      // Depth 2 keeps divisions frequent enough to exercise EvalError
+      // parity between the scan paths.
+      Expr guard = randomExpr(rng, 2);
+      type->addTransition(static_cast<int>(rng.below(static_cast<std::size_t>(locs))),
+                          static_cast<int>(rng.below(static_cast<std::size_t>(ports))),
+                          std::move(guard), {},
+                          static_cast<int>(rng.below(static_cast<std::size_t>(locs))));
+    }
+    type->setInitialLocation(0);
+    types.push_back(std::move(type));
+  }
+  const int instances = 4 + static_cast<int>(rng.below(4));
+  for (int i = 0; i < instances; ++i) {
+    sys.addInstance("i" + std::to_string(i), types[rng.below(types.size())]);
+  }
+  const int connectors = 3 + static_cast<int>(rng.below(3));
+  for (int c = 0; c < connectors; ++c) {
+    Connector conn("c" + std::to_string(c));
+    // 2-3 ends on distinct instances.
+    const int endCount = 2 + static_cast<int>(rng.below(2));
+    std::vector<int> chosen;
+    while (static_cast<int>(chosen.size()) < endCount) {
+      const int inst = static_cast<int>(rng.below(static_cast<std::size_t>(instances)));
+      bool dup = false;
+      for (int seen : chosen) dup = dup || seen == inst;
+      if (dup) continue;
+      chosen.push_back(inst);
+      const AtomicType& type = *sys.instance(static_cast<std::size_t>(inst)).type;
+      conn.addEnd(PortRef{inst, static_cast<int>(rng.below(type.portCount()))},
+                  rng.chance(1, 3));
+    }
+    if (rng.chance(2, 3)) {
+      // Guard over random end exports, occasionally doomed (div/mod).
+      Expr g = Expr::var(0, static_cast<int>(rng.below(2))) +
+               Expr::var(1, static_cast<int>(rng.below(2)));
+      switch (rng.below(3)) {
+        case 0: g = g > Expr::lit(rng.range(-2, 2)); break;
+        case 1: g = g % Expr::var(endCount - 1, 0) == Expr::lit(0); break;
+        default: g = !(g == Expr::lit(0)); break;
+      }
+      conn.setGuard(std::move(g));
+    }
+    sys.addConnector(std::move(conn));
+  }
+  sys.validate();
+  return sys;
+}
+
+/// Enabled set or "threw EvalError".
+std::optional<std::vector<EnabledInteraction>> tryScan(const System& sys,
+                                                       const GlobalState& g) {
+  try {
+    return enabledInteractions(sys, g);
+  } catch (const EvalError&) {
+    return std::nullopt;
+  }
+}
+
+TEST(BatchScanDifferential, MaskSetMatchesScalarAndInterpreter) {
+  // Random connectors x random stores: the batched scan's enabled mask
+  // set (and per-end transition choices) must equal the scalar compiled
+  // path's and the interpreter's, element for element — including which
+  // stores make the scan raise EvalError.
+  Rng rng(20260726);
+  for (int round = 0; round < 60; ++round) {
+    const System sys = randomScanSystem(rng);
+    GlobalState g = initialState(sys);
+    for (int store = 0; store < 20; ++store) {
+      // Random store: random (valid) location and variable values per
+      // instance.
+      for (std::size_t i = 0; i < sys.instanceCount(); ++i) {
+        g.components[i].location =
+            static_cast<int>(rng.below(sys.instance(i).type->locationCount()));
+        for (Value& var : g.components[i].vars) var = rng.range(-3, 3);
+      }
+      std::optional<std::vector<EnabledInteraction>> batched, scalar, interpreted;
+      {
+        CompileSwitch compiledOn(true);
+        {
+          BatchScanSwitch batchOn(true);
+          batched = tryScan(sys, g);
+        }
+        {
+          BatchScanSwitch batchOff(false);
+          scalar = tryScan(sys, g);
+        }
+      }
+      {
+        CompileSwitch compiledOff(false);
+        interpreted = tryScan(sys, g);
+      }
+      ASSERT_EQ(batched.has_value(), scalar.has_value()) << "round " << round;
+      ASSERT_EQ(batched.has_value(), interpreted.has_value()) << "round " << round;
+      if (!batched.has_value()) continue;
+      ASSERT_EQ(*batched, *scalar) << "round " << round << " store " << store;
+      ASSERT_EQ(*batched, *interpreted) << "round " << round << " store " << store;
+    }
+  }
+}
+
 // ---- builder constant folding -------------------------------------------
 
 TEST(BuilderFolding, FoldsConstantOperands) {

@@ -272,6 +272,33 @@ TEST(ShardedEngine, CompiledAndInterpretedTracesIdentical) {
   EXPECT_EQ(on.finalState, off.finalState);
 }
 
+TEST(ShardedEngine, BatchedAndScalarScanTracesIdentical) {
+  // The batched enabled-set scan (zero-gather over shard-local frames,
+  // classic gather for cross-shard guards) must leave every schedule
+  // bit-identical to the scalar scan, and each trace must stay replayable
+  // through the reference engine.
+  const System models[] = {models::philosophersAtomic(12), models::producerConsumer(3)};
+  for (const System& sys : models) {
+    const auto runWith = [&](bool batch) {
+      const bool saved = batchScanEnabled();
+      setBatchScanEnabled(batch);
+      ShardedEngine engine(sys, 3);
+      ShardedOptions opt;
+      opt.maxSteps = 200;
+      opt.seed = 7;
+      const RunResult r = engine.run(opt);
+      setBatchScanEnabled(saved);
+      return r;
+    };
+    const RunResult batched = runWith(true);
+    const RunResult scalar = runWith(false);
+    EXPECT_EQ(batched.trace.labels(), scalar.trace.labels());
+    EXPECT_EQ(batched.finalState, scalar.finalState);
+    EXPECT_EQ(batched.steps, scalar.steps);
+    expectSequentiallyReplayable(sys, batched);
+  }
+}
+
 TEST(ShardedEngine, DetectsDeadlock) {
   // Two one-shot components on separate shards: two steps, then nothing.
   System sys;
