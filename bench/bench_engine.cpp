@@ -141,6 +141,66 @@ void BM_SequentialEngineCompiledVsInterpreted(benchmark::State& state) {
 }
 BENCHMARK(BM_SequentialEngineCompiledVsInterpreted)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
+/// Tau-heavy workload: every interaction arms a cascade of internal
+/// (tau) transitions whose guards and actions share arithmetic — the
+/// guard-then-fire shape runInternal dispatches, and therefore the
+/// workload where fusing guard + action block into one program (single
+/// dispatch, cross-boundary CSE) pays directly.
+System tauCascadePairs(int pairs) {
+  System sys;
+  auto t = std::make_shared<AtomicType>("Tau");
+  const int l = t->addLocation("l");
+  const int x = t->addVariable("x", 1);
+  const int acc = t->addVariable("acc", 0);
+  const int k = t->addVariable("k", 0);
+  const int p = t->addPort("p", {x});
+  // The sync transition arms the cascade.
+  t->addTransition(l, p, Expr::top(), {expr::Assign{expr::VarRef{0, k}, Expr::lit(8)}}, l);
+  // Tau 1: guard and action share (acc * 7 + x) % 13.
+  const Expr mix = (Expr::local(acc) * Expr::lit(7) + Expr::local(x)) % Expr::lit(13);
+  t->addTransition(
+      l, kInternalPort, Expr::local(k) > Expr::lit(0) && mix != Expr::lit(5),
+      {expr::Assign{expr::VarRef{0, acc}, mix + Expr::local(acc) % Expr::lit(101)},
+       expr::Assign{expr::VarRef{0, x}, Expr::local(x) + Expr::lit(1)},
+       expr::Assign{expr::VarRef{0, k}, Expr::local(k) - Expr::lit(1)}},
+      l);
+  // Tau 2: fallback keeps the cascade draining when tau 1's guard flips.
+  t->addTransition(l, kInternalPort, Expr::local(k) > Expr::lit(0),
+                   {expr::Assign{expr::VarRef{0, k}, Expr::local(k) - Expr::lit(1)}}, l);
+  t->setInitialLocation(l);
+  for (int i = 0; i < pairs; ++i) {
+    const int a = sys.addInstance("a" + std::to_string(i), t);
+    const int b = sys.addInstance("b" + std::to_string(i), t);
+    sys.addConnector(rendezvous("sync" + std::to_string(i), {PortRef{a, 0}, PortRef{b, 0}}));
+  }
+  sys.validate();
+  return sys;
+}
+
+/// Engine-step cost with fused guard+action dispatch (arg 1) vs the
+/// unfused guard-program + per-action-program dispatch (arg 0);
+/// identical traces. Every step triggers two 8-deep tau cascades, so the
+/// ratio isolates the fused tryFire / action-block win.
+void BM_SequentialEngineFusedVsUnfused(benchmark::State& state) {
+  const System sys = tauCascadePairs(8);
+  const bool fused = state.range(0) != 0;
+  const bool saved = expr::fusionEnabled();
+  expr::setFusionEnabled(fused);
+  RandomPolicy policy(3);
+  // Engine constructed once: the measurement is the step loop (scan +
+  // dispatch), not per-run validation.
+  SequentialEngine engine(sys, policy);
+  for (auto _ : state) {
+    RunOptions opt;
+    opt.maxSteps = 500;
+    opt.recordTrace = false;
+    benchmark::DoNotOptimize(engine.run(opt));
+  }
+  expr::setFusionEnabled(saved);
+  state.SetItemsProcessed(state.iterations() * 500);
+}
+BENCHMARK(BM_SequentialEngineFusedVsUnfused)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
 /// Enabled-set-scan throughput, batched (arg1 = 1, CompiledConnector::
 /// scanEnabled over one gathered frame) vs scalar (arg1 = 0, per-end
 /// vectors + per-mask end loop), full recompute of every connector at

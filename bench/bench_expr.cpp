@@ -106,6 +106,62 @@ void BM_ActionCompiled(benchmark::State& state) {
 }
 BENCHMARK(BM_ActionCompiled);
 
+/// One transition's guarded command, with the guard's arithmetic shared
+/// by the first action — the shape the fused programs exist for.
+Expr sharedMix() { return (v(0) * Expr::lit(3) + v(1)) % Expr::lit(257); }
+Expr commandGuard() { return sharedMix() != Expr::lit(0) && v(3) + v(4) < Expr::lit(1000); }
+
+const SlotMap& localSlots() {
+  static const SlotMap slots = [](VarRef r) { return r.index; };
+  return slots;
+}
+
+void BM_GuardedCommandUnfused(benchmark::State& state) {
+  // The pre-fusion dispatch: one guard program, then one program per
+  // action, each with its own run() entry and its own evaluation of the
+  // shared subexpression.
+  const ExprProgram guard = compileLocal(commandGuard());
+  struct Compiled {
+    int target;
+    ExprProgram value;
+  };
+  std::vector<Compiled> actions;
+  std::vector<Assign> block = actionBlock();
+  block[0].value = sharedMix();  // action 0 recomputes the guard's arithmetic
+  for (const Assign& a : block) {
+    actions.push_back(Compiled{a.target.index, compileLocal(a.value)});
+  }
+  std::vector<Value> vars = makeFrame();
+  for (auto _ : state) {
+    if (guard.run(vars) != 0) {
+      for (const Compiled& a : actions) {
+        vars[static_cast<std::size_t>(a.target)] = a.value.run(vars);
+      }
+    }
+    vars[0] = (vars[0] ^ 1) & 0xff;
+    benchmark::DoNotOptimize(vars.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GuardedCommandUnfused);
+
+void BM_GuardedCommandFused(benchmark::State& state) {
+  // The same guarded command as one fused program: a single dispatch,
+  // conditional skip over the action suffix, shared arithmetic computed
+  // once (kTee / kLoadTmp across the guard/action boundary).
+  std::vector<Assign> block = actionBlock();
+  block[0].value = sharedMix();
+  const ExprProgram fused = compileFused(commandGuard(), block, localSlots());
+  std::vector<Value> vars = makeFrame();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fused.run(std::span<Value>(vars), 0));
+    vars[0] = (vars[0] ^ 1) & 0xff;
+    benchmark::DoNotOptimize(vars.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GuardedCommandFused);
+
 void BM_CompileOnce(benchmark::State& state) {
   // The one-time lowering cost amortized away by the per-step savings.
   const Expr g = wideGuard(32);

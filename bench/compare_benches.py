@@ -41,6 +41,8 @@ KEY_RATIOS = [
     ("bench_sharded", "BM_ShardedScan256/1", "BM_ShardedScan256/0"),
     ("bench_engine", "BM_SequentialEngineCompiledVsInterpreted/1",
      "BM_SequentialEngineCompiledVsInterpreted/0"),
+    ("bench_engine", "BM_SequentialEngineFusedVsUnfused/1",
+     "BM_SequentialEngineFusedVsUnfused/0"),
 ]
 
 # Absolute throughput counters, only comparable on matching context.
@@ -85,6 +87,12 @@ def main():
     failures = []
 
     def check(label, baseValue, newValue):
+        # A zero baseline counter (seen on pathological smoke runs where a
+        # benchmark records no items) makes every ratio meaningless — skip
+        # loudly instead of crashing the gate with a ZeroDivisionError.
+        if baseValue == 0:
+            print(f"SKIP  {label} (baseline counter is zero; not comparable)")
+            return
         ratio = newValue / baseValue
         status = "OK  " if ratio >= floor else "FAIL"
         print(f"{status}  {label}  {baseValue:.3g} -> {newValue:.3g}  ({ratio:.2f}x)")
@@ -98,6 +106,10 @@ def main():
             continue
         if (suite, num) not in base or (suite, den) not in base:
             print(f"SKIP  {suite}:{num} over {den} (no baseline)")
+            continue
+        if base[(suite, den)] == 0 or new[(suite, den)] == 0:
+            print(f"SKIP  {suite}:{num} over {den} (zero denominator counter; "
+                  f"not comparable)")
             continue
         check(f"{suite}:{num} over {den} [speedup ratio]",
               base[(suite, num)] / base[(suite, den)],

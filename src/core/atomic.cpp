@@ -121,13 +121,26 @@ void AtomicType::compileIfNeeded() const {
   compiled_.reserve(transitions_.size());
   for (const Transition& t : transitions_) {
     CompiledTransition ct;
+    ct.from = t.from;
+    ct.to = t.to;
     if (!t.guard.isTrue()) ct.guard = expr::compile(t.guard, slots);
     ct.actions.reserve(t.actions.size());
     for (const expr::Assign& a : t.actions) {
       require(a.target.scope == 0 && a.target.index >= 0 &&
                   static_cast<std::size_t>(a.target.index) < variables_.size(),
               name_ + ": action target out of range in compiled expression");
-      ct.actions.push_back(CompiledTransition::Action{a.target.index, expr::compile(a.value, slots)});
+      ct.actions.push_back(
+          CompiledTransition::Action{a.target.index, expr::compile(a.value, slots)});
+    }
+    // Fused forms are built unconditionally (the fusion switch is a
+    // dispatch-time decision, so toggling it never needs a rebuild). A
+    // transition with a trivial guard and no actions keeps both empty:
+    // its dispatch is a bare location move.
+    if (!t.guard.isTrue() || !t.actions.empty()) {
+      ct.fused = expr::compileFused(t.guard, t.actions, slots);
+    }
+    if (!t.actions.empty()) {
+      ct.actionBlock = expr::compileFused(Expr::top(), t.actions, slots);
     }
     compiled_.push_back(std::move(ct));
   }
@@ -262,18 +275,19 @@ AtomicState initialState(const AtomicType& type) {
 }
 
 bool guardHolds(const AtomicType& type, const AtomicState& state, int ti) {
-  const Transition& t = type.transition(ti);
-  if (t.guard.isTrue()) return true;
-  if (expr::compilationEnabled()) {
-    // Programs are range-checked against the type's variable table at
-    // lowering time; the frame only needs to cover that table. (The error
-    // string is built only on failure — this check runs per guard.)
-    if (state.vars.size() < type.variableCount()) {
-      throw EvalError(type.name() + ": state has fewer variables than the type");
-    }
-    return type.compiledTransition(ti).guard.run(state.vars) != 0;
+  if (!expr::compilationEnabled()) return guardHolds(type, state, type.transition(ti));
+  // The compiled form carries everything this dispatch needs (trivially
+  // true <=> empty program), so the symbolic transition table is never
+  // touched on the hot path.
+  const CompiledTransition& ct = type.compiledTransition(ti);
+  if (ct.guard.empty()) return true;
+  // Programs are range-checked against the type's variable table at
+  // lowering time; the frame only needs to cover that table. (The error
+  // string is built only on failure — this check runs per guard.)
+  if (state.vars.size() < type.variableCount()) {
+    throw EvalError(type.name() + ": state has fewer variables than the type");
   }
-  return guardHolds(type, state, t);
+  return ct.guard.run(state.vars) != 0;
 }
 
 bool guardHolds(const AtomicType&, const AtomicState& state, const Transition& t) {
@@ -305,25 +319,32 @@ bool portEnabled(const AtomicType& type, const AtomicState& state, int port) {
 }
 
 void fire(const AtomicType& type, AtomicState& state, int ti) {
-  const Transition& t = type.transition(ti);
   if (!expr::compilationEnabled()) {
-    fire(type, state, t);
+    fire(type, state, type.transition(ti));
     return;
   }
+  const CompiledTransition& ct = type.compiledTransition(ti);
   // Per-fire checks: error strings built only on failure.
-  if (t.from != state.location) {
+  if (ct.from != state.location) {
     throw ModelError(type.name() + ": firing transition from wrong location");
   }
   if (state.vars.size() < type.variableCount()) {
     throw EvalError(type.name() + ": state has fewer variables than the type");
   }
-  const CompiledTransition& ct = type.compiledTransition(ti);
-  // Sequential assignment semantics: each action sees earlier writes
-  // because the frame *is* the live variable vector.
-  for (const CompiledTransition::Action& a : ct.actions) {
-    state.vars[static_cast<std::size_t>(a.target)] = a.value.run(state.vars);
+  if (expr::fusionEnabled()) {
+    // The whole action block is one dispatch; the frame *is* the live
+    // variable vector, so every store lands in place (sequential
+    // assignment semantics, shared subexpressions computed once).
+    if (!ct.actionBlock.empty()) {
+      ct.actionBlock.run(std::span<Value>(state.vars), 0);
+    }
+  } else {
+    // Unfused escape hatch: one program dispatch per action.
+    for (const CompiledTransition::Action& a : ct.actions) {
+      state.vars[static_cast<std::size_t>(a.target)] = a.value.run(state.vars);
+    }
   }
-  state.location = t.to;
+  state.location = ct.to;
 }
 
 void fire(const AtomicType& type, AtomicState& state, const Transition& t) {
@@ -333,14 +354,52 @@ void fire(const AtomicType& type, AtomicState& state, const Transition& t) {
   state.location = t.to;
 }
 
+bool tryFire(const AtomicType& type, AtomicState& state, int ti) {
+  if (!expr::compilationEnabled()) {
+    const Transition& t = type.transition(ti);
+    if (t.from != state.location) {
+      throw ModelError(type.name() + ": firing transition from wrong location");
+    }
+    if (!guardHolds(type, state, t)) return false;
+    expr::VecContext ctx(state.vars);
+    expr::applyAssignments(t.actions, ctx);
+    state.location = t.to;
+    return true;
+  }
+  const CompiledTransition& ct = type.compiledTransition(ti);
+  if (ct.from != state.location) {
+    throw ModelError(type.name() + ": firing transition from wrong location");
+  }
+  if (state.vars.size() < type.variableCount()) {
+    throw EvalError(type.name() + ": state has fewer variables than the type");
+  }
+  if (expr::fusionEnabled()) {
+    // Trivial guard, no actions: the dispatch is a bare location move.
+    if (!ct.fused.empty() && ct.fused.run(std::span<Value>(state.vars), 0) == 0) return false;
+    state.location = ct.to;
+    return true;
+  }
+  // Unfused escape hatch: guard dispatch, then one dispatch per action.
+  if (!ct.guard.empty() && ct.guard.run(state.vars) == 0) return false;
+  for (const CompiledTransition::Action& a : ct.actions) {
+    state.vars[static_cast<std::size_t>(a.target)] = a.value.run(state.vars);
+  }
+  state.location = ct.to;
+  return true;
+}
+
 void runInternal(const AtomicType& type, AtomicState& state, int maxSteps) {
-  // One buffer for the whole quiescence loop; a component with no enabled
-  // tau steps (the common case) never allocates here.
-  std::vector<int> enabled;
   for (int step = 0; step < maxSteps; ++step) {
-    enabledTransitions(type, state, kInternalPort, enabled);
-    if (enabled.empty()) return;
-    fire(type, state, enabled.front());
+    // One tryFire dispatch per candidate, in transition order; the first
+    // enabled one fires. No allocation, no enabled-list materialization.
+    bool fired = false;
+    for (int ti : type.transitionsFrom(state.location, kInternalPort)) {
+      if (tryFire(type, state, ti)) {
+        fired = true;
+        break;
+      }
+    }
+    if (!fired) return;
   }
   throw EvalError(type.name() + ": internal transitions diverge (> " +
                   std::to_string(maxSteps) + " tau steps)");

@@ -55,13 +55,29 @@ struct Transition {
 /// component's variable vector (frame slot = variable index). The symbolic
 /// Transition stays authoritative for the verifier; this is the execution
 /// form (see expr/compile.hpp).
+///
+/// Three program shapes serve three dispatch sites:
+///   * `guard` — read-only guard program for enabled-set scans (and the
+///     CBIP_NO_FUSE escape hatch);
+///   * `fused` — the whole guarded command in one program (guard prefix,
+///     conditional skip, action suffix, CSE across the boundary); tryFire
+///     runs it as a single dispatch;
+///   * `actionBlock` — the action suffix alone (intra-block CSE), for
+///     unconditional fires where the guard was established earlier, on a
+///     possibly different frame (post-transfer interaction execution).
+/// `from`/`to` mirror the symbolic transition so the hot dispatches never
+/// touch the Expr-tree side at all.
 struct CompiledTransition {
   expr::ExprProgram guard;  // empty when the guard is trivially true
   struct Action {
     int target = 0;
     expr::ExprProgram value;
   };
-  std::vector<Action> actions;
+  std::vector<Action> actions;    // unfused per-action programs (escape hatch)
+  expr::ExprProgram fused;        // empty iff guard trivially true and no actions
+  expr::ExprProgram actionBlock;  // empty when the transition has no actions
+  int from = 0;
+  int to = 0;
 };
 
 /// Immutable description of an atomic component type. Build with the
@@ -180,15 +196,27 @@ void enabledTransitions(const AtomicType& type, const AtomicState& state, int po
 bool portEnabled(const AtomicType& type, const AtomicState& state, int port);
 
 /// Fires transition `ti` (assumed enabled): runs actions (compiled unless
-/// disabled), moves location.
+/// disabled; one fused action-block dispatch unless fusion is disabled),
+/// moves location.
 void fire(const AtomicType& type, AtomicState& state, int ti);
 
 /// Interpreted variant (see the guardHolds overloads).
 void fire(const AtomicType& type, AtomicState& state, const Transition& t);
 
+/// Guard-then-fire as one operation: evaluates transition `ti`'s guard in
+/// `state` and, when it holds, fires the transition; returns whether it
+/// fired. On the compiled path with fusion enabled this is a *single*
+/// dispatch of the fused guard+action program (shared subexpressions
+/// computed once); the unfused and interpreted paths run guard and
+/// actions separately, bit-identically. `state.location` must be the
+/// transition's source location.
+bool tryFire(const AtomicType& type, AtomicState& state, int ti);
+
 /// Runs enabled internal (tau) transitions to quiescence, choosing the
-/// lowest-index enabled one each step. Throws EvalError if more than
-/// `maxSteps` internal steps occur (divergence guard).
+/// lowest-index enabled one each step (guards after the first enabled
+/// transition of a step are not evaluated — each candidate is one tryFire
+/// dispatch, identical across all evaluation paths). Throws EvalError if
+/// more than `maxSteps` internal steps occur (divergence guard).
 void runInternal(const AtomicType& type, AtomicState& state, int maxSteps = 10'000);
 
 }  // namespace cbip

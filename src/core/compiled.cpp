@@ -84,6 +84,11 @@ void CompiledConnector::build(const System& system, const Connector& connector,
             "connector '" + connector.name() + "': up target is not a connector variable");
     ups_.push_back(Up{slots(up.target), expr::compile(up.value, slots)});
   }
+  // The up block always executes as a whole, so it fuses into one program
+  // (downs do not: their execution set depends on the interaction mask).
+  if (!connector.ups().empty()) {
+    upBlock_ = expr::compileFused(Expr::top(), connector.ups(), slots);
+  }
   downs_.reserve(connector.downs().size());
   for (const DownAssign& d : connector.downs()) {
     const int slot = slots(expr::VarRef{d.end, d.exportIndex});
@@ -148,8 +153,12 @@ void CompiledConnector::gather(const GlobalState& state, std::span<Value> frame)
 
 void CompiledConnector::transfer(GlobalState& state, std::span<Value> frame,
                                  InteractionMask mask) const {
-  for (const Up& u : ups_) {
-    frame[static_cast<std::size_t>(u.targetSlot)] = u.value.run(frame);
+  if (expr::fusionEnabled()) {
+    if (!upBlock_.empty()) upBlock_.run(frame, 0);
+  } else {
+    for (const Up& u : ups_) {
+      frame[static_cast<std::size_t>(u.targetSlot)] = u.value.run(frame);
+    }
   }
   for (const Down& d : downs_) {
     if ((mask & (InteractionMask{1} << static_cast<unsigned>(d.end))) == 0) continue;
@@ -171,8 +180,12 @@ void CompiledConnector::gather(std::span<const std::span<const Value>> frames,
 
 void CompiledConnector::transfer(std::span<const std::span<Value>> frames,
                                  std::span<Value> scratch, InteractionMask mask) const {
-  for (const Up& u : ups_) {
-    scratch[static_cast<std::size_t>(u.targetSlot)] = u.value.run(scratch);
+  if (expr::fusionEnabled()) {
+    if (!upBlock_.empty()) upBlock_.run(scratch, 0);
+  } else {
+    for (const Up& u : ups_) {
+      scratch[static_cast<std::size_t>(u.targetSlot)] = u.value.run(scratch);
+    }
   }
   for (const Down& d : downs_) {
     if ((mask & (InteractionMask{1} << static_cast<unsigned>(d.end))) == 0) continue;

@@ -99,7 +99,10 @@ class CompiledConnector {
   /// Runs the up transfers, then the down transfers of participating ends,
   /// on `frame`; down results are written back into `state` immediately so
   /// the component sees them (and later downs read them from the frame,
-  /// mirroring the interpreter's sequential context exactly).
+  /// mirroring the interpreter's sequential context exactly). With fusion
+  /// enabled (expr::fusionEnabled) the whole up block is one fused program
+  /// dispatch (shared subexpressions computed once); downs stay separate —
+  /// their execution set depends on the interaction mask.
   void transfer(GlobalState& state, std::span<Value> frame, InteractionMask mask) const;
 
   /// Sharded-build counterpart of `gather`: copies every end-export value
@@ -190,6 +193,7 @@ class CompiledConnector {
   std::vector<Load> loads_;
   expr::ExprProgram guard_;  // empty when trivially true
   std::vector<Up> ups_;
+  expr::ExprProgram upBlock_;  // all ups fused into one program (empty when no ups)
   std::vector<Down> downs_;
 
   // Scan form (see scanEnabled).

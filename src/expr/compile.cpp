@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <string>
+#include <unordered_map>
 
 #include "util/require.hpp"
 
@@ -12,6 +14,15 @@ namespace {
 std::atomic<bool>& compileFlag() {
   static std::atomic<bool> flag = [] {
     const char* env = std::getenv("CBIP_NO_COMPILE");
+    const bool disabled = env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0');
+    return !disabled;
+  }();
+  return flag;
+}
+
+std::atomic<bool>& fuseFlag() {
+  static std::atomic<bool> flag = [] {
+    const char* env = std::getenv("CBIP_NO_FUSE");
     const bool disabled = env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0');
     return !disabled;
   }();
@@ -62,16 +73,190 @@ int stackNeed(const Expr& e) {
 // already fold at construction (Expr::make): the compiler must stay
 // correct for any tree handed to it, independent of which builder
 // invariants happen to hold upstream.
+//
+// In CSE mode (compileFused) the compiler additionally value-numbers
+// non-leaf subexpressions across the guard/action sequence: a subtree
+// occurring more than once is parked in a temp register (kTee) at its
+// first *unconditionally evaluated* occurrence and reloaded (kLoadTmp)
+// at later ones. Three rules keep this exact:
+//   * definitions only outside short-circuit right operands and ite
+//     branches (condDepth_ == 0), so a recorded temp was always actually
+//     computed — a conditional occurrence may reuse but never define;
+//   * an assignment to slot s invalidates every recorded temp whose
+//     subtree reads s (the next occurrence recomputes and re-parks);
+//   * reuse never changes error behaviour: operator outcomes (value or
+//     EvalError) are deterministic functions of the operand values, so a
+//     reused result's recomputation could neither differ nor raise.
 class Compiler {
  public:
-  explicit Compiler(const SlotMap& slots) : slots_(&slots) {}
+  explicit Compiler(const SlotMap& slots, bool cse = false) : slots_(&slots), cse_(cse) {}
 
   std::vector<Instr> lower(const Expr& e) {
     emit(e);
     return std::move(code_);
   }
 
+  /// Lowers the fused guarded command (see compileFused). Out-params
+  /// report the temp-register count and whether any kStore was emitted.
+  std::vector<Instr> lowerFused(const Expr& guard, std::span<const Assign> actions,
+                                int& tempCount, bool& hasStores) {
+    for (const Assign& a : actions) countCandidates(a.value);
+    const bool hasGuard = !guard.isTrue();
+    std::vector<std::size_t> failJumps;  // jumps to patch to the FAIL label
+    bool dead = false;                   // guard folded to constant false
+    if (hasGuard) {
+      countCandidates(guard);
+      const std::size_t from = code_.size();
+      emit(guard);
+      if (constSince(from)) {
+        // Guard folded to a literal: the conditional skip resolves at
+        // compile time (a discarded action suffix removes no error or
+        // variable read — it would never have executed).
+        const Value g = code_.back().imm;
+        code_.pop_back();
+        dead = g == 0;
+      } else if (!threadGuardJumps(from, failJumps)) {
+        failJumps.push_back(emitJump(OpCode::kJumpIfZero));
+      }
+    }
+    if (!dead) {
+      for (const Assign& a : actions) {
+        emit(a.value);
+        const int slot = (*slots_)(a.target);
+        require(slot >= 0, "compileFused: SlotMap returned a negative slot");
+        code_.push_back(Instr{OpCode::kStore, slot, 0});
+        hasStores = true;
+        invalidateReaders(slot);
+      }
+    }
+    pushLit(dead ? 0 : 1);
+    if (!failJumps.empty()) {
+      const std::size_t endJump = emitJump(OpCode::kJump);
+      for (std::size_t j : failJumps) patch(j);
+      pushLit(0);
+      patch(endJump);
+    }
+    tempCount = tempCount_;
+    return std::move(code_);
+  }
+
  private:
+  /// One parked common subexpression: its structural key, the temp
+  /// register holding its value, and the frame slots it reads (for
+  /// clobber invalidation). Linear scans are fine at guard/action sizes.
+  struct AvailEntry {
+    std::string key;
+    int temp = 0;
+    std::vector<int> reads;
+  };
+
+  /// Structural identity key of a subtree (same key <=> same value in the
+  /// same frame, since all units share one SlotMap).
+  static void appendKey(const Expr& e, std::string& out) {
+    switch (e.op()) {
+      case Op::kLit:
+        out += 'L';
+        out += std::to_string(e.literal());
+        return;
+      case Op::kVar:
+        out += 'V';
+        out += std::to_string(e.ref().scope);
+        out += ',';
+        out += std::to_string(e.ref().index);
+        return;
+      default:
+        out += '(';
+        out += std::to_string(static_cast<int>(e.op()));
+        for (std::size_t i = 0; i < e.arity(); ++i) {
+          out += ' ';
+          appendKey(e.child(i), out);
+        }
+        out += ')';
+        return;
+    }
+  }
+
+  static std::string keyOf(const Expr& e) {
+    std::string out;
+    appendKey(e, out);
+    return out;
+  }
+
+  /// Counts every non-leaf subtree occurrence; keys seen >= 2 times are
+  /// CSE candidates. Occurrences inside branches that later fold away are
+  /// over-counted, which costs at most one unused kTee.
+  void countCandidates(const Expr& e) {
+    if (e.op() == Op::kLit || e.op() == Op::kVar) return;
+    ++occurrences_[keyOf(e)];
+    for (std::size_t i = 0; i < e.arity(); ++i) countCandidates(e.child(i));
+  }
+
+  void invalidateReaders(int slot) {
+    for (std::size_t i = avail_.size(); i-- > 0;) {
+      bool reads = false;
+      for (int r : avail_[i].reads) reads = reads || r == slot;
+      if (reads) avail_.erase(avail_.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+  }
+
+  const AvailEntry* findAvail(const std::string& key) const {
+    for (const AvailEntry& a : avail_) {
+      if (a.key == key) return &a;
+    }
+    return nullptr;
+  }
+
+  /// Peephole for the guard -> suffix boundary: a short-circuit guard
+  /// ends with its boolean materialization [Push a; Jump end; Push b]
+  /// (a = 1, b = 0 for &&; a = 0, b = 1 for ||) whose value the fused
+  /// program would immediately pop and re-test. Retarget the jumps at the
+  /// materialization sites instead — false paths jump straight to FAIL
+  /// (recorded in `failJumps`), true paths fall through into the action
+  /// suffix — and drop the three tail instructions. Returns false (code
+  /// untouched) when the guard does not end in the pattern; the caller
+  /// then emits a plain conditional skip.
+  bool threadGuardJumps(std::size_t from, std::vector<std::size_t>& failJumps) {
+    const std::size_t n = code_.size();
+    if (n < from + 3) return false;
+    const auto isBoolPush = [](const Instr& in) {
+      return in.op == OpCode::kPush && (in.imm == 0 || in.imm == 1);
+    };
+    const auto isJump = [](const Instr& in) {
+      return in.op == OpCode::kJump || in.op == OpCode::kJumpIfZero ||
+             in.op == OpCode::kJumpIfNonZero;
+    };
+    if (!isBoolPush(code_[n - 3]) || !isBoolPush(code_[n - 1]) ||
+        code_[n - 3].imm == code_[n - 1].imm || code_[n - 2].op != OpCode::kJump ||
+        code_[n - 2].arg != static_cast<std::int32_t>(n)) {
+      return false;
+    }
+    // Safety: only the materialization sites themselves may be jump
+    // targets in the tail region; any other shape bails out conservatively.
+    for (std::size_t i = from; i < n - 3; ++i) {
+      if (!isJump(code_[i])) continue;
+      if (code_[i].arg >= static_cast<std::int32_t>(n - 3) &&
+          code_[i].arg != static_cast<std::int32_t>(n - 1)) {
+        return false;
+      }
+    }
+    const bool fallThroughTrue = code_[n - 3].imm == 1;  // && shape
+    const bool jumpedTrue = code_[n - 1].imm == 1;       // || shape
+    code_.resize(n - 3);
+    std::vector<std::size_t> toSuffix;
+    for (std::size_t i = from; i < code_.size(); ++i) {
+      Instr& in = code_[i];
+      if (!isJump(in) || in.arg != static_cast<std::int32_t>(n - 1)) continue;
+      if (jumpedTrue) {
+        toSuffix.push_back(i);
+      } else {
+        failJumps.push_back(i);
+      }
+    }
+    // A fall-through that materialized false routes to FAIL instead.
+    if (!fallThroughTrue) failJumps.push_back(emitJump(OpCode::kJump));
+    for (std::size_t i : toSuffix) code_[i].arg = here();
+    return true;
+  }
   /// True iff the instructions emitted since `from` are one literal push.
   bool constSince(std::size_t from) const {
     return code_.size() == from + 1 && code_.back().op == OpCode::kPush;
@@ -92,15 +277,15 @@ class Compiler {
   static bool applyBinary(Op op, Value a, Value b, Value& out) {
     const auto toBool = [](bool c) { return c ? Value{1} : Value{0}; };
     switch (op) {
-      case Op::kAdd: out = a + b; return true;
-      case Op::kSub: out = a - b; return true;
-      case Op::kMul: out = a * b; return true;
+      case Op::kAdd: out = wrapAdd(a, b); return true;
+      case Op::kSub: out = wrapSub(a, b); return true;
+      case Op::kMul: out = wrapMul(a, b); return true;
       case Op::kDiv:
-        if (b == 0) return false;  // keep the runtime error
+        if (b == 0 || divOverflows(a, b)) return false;  // keep the runtime error
         out = a / b;
         return true;
       case Op::kMod:
-        if (b == 0) return false;
+        if (b == 0 || divOverflows(a, b)) return false;
         out = a % b;
         return true;
       case Op::kMin: out = a < b ? a : b; return true;
@@ -134,7 +319,52 @@ class Compiler {
     }
   }
 
+  /// Emission entry point: in CSE mode, candidate subtrees reuse a parked
+  /// temp when one is available and park their value when evaluated
+  /// unconditionally; everything else lowers structurally via emitNode.
   void emit(const Expr& e) {
+    if (!cse_ || e.op() == Op::kLit || e.op() == Op::kVar) {
+      emitNode(e);
+      return;
+    }
+    std::string key = keyOf(e);
+    const auto it = occurrences_.find(key);
+    if (it == occurrences_.end() || it->second < 2) {
+      emitNode(e);
+      return;
+    }
+    if (const AvailEntry* a = findAvail(key)) {
+      code_.push_back(Instr{OpCode::kLoadTmp, a->temp, 0});
+      return;
+    }
+    // Park the value only when this occurrence always executes (reuse
+    // from a skipped branch would read garbage) and some occurrence lies
+    // *outside* the candidate currently being defined: a subtree whose
+    // count equals its defining ancestor's occurs only inside it, and all
+    // its later occurrences vanish into that ancestor's kLoadTmp — a tee
+    // would never be read.
+    const bool mayDefine = condDepth_ == 0 && it->second > definingCount_;
+    const int savedCount = definingCount_;
+    if (mayDefine) definingCount_ = it->second;
+    const std::size_t from = code_.size();
+    emitNode(e);
+    definingCount_ = savedCount;
+    // A fold to a literal also skips the tee: caching a constant saves
+    // nothing.
+    if (mayDefine && !constSince(from)) {
+      AvailEntry entry;
+      entry.key = std::move(key);
+      entry.temp = tempCount_++;
+      std::vector<VarRef> refs;
+      e.collectVars(refs);
+      entry.reads.reserve(refs.size());
+      for (const VarRef& r : refs) entry.reads.push_back((*slots_)(r));
+      code_.push_back(Instr{OpCode::kTee, entry.temp, 0});
+      avail_.push_back(std::move(entry));
+    }
+  }
+
+  void emitNode(const Expr& e) {
     switch (e.op()) {
       case Op::kLit:
         pushLit(e.literal());
@@ -152,7 +382,7 @@ class Compiler {
         emit(e.child(0));
         if (constSince(from)) {
           Value& v = code_.back().imm;
-          v = e.op() == Op::kNeg ? -v : e.op() == Op::kAbs ? (v < 0 ? -v : v) : (v == 0 ? 1 : 0);
+          v = e.op() == Op::kNeg ? wrapNeg(v) : e.op() == Op::kAbs ? wrapAbs(v) : (v == 0 ? 1 : 0);
           return;
         }
         code_.push_back(Instr{e.op() == Op::kNeg   ? OpCode::kNeg
@@ -188,7 +418,9 @@ class Compiler {
           return;
         }
         const std::size_t shortJ = emitJump(isAnd ? OpCode::kJumpIfZero : OpCode::kJumpIfNonZero);
+        ++condDepth_;  // the right operand may be skipped at run time
         emit(e.child(1));
+        --condDepth_;
         const std::size_t shortJ2 = emitJump(isAnd ? OpCode::kJumpIfZero : OpCode::kJumpIfNonZero);
         pushLit(isAnd ? 1 : 0);
         const std::size_t endJ = emitJump(OpCode::kJump);
@@ -208,10 +440,12 @@ class Compiler {
           return;
         }
         const std::size_t elseJ = emitJump(OpCode::kJumpIfZero);
+        ++condDepth_;  // only one branch executes
         emit(e.child(1));
         const std::size_t endJ = emitJump(OpCode::kJump);
         patch(elseJ);
         emit(e.child(2));
+        --condDepth_;
         patch(endJ);
         return;
       }
@@ -236,19 +470,41 @@ class Compiler {
 
   const SlotMap* slots_;
   std::vector<Instr> code_;
+  bool cse_ = false;
+  int condDepth_ = 0;      // > 0 inside short-circuit rhs / ite branches
+  int definingCount_ = 0;  // occurrence count of the candidate being defined
+  int tempCount_ = 0;
+  std::unordered_map<std::string, int> occurrences_;
+  std::vector<AvailEntry> avail_;
 };
 
 }  // namespace
 
 Value ExprProgram::run(std::span<const Value> frame, std::int32_t base) const {
+  // A read-only frame must never meet a kStore (exec would write through
+  // it); fused programs go through the mutable overload below.
+  requireEval(!hasStores_, "ExprProgram::run: fused program requires a mutable frame");
   // Guards and actions are small; spill to the heap only for pathological
-  // nesting so the common case stays allocation-free.
+  // nesting so the common case stays allocation-free. CSE temp registers
+  // live above the evaluation stack in the same buffer.
   constexpr int kInlineStack = 32;
   Value inlineBuf[kInlineStack];
   std::vector<Value> heapBuf;
   Value* stack = inlineBuf;
-  if (maxStack_ > kInlineStack) {
-    heapBuf.resize(static_cast<std::size_t>(maxStack_));
+  if (maxStack_ + tempCount_ > kInlineStack) {
+    heapBuf.resize(static_cast<std::size_t>(maxStack_ + tempCount_));
+    stack = heapBuf.data();
+  }
+  return exec(frame, base, stack);
+}
+
+Value ExprProgram::run(std::span<Value> frame, std::int32_t base) const {
+  constexpr int kInlineStack = 32;
+  Value inlineBuf[kInlineStack];
+  std::vector<Value> heapBuf;
+  Value* stack = inlineBuf;
+  if (maxStack_ + tempCount_ > kInlineStack) {
+    heapBuf.resize(static_cast<std::size_t>(maxStack_ + tempCount_));
     stack = heapBuf.data();
   }
   return exec(frame, base, stack);
@@ -263,9 +519,10 @@ void ExprProgram::runBatch(std::span<const BatchOp> ops, std::span<const Value> 
   Value* stack = inlineBuf;
   int need = 0;
   for (const BatchOp& op : ops) {
-    requireEval(op.program != nullptr && !op.program->empty(),
-                "ExprProgram::runBatch: empty program in batch");
-    if (op.program->maxStack_ > need) need = op.program->maxStack_;
+    requireEval(op.program != nullptr && !op.program->empty() && !op.program->hasStores_,
+                "ExprProgram::runBatch: empty or frame-writing program in batch");
+    const int n = op.program->maxStack_ + op.program->tempCount_;
+    if (n > need) need = n;
   }
   if (need > kInlineStack) {
     heapBuf.resize(static_cast<std::size_t>(need));
@@ -279,6 +536,12 @@ void ExprProgram::runBatch(std::span<const BatchOp> ops, std::span<const Value> 
 Value ExprProgram::exec(std::span<const Value> frame, std::int32_t base, Value* stack) const {
   const Instr* code = code_.data();
   const std::size_t n = code_.size();
+  // Temp registers sit above the evaluation stack in the caller's buffer.
+  // The const_cast below is only reached through kStore, which only fused
+  // programs hold, and those are gated onto the mutable run() overload —
+  // a frame that arrives here const is never written.
+  Value* temps = stack + maxStack_;
+  Value* frameMut = const_cast<Value*>(frame.data());
   std::size_t pc = 0;
   int sp = 0;
   while (pc < n) {
@@ -286,17 +549,19 @@ Value ExprProgram::exec(std::span<const Value> frame, std::int32_t base, Value* 
     switch (in.op) {
       case OpCode::kPush: stack[sp++] = in.imm; break;
       case OpCode::kLoad: stack[sp++] = frame[static_cast<std::size_t>(base + in.arg)]; break;
-      case OpCode::kAdd: --sp; stack[sp - 1] += stack[sp]; break;
-      case OpCode::kSub: --sp; stack[sp - 1] -= stack[sp]; break;
-      case OpCode::kMul: --sp; stack[sp - 1] *= stack[sp]; break;
+      case OpCode::kAdd: --sp; stack[sp - 1] = wrapAdd(stack[sp - 1], stack[sp]); break;
+      case OpCode::kSub: --sp; stack[sp - 1] = wrapSub(stack[sp - 1], stack[sp]); break;
+      case OpCode::kMul: --sp; stack[sp - 1] = wrapMul(stack[sp - 1], stack[sp]); break;
       case OpCode::kDiv:
         --sp;
         requireEval(stack[sp] != 0, "division by zero");
+        requireEval(!divOverflows(stack[sp - 1], stack[sp]), "integer overflow in division");
         stack[sp - 1] /= stack[sp];
         break;
       case OpCode::kMod:
         --sp;
         requireEval(stack[sp] != 0, "modulo by zero");
+        requireEval(!divOverflows(stack[sp - 1], stack[sp]), "integer overflow in modulo");
         stack[sp - 1] %= stack[sp];
         break;
       case OpCode::kMin:
@@ -313,10 +578,8 @@ Value ExprProgram::exec(std::span<const Value> frame, std::int32_t base, Value* 
       case OpCode::kLe: --sp; stack[sp - 1] = stack[sp - 1] <= stack[sp] ? 1 : 0; break;
       case OpCode::kGt: --sp; stack[sp - 1] = stack[sp - 1] > stack[sp] ? 1 : 0; break;
       case OpCode::kGe: --sp; stack[sp - 1] = stack[sp - 1] >= stack[sp] ? 1 : 0; break;
-      case OpCode::kNeg: stack[sp - 1] = -stack[sp - 1]; break;
-      case OpCode::kAbs:
-        if (stack[sp - 1] < 0) stack[sp - 1] = -stack[sp - 1];
-        break;
+      case OpCode::kNeg: stack[sp - 1] = wrapNeg(stack[sp - 1]); break;
+      case OpCode::kAbs: stack[sp - 1] = wrapAbs(stack[sp - 1]); break;
       case OpCode::kNot: stack[sp - 1] = stack[sp - 1] == 0 ? 1 : 0; break;
       case OpCode::kJump: pc = static_cast<std::size_t>(in.arg); break;
       case OpCode::kJumpIfZero:
@@ -327,6 +590,12 @@ Value ExprProgram::exec(std::span<const Value> frame, std::int32_t base, Value* 
         --sp;
         if (stack[sp] != 0) pc = static_cast<std::size_t>(in.arg);
         break;
+      case OpCode::kStore:
+        --sp;
+        frameMut[static_cast<std::size_t>(base + in.arg)] = stack[sp];
+        break;
+      case OpCode::kTee: temps[in.arg] = stack[sp - 1]; break;
+      case OpCode::kLoadTmp: stack[sp++] = temps[in.arg]; break;
     }
   }
   requireEval(sp == 1, "ExprProgram::run: corrupt program (stack imbalance)");
@@ -348,8 +617,29 @@ ExprProgram compileLocal(const Expr& e) {
   });
 }
 
+ExprProgram compileFused(const Expr& guard, std::span<const Assign> actions,
+                         const SlotMap& slots) {
+  Compiler c(slots, /*cse=*/true);
+  ExprProgram p;
+  p.code_ = c.lowerFused(guard, actions, p.tempCount_, p.hasStores_);
+  // Stack need: the guard runs at depth 0 and each action value starts
+  // again at depth 0 (kStore pops it); the result literal needs one slot.
+  int need = 1;
+  if (!guard.isTrue()) need = stackNeed(guard);
+  for (const Assign& a : actions) {
+    const int k = stackNeed(a.value);
+    if (k > need) need = k;
+  }
+  p.maxStack_ = need;
+  return p;
+}
+
 bool compilationEnabled() { return compileFlag().load(std::memory_order_relaxed); }
 
 void setCompilationEnabled(bool on) { compileFlag().store(on, std::memory_order_relaxed); }
+
+bool fusionEnabled() { return fuseFlag().load(std::memory_order_relaxed); }
+
+void setFusionEnabled(bool on) { fuseFlag().store(on, std::memory_order_relaxed); }
 
 }  // namespace cbip::expr

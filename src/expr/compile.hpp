@@ -27,6 +27,21 @@
 // calling setCompilationEnabled(false)) routes every execution-layer
 // evaluation back through the tree-walking interpreter. Traces must be
 // bit-identical either way; the differential tests rely on this switch.
+//
+// Fused guarded commands: a transition's guard and its action block are
+// one semantic unit, so compileFused() lowers them into a *single*
+// program — guard prefix, a conditional jump that skips the action suffix
+// when the guard is false, then the assignments as kStore instructions —
+// and runs a common-subexpression pass across the guard/action boundary:
+// a non-leaf subexpression evaluated unconditionally once is parked in a
+// temp register (kTee) and later occurrences reload it (kLoadTmp) instead
+// of recomputing, as long as no intervening assignment clobbered a slot
+// it reads. Caching is sound for errors too: every operator's outcome
+// (value or EvalError) is a deterministic function of its operand values,
+// so a reuse whose defining occurrence succeeded cannot have raised.
+// Guard-then-fire call sites collapse to one dispatch of the fused
+// program; CBIP_NO_FUSE (or setFusionEnabled(false)) restores the
+// separate guard-program + per-action-program dispatches, bit-identically.
 #pragma once
 
 #include <cstdint>
@@ -55,6 +70,10 @@ enum class OpCode : std::uint8_t {
   kJump,           // pc := arg
   kJumpIfZero,     // pop v; if v == 0 then pc := arg
   kJumpIfNonZero,  // pop v; if v != 0 then pc := arg
+  // Fused guarded commands (compileFused) only.
+  kStore,    // pop v; frame[base + arg] := v (requires the mutable-frame run)
+  kTee,      // temp[arg] := stack top (no pop) — parks a CSE value
+  kLoadTmp,  // push temp[arg]
 };
 
 struct Instr {
@@ -91,8 +110,20 @@ class ExprProgram {
   /// region of a larger shared frame — the sharded engine runs a
   /// component type's transition programs against the owning shard's
   /// contiguous variable frame this way, with `base` the instance's
-  /// offset in that frame.
+  /// offset in that frame. Read-only programs only: a program holding
+  /// kStore instructions (compileFused) must use the mutable overload.
   Value run(std::span<const Value> frame, std::int32_t base) const;
+
+  /// Mutable-frame evaluation for fused guarded commands: kStore writes
+  /// `frame[base + slot]` in place (the frame *is* the live variable
+  /// block, so each assignment is visible to every later load — the
+  /// sequential action-block semantics). Returns the program result: 1
+  /// when the guard held and the action suffix executed, 0 when the
+  /// conditional skip fired.
+  Value run(std::span<Value> frame, std::int32_t base) const;
+
+  /// True when the program writes the frame (holds kStore instructions).
+  bool storesFrame() const { return hasStores_; }
 
   /// Batch evaluation over one shared frame: `out[i] =
   /// ops[i].program->run(frame, ops[i].base)` for every i, in order, with
@@ -110,13 +141,19 @@ class ExprProgram {
 
  private:
   friend ExprProgram compile(const Expr&, const SlotMap&);
+  friend ExprProgram compileFused(const Expr&, std::span<const Assign>, const SlotMap&);
 
   /// Interpreter core shared by run and runBatch; `stack` must hold at
-  /// least maxStack_ slots.
+  /// least maxStack_ + tempCount_ slots (the CSE temp registers live
+  /// above the evaluation stack). `frame` is only written through kStore,
+  /// which compileFused emits and compile never does — the read-only run
+  /// overloads pass a const frame through here unchanged.
   Value exec(std::span<const Value> frame, std::int32_t base, Value* stack) const;
 
   std::vector<Instr> code_;
   int maxStack_ = 0;
+  int tempCount_ = 0;  // CSE temp registers (fused programs only)
+  bool hasStores_ = false;
 };
 
 /// Lowers `e` to bytecode, folding constant subprograms (a fold never
@@ -126,6 +163,36 @@ ExprProgram compile(const Expr& e, const SlotMap& slots);
 /// Lowering for component-local expressions: scope 0, slot = index (the
 /// frame is the component's variable vector).
 ExprProgram compileLocal(const Expr& e);
+
+/// Fuses one guarded command — `guard` plus the sequential assignment
+/// block `actions` — into a single program (see the file comment):
+///
+///   [guard]  JumpIfZero FAIL  [value_0] Store t_0 ... [value_k] Store t_k
+///   Push 1  Jump END  FAIL: Push 0  END:
+///
+/// with the guard prefix (and its jump) omitted for a trivially-true
+/// guard, and a common-subexpression pass spanning the whole sequence.
+/// Both assignment targets and variable reads resolve through `slots`.
+/// Run it with the mutable-frame overload; the result is 1 iff the guard
+/// held (and the assignments were applied). A trivially-true guard with
+/// no actions compiles to the single instruction `Push 1`.
+///
+/// Semantics are bit-identical to running the guard program and then each
+/// action program separately over the same live frame, including which
+/// EvalError a doomed evaluation raises first.
+ExprProgram compileFused(const Expr& guard, std::span<const Assign> actions,
+                         const SlotMap& slots);
+
+/// True when the execution layer should dispatch fused guard+action
+/// programs; defaults to true unless the CBIP_NO_FUSE environment
+/// variable is set to a non-empty value other than "0". Only consulted
+/// when compilation itself is enabled — the interpreter escape hatch has
+/// no fused form.
+bool fusionEnabled();
+
+/// Overrides the fusion switch (differential tests and benchmarks toggle
+/// this to compare the fused and unfused dispatch paths in one process).
+void setFusionEnabled(bool on);
 
 /// True when the execution layer should evaluate compiled programs;
 /// defaults to true unless the CBIP_NO_COMPILE environment variable is set

@@ -83,10 +83,12 @@ Expr Expr::make(Op op, std::vector<Expr> kids) {
   bool allConst = !kids.empty();
   for (const Expr& k : kids) allConst = allConst && k.isConst();
   if (allConst) {
-    // Division/modulo by a zero literal must stay: it is a runtime error,
-    // not a value.
-    const bool divByZero = (op == Op::kDiv || op == Op::kMod) && kids[1].literal() == 0;
-    if (!divByZero) {
+    // Division/modulo by a zero literal — and the unrepresentable
+    // INT64_MIN / -1 — must stay: they are runtime errors, not values.
+    const bool divRaises = (op == Op::kDiv || op == Op::kMod) &&
+                           (kids[1].literal() == 0 ||
+                            divOverflows(kids[0].literal(), kids[1].literal()));
+    if (!divRaises) {
       std::vector<Value> noVars;
       VecContext ctx(noVars);
       return lit(makeRaw(op, std::move(kids)).eval(ctx));
@@ -175,20 +177,27 @@ Value Expr::eval(const EvalContext& ctx) const {
   switch (n.op) {
     case Op::kLit: return n.lit;
     case Op::kVar: return ctx.read(n.ref);
-    case Op::kAdd: return n.kids[0].eval(ctx) + n.kids[1].eval(ctx);
-    case Op::kSub: return n.kids[0].eval(ctx) - n.kids[1].eval(ctx);
-    case Op::kMul: return n.kids[0].eval(ctx) * n.kids[1].eval(ctx);
+    case Op::kAdd: return wrapAdd(n.kids[0].eval(ctx), n.kids[1].eval(ctx));
+    case Op::kSub: return wrapSub(n.kids[0].eval(ctx), n.kids[1].eval(ctx));
+    case Op::kMul: return wrapMul(n.kids[0].eval(ctx), n.kids[1].eval(ctx));
     case Op::kDiv: {
+      // Divisor before dividend (documented interpreter order); the zero
+      // check fires before the dividend is even evaluated, the overflow
+      // check once both operands are known.
       const Value d = n.kids[1].eval(ctx);
       requireEval(d != 0, "division by zero");
-      return n.kids[0].eval(ctx) / d;
+      const Value a = n.kids[0].eval(ctx);
+      requireEval(!divOverflows(a, d), "integer overflow in division");
+      return a / d;
     }
     case Op::kMod: {
       const Value d = n.kids[1].eval(ctx);
       requireEval(d != 0, "modulo by zero");
-      return n.kids[0].eval(ctx) % d;
+      const Value a = n.kids[0].eval(ctx);
+      requireEval(!divOverflows(a, d), "integer overflow in modulo");
+      return a % d;
     }
-    case Op::kNeg: return -n.kids[0].eval(ctx);
+    case Op::kNeg: return wrapNeg(n.kids[0].eval(ctx));
     case Op::kMin: {
       const Value a = n.kids[0].eval(ctx), b = n.kids[1].eval(ctx);
       return a < b ? a : b;
@@ -197,10 +206,7 @@ Value Expr::eval(const EvalContext& ctx) const {
       const Value a = n.kids[0].eval(ctx), b = n.kids[1].eval(ctx);
       return a > b ? a : b;
     }
-    case Op::kAbs: {
-      const Value a = n.kids[0].eval(ctx);
-      return a < 0 ? -a : a;
-    }
+    case Op::kAbs: return wrapAbs(n.kids[0].eval(ctx));
     case Op::kEq: return toBool(n.kids[0].eval(ctx) == n.kids[1].eval(ctx));
     case Op::kNe: return toBool(n.kids[0].eval(ctx) != n.kids[1].eval(ctx));
     case Op::kLt: return toBool(n.kids[0].eval(ctx) < n.kids[1].eval(ctx));

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -25,6 +26,49 @@
 namespace cbip::expr {
 
 using Value = std::int64_t;
+
+// ---- arithmetic semantics of the data sub-language ----------------------
+//
+// Every evaluation path (the tree-walking interpreter, the bytecode VM and
+// both constant folders) shares these helpers, so the sub-language has one
+// arithmetic definition instead of whatever the host compiler makes of
+// signed overflow:
+//   * `+`, `-`, `*`, unary `-` and `abs` wrap in two's complement (the
+//     unsigned-cast dance below is well-defined C++ and UBSan-clean);
+//   * `/` and `%` raise EvalError on a zero divisor, and on the one
+//     unrepresentable quotient INT64_MIN / -1 (which traps in hardware) —
+//     the zero check always comes first, on every path.
+
+/// Wrapping two's-complement addition.
+inline Value wrapAdd(Value a, Value b) {
+  return static_cast<Value>(static_cast<std::uint64_t>(a) + static_cast<std::uint64_t>(b));
+}
+
+/// Wrapping two's-complement subtraction.
+inline Value wrapSub(Value a, Value b) {
+  return static_cast<Value>(static_cast<std::uint64_t>(a) - static_cast<std::uint64_t>(b));
+}
+
+/// Wrapping two's-complement multiplication.
+inline Value wrapMul(Value a, Value b) {
+  return static_cast<Value>(static_cast<std::uint64_t>(a) * static_cast<std::uint64_t>(b));
+}
+
+/// Wrapping two's-complement negation (wrapNeg(INT64_MIN) == INT64_MIN).
+inline Value wrapNeg(Value a) { return static_cast<Value>(-static_cast<std::uint64_t>(a)); }
+
+/// Wrapping absolute value (wrapAbs(INT64_MIN) == INT64_MIN).
+inline Value wrapAbs(Value a) { return a < 0 ? wrapNeg(a) : a; }
+
+/// True iff `a / b` (or `a % b`) is the unrepresentable INT64_MIN / -1
+/// (which traps in hardware — for `%` too, even though the mathematical
+/// remainder is 0). Each evaluation site raises EvalError on it *after*
+/// its zero-divisor check; a single combined check helper is impossible
+/// because the interpreter checks the divisor before the dividend has
+/// even been evaluated.
+inline bool divOverflows(Value a, Value b) {
+  return b == -1 && a == std::numeric_limits<Value>::min();
+}
 
 /// Scope of connector-local variables in connector expressions.
 inline constexpr int kConnectorScope = -1;

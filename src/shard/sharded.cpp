@@ -240,6 +240,8 @@ void ShardedSystem::ensureCompiled() {
                 "connector '" + c.name() + "': up target is not a connector variable");
         lp.ups.push_back(LocalProgram::UpOp{slots(up.target), expr::compile(up.value, slots)});
       }
+      lp.upBlock = expr::ExprProgram();
+      if (!c.ups().empty()) lp.upBlock = expr::compileFused(Expr::top(), c.ups(), slots);
       lp.downs.clear();
       for (const DownAssign& d : c.downs()) {
         lp.downs.push_back(LocalProgram::DownOp{
@@ -317,14 +319,18 @@ ShardedState ShardedSystem::fromGlobal(const GlobalState& state) const {
 
 bool ShardedSystem::guardHoldsAt(const ShardedState& state, int instance, int ti) const {
   const AtomicType& type = *system_->instance(static_cast<std::size_t>(instance)).type;
-  const Transition& t = type.transition(ti);
-  if (t.guard.isTrue()) return true;
   const std::vector<Value>& frame =
       state.frames[static_cast<std::size_t>(shardOf(instance))];
   const int base = frameBase_[static_cast<std::size_t>(instance)];
   if (expr::compilationEnabled()) {
-    return type.compiledTransition(ti).guard.run(frame, base) != 0;
+    // All dispatch data lives on the compiled form (trivially true <=>
+    // empty program); the symbolic table stays untouched on the hot path.
+    const CompiledTransition& ct = type.compiledTransition(ti);
+    if (ct.guard.empty()) return true;
+    return ct.guard.run(std::span<const Value>(frame), base) != 0;
   }
+  const Transition& t = type.transition(ti);
+  if (t.guard.isTrue()) return true;
   auto& mutableFrame = const_cast<std::vector<Value>&>(frame);
   FrameContext ctx(mutableFrame, base, type.variableCount());
   return t.guard.eval(ctx) != 0;
@@ -342,32 +348,75 @@ void ShardedSystem::enabledTransitionsAt(const ShardedState& state, int instance
 
 void ShardedSystem::fireAt(ShardedState& state, int instance, int ti) const {
   const AtomicType& type = *system_->instance(static_cast<std::size_t>(instance)).type;
-  const Transition& t = type.transition(ti);
   int& location = state.locations[static_cast<std::size_t>(instance)];
-  require(t.from == location, type.name() + ": firing transition from wrong location");
   std::vector<Value>& frame = state.frames[static_cast<std::size_t>(shardOf(instance))];
   const int base = frameBase_[static_cast<std::size_t>(instance)];
   if (expr::compilationEnabled()) {
     const CompiledTransition& ct = type.compiledTransition(ti);
-    // Sequential assignment semantics: each action sees earlier writes
-    // because the frame region *is* the live variable block.
-    for (const CompiledTransition::Action& a : ct.actions) {
-      frame[static_cast<std::size_t>(base + a.target)] = a.value.run(frame, base);
+    if (ct.from != location) {
+      throw ModelError(type.name() + ": firing transition from wrong location");
     }
-  } else {
-    FrameContext ctx(frame, base, type.variableCount());
-    expr::applyAssignments(t.actions, ctx);
+    if (expr::fusionEnabled()) {
+      // One dispatch for the whole action block, frame-base-relative on
+      // the live shard frame (stores land in place: sequential semantics).
+      if (!ct.actionBlock.empty()) ct.actionBlock.run(std::span<Value>(frame), base);
+    } else {
+      // Unfused escape hatch: each action sees earlier writes because the
+      // frame region *is* the live variable block.
+      for (const CompiledTransition::Action& a : ct.actions) {
+        frame[static_cast<std::size_t>(base + a.target)] =
+            a.value.run(std::span<const Value>(frame), base);
+      }
+    }
+    location = ct.to;
+    return;
   }
+  const Transition& t = type.transition(ti);
+  require(t.from == location, type.name() + ": firing transition from wrong location");
+  FrameContext ctx(frame, base, type.variableCount());
+  expr::applyAssignments(t.actions, ctx);
   location = t.to;
+}
+
+bool ShardedSystem::tryFireAt(ShardedState& state, int instance, int ti) const {
+  const AtomicType& type = *system_->instance(static_cast<std::size_t>(instance)).type;
+  int& location = state.locations[static_cast<std::size_t>(instance)];
+  std::vector<Value>& frame = state.frames[static_cast<std::size_t>(shardOf(instance))];
+  const int base = frameBase_[static_cast<std::size_t>(instance)];
+  if (expr::compilationEnabled() && expr::fusionEnabled()) {
+    const CompiledTransition& ct = type.compiledTransition(ti);
+    if (ct.from != location) {
+      throw ModelError(type.name() + ": firing transition from wrong location");
+    }
+    if (!ct.fused.empty() && ct.fused.run(std::span<Value>(frame), base) == 0) return false;
+    location = ct.to;
+    return true;
+  }
+  // Unfused / interpreted twins: separate guard check, then fireAt, with
+  // the same location-check-first order as the fused dispatch.
+  const Transition& t = type.transition(ti);
+  if (t.from != location) {
+    throw ModelError(type.name() + ": firing transition from wrong location");
+  }
+  if (!guardHoldsAt(state, instance, ti)) return false;
+  fireAt(state, instance, ti);
+  return true;
 }
 
 void ShardedSystem::runInternalAt(ShardedState& state, int instance, int maxSteps) const {
   const AtomicType& type = *system_->instance(static_cast<std::size_t>(instance)).type;
-  std::vector<int> enabled;
   for (int step = 0; step < maxSteps; ++step) {
-    enabledTransitionsAt(state, instance, kInternalPort, enabled);
-    if (enabled.empty()) return;
-    fireAt(state, instance, enabled.front());
+    // One tryFireAt dispatch per candidate in transition order (mirrors
+    // runInternal in core/atomic.cpp): the first enabled one fires.
+    bool fired = false;
+    for (int ti : type.transitionsFrom(state.locations[static_cast<std::size_t>(instance)],
+                                       kInternalPort)) {
+      if (tryFireAt(state, instance, ti)) {
+        fired = true;
+        break;
+      }
+    }
+    if (!fired) return;
   }
   throw EvalError(type.name() + ": internal transitions diverge (> " +
                   std::to_string(maxSteps) + " tau steps)");
@@ -520,10 +569,15 @@ void ShardedSystem::connectorTransfer(ShardedState& state,
       if (lp.ups.empty() && lp.downs.empty()) return;
       std::vector<Value>& frame = state.frames[static_cast<std::size_t>(lp.homeShard)];
       // Fresh-zero connector variables (interpreter semantics), then run
-      // ups and participating downs in place on the live frame.
+      // ups and participating downs in place on the live frame. With
+      // fusion enabled the whole up block is one program dispatch.
       std::fill(frame.begin() + lp.varBase, frame.begin() + lp.varBase + lp.varCount, 0);
-      for (const LocalProgram::UpOp& u : lp.ups) {
-        frame[static_cast<std::size_t>(u.slot)] = u.value.run(frame);
+      if (expr::fusionEnabled()) {
+        if (!lp.upBlock.empty()) lp.upBlock.run(std::span<Value>(frame), 0);
+      } else {
+        for (const LocalProgram::UpOp& u : lp.ups) {
+          frame[static_cast<std::size_t>(u.slot)] = u.value.run(frame);
+        }
       }
       for (const LocalProgram::DownOp& d : lp.downs) {
         if ((interaction.mask & (InteractionMask{1} << static_cast<unsigned>(d.end))) == 0) {

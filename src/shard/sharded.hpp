@@ -82,6 +82,7 @@ class ShardedSystem {
       expr::ExprProgram value;
     };
     std::vector<UpOp> ups;
+    expr::ExprProgram upBlock;  // all ups fused into one program (empty when no ups)
     std::vector<DownOp> downs;
     int homeShard = 0;
     int varBase = 0;  // first connector-variable slot in the shard frame
@@ -123,6 +124,10 @@ class ShardedSystem {
   void enabledTransitionsAt(const ShardedState& state, int instance, int port,
                             std::vector<int>& out) const;
   void fireAt(ShardedState& state, int instance, int ti) const;
+  /// Guard-then-fire as one operation on the shard frame (the twin of the
+  /// global tryFire): with fusion enabled, a single frame-base-relative
+  /// dispatch of the transition's fused guard+action program.
+  bool tryFireAt(ShardedState& state, int instance, int ti) const;
   void runInternalAt(ShardedState& state, int instance, int maxSteps = 10'000) const;
 
   // ---- connector semantics (mirror core/semantics.cpp) ----

@@ -1,11 +1,15 @@
 // Tests for the bytecode expression compiler and the compiled execution
 // path: randomized differential checks (compiled evaluation == tree
-// walking, including division-by-zero error behaviour) and engine-level
-// cross-checks (bit-identical traces with compilation on vs the
-// interpreter escape hatch, for both engines).
+// walking, including division-by-zero error behaviour), the fused
+// guard+action programs (fused == unfused == interpreter, value for value
+// and error for error, including the INT64_MIN / -1 and wrap-on-overflow
+// edge vectors), and engine-level cross-checks (bit-identical traces with
+// compilation on vs the interpreter escape hatch and with fusion on vs
+// off, for both engines).
 #include <gtest/gtest.h>
 
 #include <functional>
+#include <limits>
 #include <optional>
 #include <string>
 #include <vector>
@@ -37,7 +41,20 @@ class CompileSwitch {
   bool saved_;
 };
 
+/// Restores the global fusion switch on scope exit.
+class FusionSwitch {
+ public:
+  explicit FusionSwitch(bool on) : saved_(expr::fusionEnabled()) { expr::setFusionEnabled(on); }
+  ~FusionSwitch() { expr::setFusionEnabled(saved_); }
+
+ private:
+  bool saved_;
+};
+
 Expr v(int i) { return Expr::local(i); }
+
+constexpr Value kMin = std::numeric_limits<Value>::min();
+constexpr Value kMax = std::numeric_limits<Value>::max();
 
 // ---- program-level behaviour --------------------------------------------
 
@@ -185,6 +202,306 @@ TEST_P(CompileDifferential, CompiledAgreesWithInterpreter) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CompileDifferential, ::testing::Values(1, 2, 3, 4, 5));
 
+// ---- arithmetic semantics (wrapping + INT64_MIN / -1) --------------------
+
+TEST(ArithmeticSemantics, Int64MinDividedByMinusOneRaisesOnEveryPath) {
+  // The one unrepresentable quotient raises EvalError instead of trapping,
+  // identically on the interpreter, the bytecode VM, and through the
+  // constant folders (which must keep it as a runtime error).
+  std::vector<Value> frame{kMin, -1};
+  const Expr div = v(0) / v(1);
+  const Expr mod = v(0) % v(1);
+  EXPECT_THROW(div.eval(frame), EvalError);
+  EXPECT_THROW(mod.eval(frame), EvalError);
+  EXPECT_THROW(expr::compileLocal(div).run(frame), EvalError);
+  EXPECT_THROW(expr::compileLocal(mod).run(frame), EvalError);
+  // Literal operands: the builder fold and the compiler fold both refuse
+  // to evaluate it, leaving the EvalError to run time.
+  const Expr litDiv = Expr::lit(kMin) / Expr::lit(-1);
+  const Expr litMod = Expr::lit(kMin) % Expr::lit(-1);
+  EXPECT_FALSE(litDiv.isConst());
+  EXPECT_THROW(litDiv.eval(frame), EvalError);
+  EXPECT_THROW(expr::compileLocal(litDiv).run(frame), EvalError);
+  EXPECT_THROW(litMod.eval(frame), EvalError);
+  EXPECT_THROW(expr::compileLocal(litMod).run(frame), EvalError);
+  // The zero check wins over the overflow check, on both paths.
+  std::vector<Value> zeroFrame{kMin, 0};
+  try {
+    (v(0) / v(1)).eval(zeroFrame);
+    FAIL() << "expected EvalError";
+  } catch (const EvalError& e) {
+    EXPECT_STREQ(e.what(), "division by zero");
+  }
+  try {
+    expr::compileLocal(v(0) / v(1)).run(zeroFrame);
+    FAIL() << "expected EvalError";
+  } catch (const EvalError& e) {
+    EXPECT_STREQ(e.what(), "division by zero");
+  }
+}
+
+TEST(ArithmeticSemantics, SignedOverflowWrapsIdenticallyOnEveryPath) {
+  // +, -, *, unary - and abs wrap in two's complement; interpreter,
+  // bytecode and the constant folders must agree bit for bit.
+  struct Case {
+    Expr e;
+    std::vector<Value> frame;
+    Value expect;
+  };
+  const Case cases[] = {
+      {v(0) + v(1), {kMax, 1}, kMin},
+      {v(0) - v(1), {kMin, 1}, kMax},
+      {v(0) * v(1), {kMin, -1}, kMin},
+      {v(0) * v(1), {kMax, 2}, -2},
+      {-v(0), {kMin}, kMin},
+      {Expr::abs(v(0)), {kMin}, kMin},
+  };
+  for (const Case& c : cases) {
+    std::vector<Value> frame = c.frame;
+    EXPECT_EQ(c.e.eval(frame), c.expect) << c.e.toString();
+    EXPECT_EQ(expr::compileLocal(c.e).run(frame), c.expect) << c.e.toString();
+  }
+  // Folded-constant twins go through Expr::make's interpreter fold and the
+  // compiler's applyBinary fold respectively; both must wrap the same way.
+  EXPECT_EQ((Expr::lit(kMax) + Expr::lit(1)).literal(), kMin);
+  EXPECT_EQ((Expr::lit(kMin) - Expr::lit(1)).literal(), kMax);
+  EXPECT_EQ((Expr::lit(kMin) * Expr::lit(-1)).literal(), kMin);
+  std::vector<Value> noVars;
+  EXPECT_EQ(expr::compileLocal(Expr::lit(kMax) + Expr::lit(1)).run(noVars), kMin);
+  EXPECT_EQ((-Expr::lit(kMin)).literal(), kMin);
+  EXPECT_EQ(Expr::abs(Expr::lit(kMin)).literal(), kMin);
+}
+
+// ---- fused guard+action programs -----------------------------------------
+
+using expr::Assign;
+
+/// Local slot map shared by the fused tests (slot = index, scope 0).
+int localSlot(VarRef r) {
+  require(r.scope == 0, "localSlot: non-local scope");
+  return r.index;
+}
+
+/// Reference semantics of a guarded command: run the guard program, and
+/// when it holds the per-action programs, sequentially over `vars` —
+/// exactly what the unfused compiled dispatch does.
+std::optional<bool> runUnfused(const Expr& guard, const std::vector<Assign>& actions,
+                               std::vector<Value>& vars) {
+  try {
+    if (!guard.isTrue()) {
+      const ExprProgram g = expr::compile(guard, localSlot);
+      if (g.run(std::span<const Value>(vars), 0) == 0) return false;
+    }
+    for (const Assign& a : actions) {
+      const ExprProgram p = expr::compile(a.value, localSlot);
+      vars[static_cast<std::size_t>(a.target.index)] = p.run(std::span<const Value>(vars), 0);
+    }
+    return true;
+  } catch (const EvalError&) {
+    return std::nullopt;
+  }
+}
+
+/// Interpreter twin of runUnfused.
+std::optional<bool> runInterpreted(const Expr& guard, const std::vector<Assign>& actions,
+                                   std::vector<Value>& vars) {
+  try {
+    expr::VecContext ctx(vars);
+    if (!guard.isTrue() && guard.eval(ctx) == 0) return false;
+    expr::applyAssignments(actions, ctx);
+    return true;
+  } catch (const EvalError&) {
+    return std::nullopt;
+  }
+}
+
+/// Fused dispatch: one program, one run.
+std::optional<bool> runFused(const ExprProgram& fused, std::vector<Value>& vars) {
+  try {
+    return fused.run(std::span<Value>(vars), 0) != 0;
+  } catch (const EvalError&) {
+    return std::nullopt;
+  }
+}
+
+TEST(FusedProgram, GuardGatesTheActionSuffix) {
+  const std::vector<Assign> actions{Assign{VarRef{0, 1}, v(0) + Expr::lit(10)},
+                                    Assign{VarRef{0, 2}, v(1) * Expr::lit(2)}};
+  const ExprProgram fused = expr::compileFused(v(0) > Expr::lit(0), actions, localSlot);
+  EXPECT_TRUE(fused.storesFrame());
+  std::vector<Value> vars{5, 0, 0};
+  EXPECT_EQ(fused.run(std::span<Value>(vars), 0), 1);
+  EXPECT_EQ(vars, (std::vector<Value>{5, 15, 30}));  // second action sees the first's write
+  std::vector<Value> blocked{-1, 7, 7};
+  EXPECT_EQ(fused.run(std::span<Value>(blocked), 0), 0);
+  EXPECT_EQ(blocked, (std::vector<Value>{-1, 7, 7}));  // guard false: untouched
+}
+
+TEST(FusedProgram, TrivialFormsCollapse) {
+  // Trivial guard + no actions never builds a program at the call sites;
+  // compileFused itself degenerates to "Push 1".
+  const ExprProgram empty = expr::compileFused(Expr::top(), {}, localSlot);
+  EXPECT_EQ(empty.size(), 1u);
+  std::vector<Value> vars{1};
+  EXPECT_EQ(empty.run(std::span<Value>(vars), 0), 1);
+  // A guard folded to constant false compiles to "Push 0" and drops the
+  // (never-executed) action suffix.
+  const ExprProgram dead = expr::compileFused(
+      Expr::lit(0), std::vector<Assign>{Assign{VarRef{0, 0}, Expr::lit(9)}}, localSlot);
+  EXPECT_EQ(dead.size(), 1u);
+  EXPECT_FALSE(dead.storesFrame());
+  EXPECT_EQ(dead.run(std::span<Value>(vars), 0), 0);
+  EXPECT_EQ(vars[0], 1);
+}
+
+TEST(FusedProgram, CommonSubexpressionsCrossTheGuardActionBoundary) {
+  // The guard computes (v0 * v1 + v2); both actions reuse it. The fused
+  // program must park it in a temp (kTee / kLoadTmp) and still match the
+  // unfused result exactly.
+  const Expr shared = v(0) * v(1) + v(2);
+  const Expr guard = shared > Expr::lit(0);
+  const std::vector<Assign> actions{Assign{VarRef{0, 3}, shared % Expr::lit(97)},
+                                    Assign{VarRef{0, 2}, shared + v(3)}};
+  const ExprProgram fused = expr::compileFused(guard, actions, localSlot);
+  bool hasTee = false;
+  bool hasLoadTmp = false;
+  for (const expr::Instr& in : fused.code()) {
+    hasTee = hasTee || in.op == expr::OpCode::kTee;
+    hasLoadTmp = hasLoadTmp || in.op == expr::OpCode::kLoadTmp;
+  }
+  EXPECT_TRUE(hasTee);
+  EXPECT_TRUE(hasLoadTmp);
+  std::vector<Value> fusedVars{3, 4, 5, 6};
+  std::vector<Value> unfusedVars = fusedVars;
+  const auto fusedOk = runFused(fused, fusedVars);
+  const auto unfusedOk = runUnfused(guard, actions, unfusedVars);
+  ASSERT_EQ(fusedOk, unfusedOk);
+  EXPECT_EQ(fusedVars, unfusedVars);
+}
+
+TEST(FusedProgram, ClobberedSubexpressionsAreRecomputed) {
+  // Action 0 overwrites v0, which the shared subexpression (v0 + v1)
+  // reads; action 1 must recompute it instead of reusing the stale temp.
+  const Expr shared = v(0) + v(1);
+  const Expr guard = shared != Expr::lit(0);
+  const std::vector<Assign> actions{Assign{VarRef{0, 0}, Expr::lit(100)},
+                                    Assign{VarRef{0, 2}, shared}};
+  const ExprProgram fused = expr::compileFused(guard, actions, localSlot);
+  std::vector<Value> vars{1, 2, 0};
+  EXPECT_EQ(fused.run(std::span<Value>(vars), 0), 1);
+  EXPECT_EQ(vars, (std::vector<Value>{100, 2, 102}));  // 100 + 2, not the stale 3
+}
+
+/// Random action block over v0..v3 (values from randomExpr, so division,
+/// modulo and every operator appear).
+std::vector<Assign> randomActions(Rng& rng) {
+  std::vector<Assign> actions;
+  const int n = static_cast<int>(rng.below(4));
+  for (int i = 0; i < n; ++i) {
+    actions.push_back(Assign{VarRef{0, static_cast<int>(rng.below(4))}, randomExpr(rng, 3)});
+  }
+  return actions;
+}
+
+/// Random store over v0..v3, seasoned with the overflow edge values so the
+/// wrap/raise semantics are exercised, not just small integers.
+std::vector<Value> randomVars(Rng& rng) {
+  std::vector<Value> vars(4);
+  for (Value& x : vars) {
+    switch (rng.below(8)) {
+      case 0: x = kMin; break;
+      case 1: x = kMax; break;
+      case 2: x = -1; break;
+      default: x = rng.range(-3, 3); break;
+    }
+  }
+  return vars;
+}
+
+class FusedDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(FusedDifferential, FusedUnfusedAndInterpreterAgree) {
+  // One random guarded command, three dispatch strategies: the fused
+  // program, the unfused guard + per-action programs, and the tree-walking
+  // interpreter. All three must agree on (a) whether evaluation raised,
+  // (b) whether the guard held, and (c) the final variable store — which
+  // includes the partial writes of an action block whose later action
+  // raised.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729);
+  for (int round = 0; round < 200; ++round) {
+    const Expr guard = randomExpr(rng, 3);
+    const std::vector<Assign> actions = randomActions(rng);
+    const ExprProgram fused = expr::compileFused(guard, actions, localSlot);
+    for (int k = 0; k < 10; ++k) {
+      std::vector<Value> fusedVars = randomVars(rng);
+      std::vector<Value> unfusedVars = fusedVars;
+      std::vector<Value> interpVars = fusedVars;
+      const auto viaFused = runFused(fused, fusedVars);
+      const auto viaUnfused = runUnfused(guard, actions, unfusedVars);
+      const auto viaInterp = runInterpreted(guard, actions, interpVars);
+      // Fused vs unfused: identical, error for error.
+      ASSERT_EQ(viaFused, viaUnfused) << guard.toString() << " round " << round;
+      ASSERT_EQ(fusedVars, unfusedVars) << guard.toString() << " round " << round;
+      // Interpreter: same outcome; which doomed subexpression raises
+      // first may differ (divisor-before-dividend order), so compare the
+      // store only on non-raising rounds.
+      ASSERT_EQ(viaFused.has_value(), viaInterp.has_value())
+          << guard.toString() << " round " << round;
+      if (viaFused.has_value()) {
+        ASSERT_EQ(*viaFused, *viaInterp) << guard.toString() << " round " << round;
+        ASSERT_EQ(fusedVars, interpVars) << guard.toString() << " round " << round;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FusedDifferential, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(FusedTryFire, SingleDispatchMatchesGuardThenFireOnAllPaths) {
+  // tryFire = guardHolds + fire as one dispatch. The same component,
+  // stepped with tryFire under fused / unfused / interpreted dispatch,
+  // must visit identical states.
+  auto t = std::make_shared<AtomicType>("T");
+  const int l0 = t->addLocation("l0");
+  const int l1 = t->addLocation("l1");
+  const int x = t->addVariable("x", 1);
+  const int acc = t->addVariable("acc", 0);
+  t->addTransition(l0, kInternalPort,
+                   (Expr::local(x) * Expr::lit(3) + Expr::local(acc)) % Expr::lit(7) !=
+                       Expr::lit(0),
+                   {Assign{VarRef{0, acc},
+                           (Expr::local(x) * Expr::lit(3) + Expr::local(acc)) % Expr::lit(7) +
+                               Expr::local(acc)},
+                    Assign{VarRef{0, x}, Expr::local(x) + Expr::lit(1)}},
+                   l1);
+  t->addTransition(l0, kInternalPort, Expr::top(), {Assign{VarRef{0, x}, Expr::lit(1)}}, l1);
+  t->addTransition(l1, kInternalPort, Expr::local(x) < Expr::lit(40), {}, l0);
+  t->setInitialLocation(l0);
+  t->validate();
+
+  AtomicState states[3];
+  for (int mode = 0; mode < 3; ++mode) {
+    const CompileSwitch compiled(mode != 2);
+    const FusionSwitch fusion(mode == 0);
+    AtomicState s = initialState(*t);
+    // Drive tau-to-quiescence explicitly through tryFire.
+    runInternal(*t, s, 1000);
+    states[mode] = s;
+  }
+  EXPECT_EQ(states[0], states[1]);
+  EXPECT_EQ(states[0], states[2]);
+  // And a false guard leaves the state untouched on the fused path.
+  AtomicState s = initialState(*t);
+  s.vars[static_cast<std::size_t>(x)] = 7;
+  s.vars[static_cast<std::size_t>(acc)] = 0;  // (7*3 + 0) % 7 == 0: guard false
+  ASSERT_FALSE(tryFire(*t, s, 0));
+  EXPECT_EQ(s.location, l0);
+  EXPECT_EQ(s.vars[static_cast<std::size_t>(acc)], 0);
+  ASSERT_TRUE(tryFire(*t, s, 1));  // fallback transition fires
+  EXPECT_EQ(s.location, l1);
+  EXPECT_EQ(s.vars[static_cast<std::size_t>(x)], 1);
+}
+
 // ---- batch evaluation ----------------------------------------------------
 
 /// Restores the batch-scan switch on scope exit.
@@ -220,7 +537,7 @@ TEST(RunBatch, MatchesIndividualRuns) {
     std::vector<Value> scalar(ops.size());
     const auto viaRuns = tryEval([&] {
       for (std::size_t i = 0; i < ops.size(); ++i) {
-        scalar[i] = ops[i].program->run(frame, ops[i].base);
+        scalar[i] = ops[i].program->run(std::span<const Value>(frame), ops[i].base);
       }
       return Value{0};
     });
@@ -529,6 +846,48 @@ TEST(EngineCompileCrossCheck, MultiThreadTracesBitIdentical) {
       MtOptions opt;
       opt.maxSteps = 200;
       runs[compiledOn] = engine.run(opt);
+    }
+    expectIdenticalRuns(runs[1], runs[0], names[m]);
+  }
+}
+
+TEST(EngineFusionCrossCheck, SequentialTracesBitIdenticalFusedVsUnfused) {
+  // Fusion is a dispatch-strategy change only: traces, final states and
+  // step counts must be bit-identical with the fused programs on and off.
+  const System models[] = {models::philosophersAtomic(6), models::gasStation(2, 4),
+                           models::producerConsumerBounded(3, 7), models::tokenRing(8),
+                           dataExchange()};
+  const char* names[] = {"phil", "gas", "prodcons", "ring", "dataExchange"};
+  for (std::size_t m = 0; m < std::size(models); ++m) {
+    for (std::uint64_t seed : {3ULL, 17ULL, 99ULL}) {
+      RunResult runs[2];
+      for (int fusedOn = 0; fusedOn < 2; ++fusedOn) {
+        FusionSwitch sw(fusedOn == 1);
+        RandomPolicy policy(seed);
+        SequentialEngine engine(models[m], policy);
+        RunOptions opt;
+        opt.maxSteps = 300;
+        runs[fusedOn] = engine.run(opt);
+      }
+      expectIdenticalRuns(runs[1], runs[0],
+                          std::string(names[m]) + " seed " + std::to_string(seed));
+    }
+  }
+}
+
+TEST(EngineFusionCrossCheck, MultiThreadTracesBitIdenticalFusedVsUnfused) {
+  const System models[] = {models::philosophersAtomic(5), models::producerConsumerBounded(2, 5),
+                           dataExchange()};
+  const char* names[] = {"phil", "prodcons", "dataExchange"};
+  for (std::size_t m = 0; m < std::size(models); ++m) {
+    RunResult runs[2];
+    for (int fusedOn = 0; fusedOn < 2; ++fusedOn) {
+      FusionSwitch sw(fusedOn == 1);
+      RandomPolicy policy(7);
+      MultiThreadEngine engine(models[m], policy);
+      MtOptions opt;
+      opt.maxSteps = 200;
+      runs[fusedOn] = engine.run(opt);
     }
     expectIdenticalRuns(runs[1], runs[0], names[m]);
   }

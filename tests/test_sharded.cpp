@@ -272,6 +272,34 @@ TEST(ShardedEngine, CompiledAndInterpretedTracesIdentical) {
   EXPECT_EQ(on.finalState, off.finalState);
 }
 
+TEST(ShardedEngine, FusedAndUnfusedTracesIdentical) {
+  // The fused guard+action dispatch (tryFireAt / fireAt action blocks /
+  // fused local up blocks) must leave every schedule bit-identical to the
+  // unfused per-program dispatch, and each trace must stay replayable
+  // through the reference engine. transferRing exercises the fused up
+  // block; producerConsumer the transition action blocks.
+  const System models[] = {transferRing(9), models::producerConsumer(3)};
+  for (const System& sys : models) {
+    const auto runWith = [&](bool fused) {
+      const bool saved = expr::fusionEnabled();
+      expr::setFusionEnabled(fused);
+      ShardedEngine engine(sys, 3);
+      ShardedOptions opt;
+      opt.maxSteps = 200;
+      opt.seed = 5;
+      const RunResult r = engine.run(opt);
+      expr::setFusionEnabled(saved);
+      return r;
+    };
+    const RunResult on = runWith(true);
+    const RunResult off = runWith(false);
+    EXPECT_EQ(on.trace.labels(), off.trace.labels());
+    EXPECT_EQ(on.finalState, off.finalState);
+    EXPECT_EQ(on.steps, off.steps);
+    expectSequentiallyReplayable(sys, on);
+  }
+}
+
 TEST(ShardedEngine, BatchedAndScalarScanTracesIdentical) {
   // The batched enabled-set scan (zero-gather over shard-local frames,
   // classic gather for cross-shard guards) must leave every schedule
