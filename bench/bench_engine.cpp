@@ -11,6 +11,7 @@
 
 #include <cstdio>
 
+#include "analyze/analyze.hpp"
 #include "core/semantics.hpp"
 #include "engine/engine.hpp"
 #include "engine/engine_mt.hpp"
@@ -200,6 +201,72 @@ void BM_SequentialEngineFusedVsUnfused(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 500);
 }
 BENCHMARK(BM_SequentialEngineFusedVsUnfused)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+/// Analysis-friendly workload: every live guard and action is full of
+/// literal-divisor div/mod sites (relaxed to unchecked opcodes at build
+/// time), and each scanned location carries arithmetically dead port
+/// transitions (x % 4 > 10) whose guard programs the analyzer folds to a
+/// single constant push.
+System analyzablePairs(int pairs) {
+  System sys;
+  auto t = std::make_shared<AtomicType>("A");
+  const int l = t->addLocation("l");
+  const int x = t->addVariable("x", 1);
+  const int acc = t->addVariable("acc", 0);
+  const int p = t->addPort("p", {x});
+  t->addTransition(
+      l, p, Expr::local(x) % Expr::lit(64) < Expr::lit(60),
+      {expr::Assign{expr::VarRef{0, acc},
+                    (Expr::local(acc) * Expr::lit(3) + Expr::local(x) / Expr::lit(2)) %
+                        Expr::lit(257)},
+       expr::Assign{expr::VarRef{0, x},
+                    (Expr::local(x) + Expr::local(acc) / Expr::lit(4)) % Expr::lit(101) +
+                        Expr::lit(1)}},
+      l);
+  // Fallback keeps the pair live when the main guard flips off.
+  t->addTransition(l, p, Expr::top(),
+                   {expr::Assign{expr::VarRef{0, x}, Expr::local(x) + Expr::lit(1)}}, l);
+  // Dead transitions, evaluated by every enabled-set scan when unpruned.
+  for (int d = 0; d < 4; ++d) {
+    t->addTransition(l, p,
+                     (Expr::local(x) + Expr::lit(d)) % Expr::lit(4) > Expr::lit(10),
+                     {expr::Assign{expr::VarRef{0, x}, Expr::lit(0)}}, l);
+  }
+  t->setInitialLocation(l);
+  for (int i = 0; i < pairs; ++i) {
+    const int a = sys.addInstance("a" + std::to_string(i), t);
+    const int b = sys.addInstance("b" + std::to_string(i), t);
+    Connector c("sync" + std::to_string(i));
+    const int ea = c.addSynchron(PortRef{a, 0});
+    const int eb = c.addSynchron(PortRef{b, 0});
+    c.setGuard((Expr::var(ea, 0) + Expr::var(eb, 0)) % Expr::lit(7) != Expr::lit(5));
+    sys.addConnector(std::move(c));
+  }
+  sys.validate();
+  return sys;
+}
+
+/// Engine-step cost with analysis-guided build-time pruning (arg 1:
+/// relaxed division checks, constant-folded dead guards) vs the plain
+/// compiled build (arg 0); identical traces. The system is built inside
+/// the toggle because the analysis runs when a type first compiles.
+void BM_SequentialEngineAnalyzedVsUnanalyzed(benchmark::State& state) {
+  const bool analyzed = state.range(0) != 0;
+  const bool saved = expr::analysisEnabled();
+  expr::setAnalysisEnabled(analyzed);
+  const System sys = analyzablePairs(8);
+  RandomPolicy policy(3);
+  SequentialEngine engine(sys, policy);
+  for (auto _ : state) {
+    RunOptions opt;
+    opt.maxSteps = 500;
+    opt.recordTrace = false;
+    benchmark::DoNotOptimize(engine.run(opt));
+  }
+  expr::setAnalysisEnabled(saved);
+  state.SetItemsProcessed(state.iterations() * 500);
+}
+BENCHMARK(BM_SequentialEngineAnalyzedVsUnanalyzed)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 /// Enabled-set-scan throughput, batched (arg1 = 1, CompiledConnector::
 /// scanEnabled over one gathered frame) vs scalar (arg1 = 0, per-end

@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "analyze/analyze.hpp"
 #include "expr/compile.hpp"
 #include "expr/expr.hpp"
 
@@ -161,6 +162,28 @@ void BM_GuardedCommandFused(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_GuardedCommandFused);
+
+/// A division-heavy expression whose divisors are all non-zero literals —
+/// the shape the abstract interpreter proves safe. Arg 1 runs the program
+/// after relaxSafeDivChecks rewrote every site to its unchecked opcode
+/// (no zero/overflow branches); arg 0 is the checked baseline.
+void BM_DivisionCheckedVsRelaxed(benchmark::State& state) {
+  const Expr e = (v(0) / Expr::lit(7) + v(1) % Expr::lit(13)) * Expr::lit(3) +
+                 (v(2) / Expr::lit(5)) % Expr::lit(11) - v(3) / Expr::lit(2) +
+                 (v(4) % Expr::lit(17)) * (v(5) / Expr::lit(3));
+  ExprProgram p = compileLocal(e);
+  if (state.range(0) != 0) {
+    const std::vector<cbip::analyze::Interval> env(8, cbip::analyze::Interval::top());
+    cbip::analyze::relaxSafeDivChecks(p, env);
+  }
+  std::vector<Value> vars = makeFrame();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.run(vars));
+    vars[0] ^= 1;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DivisionCheckedVsRelaxed)->Arg(0)->Arg(1);
 
 void BM_CompileOnce(benchmark::State& state) {
   // The one-time lowering cost amortized away by the per-step savings.

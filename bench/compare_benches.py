@@ -43,6 +43,8 @@ KEY_RATIOS = [
      "BM_SequentialEngineCompiledVsInterpreted/0"),
     ("bench_engine", "BM_SequentialEngineFusedVsUnfused/1",
      "BM_SequentialEngineFusedVsUnfused/0"),
+    ("bench_engine", "BM_SequentialEngineAnalyzedVsUnanalyzed/1",
+     "BM_SequentialEngineAnalyzedVsUnanalyzed/0"),
 ]
 
 # Absolute throughput counters, only comparable on matching context.

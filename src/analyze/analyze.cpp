@@ -1,0 +1,678 @@
+#include "analyze/analyze.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "util/require.hpp"
+
+namespace cbip::analyze {
+
+namespace {
+
+// Transfer functions compute in 128 bits so every int64 corner case
+// (INT64_MIN / -1 = 2^63, |INT64_MIN| = 2^63) stays representable.
+using Wide = __int128;
+
+constexpr Value kMinV = std::numeric_limits<Value>::min();
+constexpr Value kMaxV = std::numeric_limits<Value>::max();
+
+/// Hull of a 128-bit corner range; anything escaping int64 means the
+/// concrete (wrapping) operator's image is not an interval, so: top.
+Interval fromWide(Wide lo, Wide hi) {
+  if (lo < static_cast<Wide>(kMinV) || hi > static_cast<Wide>(kMaxV)) return Interval::top();
+  return Interval{static_cast<Value>(lo), static_cast<Value>(hi)};
+}
+
+Wide wideAbs(Value v) {
+  const Wide w = v;
+  return w < 0 ? -w : w;
+}
+
+/// Largest |divisor| admitted by `b` (up to 2^63 for INT64_MIN).
+Wide maxAbs(Interval b) { return std::max(wideAbs(b.lo), wideAbs(b.hi)); }
+
+bool mayNonzero(Interval v) { return !v.isBottom() && !(v.lo == 0 && v.hi == 0); }
+
+/// Abstract 0/1 normalization (the kAnd/kOr/kNot result space).
+Interval boolOf(Interval v) {
+  if (v.isBottom()) return Interval::bottom();
+  if (!v.contains(0)) return Interval::singleton(1);
+  if (v.isSingleton()) return Interval::singleton(0);
+  return Interval::range(0, 1);
+}
+
+}  // namespace
+
+std::string Interval::toString() const {
+  if (isBottom()) return "[empty]";
+  if (isTop()) return "[int64]";
+  return "[" + std::to_string(lo) + ", " + std::to_string(hi) + "]";
+}
+
+Interval join(Interval a, Interval b) {
+  if (a.isBottom()) return b;
+  if (b.isBottom()) return a;
+  return Interval{std::min(a.lo, b.lo), std::max(a.hi, b.hi)};
+}
+
+Interval absAdd(Interval a, Interval b) {
+  if (a.isBottom() || b.isBottom()) return Interval::bottom();
+  return fromWide(static_cast<Wide>(a.lo) + b.lo, static_cast<Wide>(a.hi) + b.hi);
+}
+
+Interval absSub(Interval a, Interval b) {
+  if (a.isBottom() || b.isBottom()) return Interval::bottom();
+  return fromWide(static_cast<Wide>(a.lo) - b.hi, static_cast<Wide>(a.hi) - b.lo);
+}
+
+Interval absMul(Interval a, Interval b) {
+  if (a.isBottom() || b.isBottom()) return Interval::bottom();
+  const Wide corners[4] = {static_cast<Wide>(a.lo) * b.lo, static_cast<Wide>(a.lo) * b.hi,
+                           static_cast<Wide>(a.hi) * b.lo, static_cast<Wide>(a.hi) * b.hi};
+  Wide lo = corners[0];
+  Wide hi = corners[0];
+  for (const Wide c : corners) {
+    lo = std::min(lo, c);
+    hi = std::max(hi, c);
+  }
+  return fromWide(lo, hi);
+}
+
+Interval absNeg(Interval a) {
+  if (a.isBottom()) return Interval::bottom();
+  // wrapNeg(INT64_MIN) == INT64_MIN: an interval straddling that fixpoint
+  // negates to a non-convex set whose hull is top.
+  if (a.contains(kMinV)) {
+    return a.isSingleton() ? Interval::singleton(kMinV) : Interval::top();
+  }
+  return Interval{-a.hi, -a.lo};
+}
+
+Interval absAbs(Interval a) {
+  if (a.isBottom()) return Interval::bottom();
+  // wrapAbs(INT64_MIN) == INT64_MIN, same non-convexity as absNeg.
+  if (a.contains(kMinV)) {
+    return a.isSingleton() ? Interval::singleton(kMinV) : Interval::top();
+  }
+  const Value lo = a.lo >= 0 ? a.lo : (a.hi < 0 ? -a.hi : 0);
+  const Value hi = std::max(a.lo < 0 ? -a.lo : a.lo, a.hi < 0 ? -a.hi : a.hi);
+  return Interval{lo, hi};
+}
+
+Interval absNot(Interval a) {
+  if (a.isBottom()) return Interval::bottom();
+  if (!a.contains(0)) return Interval::singleton(0);
+  if (a.isSingleton()) return Interval::singleton(1);
+  return Interval::range(0, 1);
+}
+
+Interval absMin(Interval a, Interval b) {
+  if (a.isBottom() || b.isBottom()) return Interval::bottom();
+  return Interval{std::min(a.lo, b.lo), std::min(a.hi, b.hi)};
+}
+
+Interval absMax(Interval a, Interval b) {
+  if (a.isBottom() || b.isBottom()) return Interval::bottom();
+  return Interval{std::max(a.lo, b.lo), std::max(a.hi, b.hi)};
+}
+
+Interval absCmp(expr::Op op, Interval a, Interval b) {
+  using expr::Op;
+  if (a.isBottom() || b.isBottom()) return Interval::bottom();
+  int truth = -1;  // -1 unknown, 0 definitely false, 1 definitely true
+  switch (op) {
+    case Op::kEq:
+      if (a.isSingleton() && b.isSingleton() && a.lo == b.lo) truth = 1;
+      else if (a.hi < b.lo || b.hi < a.lo) truth = 0;
+      break;
+    case Op::kNe:
+      if (a.hi < b.lo || b.hi < a.lo) truth = 1;
+      else if (a.isSingleton() && b.isSingleton() && a.lo == b.lo) truth = 0;
+      break;
+    case Op::kLt:
+      if (a.hi < b.lo) truth = 1;
+      else if (a.lo >= b.hi) truth = 0;
+      break;
+    case Op::kLe:
+      if (a.hi <= b.lo) truth = 1;
+      else if (a.lo > b.hi) truth = 0;
+      break;
+    case Op::kGt:
+      if (a.lo > b.hi) truth = 1;
+      else if (a.hi <= b.lo) truth = 0;
+      break;
+    case Op::kGe:
+      if (a.lo >= b.hi) truth = 1;
+      else if (a.hi < b.lo) truth = 0;
+      break;
+    default:
+      throw ModelError("absCmp: not a comparison operator");
+  }
+  if (truth == 1) return Interval::singleton(1);
+  if (truth == 0) return Interval::singleton(0);
+  return Interval::range(0, 1);
+}
+
+namespace {
+
+/// Shared raise logic of `/` and `%` (both raise on the same operand
+/// pairs; only the result interval differs).
+void divRaises(Interval a, Interval b, DivFacts& f) {
+  f.mayRaise = b.contains(0) || (b.contains(-1) && a.contains(kMinV));
+  f.mustRaise = (b == Interval::singleton(0)) ||
+                (b == Interval::singleton(-1) && a == Interval::singleton(kMinV));
+}
+
+}  // namespace
+
+DivFacts absDiv(Interval a, Interval b) {
+  DivFacts f;
+  if (a.isBottom() || b.isBottom()) return f;  // bottom result, no raise
+  divRaises(a, b, f);
+  if (f.mustRaise) return f;
+  // Truncating division is monotone in each operand once the divisor has
+  // constant sign, so the hull over the corners of the negative and
+  // positive divisor sub-ranges is exact up to convexity. The one corner
+  // outside int64 (INT64_MIN / -1 = 2^63) raises instead of occurring,
+  // which makes the int64 clamp sound.
+  bool any = false;
+  Wide lo = 0;
+  Wide hi = 0;
+  const auto corner = [&](Wide c) {
+    if (!any) {
+      lo = hi = c;
+      any = true;
+    } else {
+      lo = std::min(lo, c);
+      hi = std::max(hi, c);
+    }
+  };
+  if (b.lo <= -1) {
+    const Value d0 = b.lo;
+    const Value d1 = std::min<Value>(b.hi, -1);
+    for (const Value d : {d0, d1}) {
+      for (const Value nu : {a.lo, a.hi}) corner(static_cast<Wide>(nu) / d);
+    }
+  }
+  if (b.hi >= 1) {
+    const Value d0 = std::max<Value>(b.lo, 1);
+    const Value d1 = b.hi;
+    for (const Value d : {d0, d1}) {
+      for (const Value nu : {a.lo, a.hi}) corner(static_cast<Wide>(nu) / d);
+    }
+  }
+  if (!any) return f;  // b == [0, 0] is mustRaise above; unreachable guard
+  f.result = Interval{static_cast<Value>(std::max<Wide>(lo, kMinV)),
+                      static_cast<Value>(std::min<Wide>(hi, kMaxV))};
+  return f;
+}
+
+DivFacts absMod(Interval a, Interval b) {
+  DivFacts f;
+  if (a.isBottom() || b.isBottom()) return f;
+  divRaises(a, b, f);
+  if (f.mustRaise) return f;
+  // Singleton pair: compute the remainder exactly (the raising pairs are
+  // mustRaise above, so the concrete operator is defined here).
+  if (a.isSingleton() && b.isSingleton() && !f.mayRaise) {
+    f.result = Interval::singleton(a.lo % b.lo);
+    return f;
+  }
+  // C++ remainder: sign follows the dividend, |a % b| <= min(|a|, |b|-1).
+  const Wide bound = std::min(maxAbs(b) - 1, maxAbs(a));
+  const Value lo =
+      a.lo < 0 ? static_cast<Value>(std::max<Wide>(-bound, static_cast<Wide>(kMinV))) : 0;
+  const Value hi =
+      a.hi > 0 ? static_cast<Value>(std::min<Wide>(bound, static_cast<Wide>(kMaxV))) : 0;
+  f.result = Interval{lo, hi};
+  return f;
+}
+
+ExprFacts analyzeExpr(const expr::Expr& e, const IntervalEnv& env) {
+  using expr::Op;
+  switch (e.op()) {
+    case Op::kLit:
+      return ExprFacts{Interval::singleton(e.literal()), false, false};
+    case Op::kVar:
+      return ExprFacts{env(e.ref()), false, false};
+    case Op::kNeg:
+    case Op::kAbs:
+    case Op::kNot: {
+      ExprFacts c = analyzeExpr(e.child(0), env);
+      if (c.mustRaise) return c;
+      c.value = e.op() == Op::kNeg   ? absNeg(c.value)
+                : e.op() == Op::kAbs ? absAbs(c.value)
+                                     : absNot(c.value);
+      return c;
+    }
+    case Op::kAnd:
+    case Op::kOr: {
+      const bool isAnd = e.op() == Op::kAnd;
+      const ExprFacts a = analyzeExpr(e.child(0), env);
+      if (a.mustRaise) return a;
+      // Short-circuit decided abstractly: the skipped right operand
+      // contributes neither value nor raise facts, mirroring the
+      // concrete skip.
+      const bool rhsMayRun = isAnd ? mayNonzero(a.value) : a.value.contains(0);
+      if (!rhsMayRun) return ExprFacts{boolOf(a.value), a.mayRaise, false};
+      const bool rhsAlwaysRuns = isAnd ? !a.value.contains(0) : !mayNonzero(a.value);
+      const ExprFacts b = analyzeExpr(e.child(1), env);
+      ExprFacts out;
+      out.mayRaise = a.mayRaise || b.mayRaise;
+      if (rhsAlwaysRuns && b.mustRaise) {
+        out.mustRaise = true;
+        out.value = Interval::bottom();
+        return out;
+      }
+      Interval res = Interval::bottom();
+      if (isAnd) {
+        if (a.value.contains(0)) res = join(res, Interval::singleton(0));
+        if (!b.mustRaise) res = join(res, boolOf(b.value));
+      } else {
+        if (mayNonzero(a.value)) res = join(res, Interval::singleton(1));
+        if (!b.mustRaise) res = join(res, boolOf(b.value));
+      }
+      out.value = res;
+      return out;
+    }
+    case Op::kIte: {
+      const ExprFacts c = analyzeExpr(e.child(0), env);
+      if (c.mustRaise) return c;
+      ExprFacts out;
+      out.mayRaise = c.mayRaise;
+      Interval res = Interval::bottom();
+      bool allRaise = true;
+      if (mayNonzero(c.value)) {
+        const ExprFacts t = analyzeExpr(e.child(1), env);
+        out.mayRaise = out.mayRaise || t.mayRaise;
+        if (!t.mustRaise) {
+          allRaise = false;
+          res = join(res, t.value);
+        }
+      }
+      if (c.value.contains(0)) {
+        const ExprFacts f = analyzeExpr(e.child(2), env);
+        out.mayRaise = out.mayRaise || f.mayRaise;
+        if (!f.mustRaise) {
+          allRaise = false;
+          res = join(res, f.value);
+        }
+      }
+      out.mustRaise = allRaise;
+      if (out.mustRaise) out.mayRaise = true;
+      out.value = out.mustRaise ? Interval::bottom() : res;
+      return out;
+    }
+    default: {  // binary arithmetic / comparison — both operands evaluate
+      const ExprFacts a = analyzeExpr(e.child(0), env);
+      const ExprFacts b = analyzeExpr(e.child(1), env);
+      ExprFacts out;
+      out.mayRaise = a.mayRaise || b.mayRaise;
+      if (a.mustRaise || b.mustRaise) {
+        out.mustRaise = true;
+        out.mayRaise = true;
+        out.value = Interval::bottom();
+        return out;
+      }
+      switch (e.op()) {
+        case Op::kAdd: out.value = absAdd(a.value, b.value); break;
+        case Op::kSub: out.value = absSub(a.value, b.value); break;
+        case Op::kMul: out.value = absMul(a.value, b.value); break;
+        case Op::kMin: out.value = absMin(a.value, b.value); break;
+        case Op::kMax: out.value = absMax(a.value, b.value); break;
+        case Op::kDiv:
+        case Op::kMod: {
+          const DivFacts d =
+              e.op() == Op::kDiv ? absDiv(a.value, b.value) : absMod(a.value, b.value);
+          out.mayRaise = out.mayRaise || d.mayRaise;
+          out.mustRaise = d.mustRaise;
+          out.value = d.result;
+          break;
+        }
+        default:
+          out.value = absCmp(e.op(), a.value, b.value);
+          break;
+      }
+      return out;
+    }
+  }
+}
+
+ExprFacts analyzeLocal(const expr::Expr& e, std::span<const Interval> slots) {
+  return analyzeExpr(e, [slots](expr::VarRef r) {
+    if (r.scope != 0 || r.index < 0 || static_cast<std::size_t>(r.index) >= slots.size()) {
+      return Interval::top();
+    }
+    return slots[static_cast<std::size_t>(r.index)];
+  });
+}
+
+namespace {
+
+using expr::Instr;
+using expr::OpCode;
+
+/// Abstract machine state at one program point: the evaluation stack,
+/// the CSE temp registers and the (strongly-updated) frame slots.
+struct AbsState {
+  std::vector<Interval> stack;
+  std::vector<Interval> temps;
+  std::vector<Interval> slots;
+};
+
+}  // namespace
+
+ProgramFacts analyzeProgram(const expr::ExprProgram& p, std::span<const Interval> slots) {
+  ProgramFacts out;
+  out.slotsRead.assign(slots.size(), 0);
+  out.slotsWritten.assign(slots.size(), 0);
+  if (p.empty()) {
+    // The empty program is the trivially-true guard.
+    out.value = Interval::singleton(1);
+    out.exitSlots.assign(slots.begin(), slots.end());
+    return out;
+  }
+  const std::vector<Instr>& code = p.code();
+  const std::size_t n = code.size();
+  // Conservative degradation for bytecode this pass does not understand
+  // (foreign opcodes, out-of-range slots, malformed stack discipline):
+  // no facts beyond "a checked division might raise".
+  const auto fallback = [&] {
+    ProgramFacts f;
+    f.value = Interval::top();
+    f.slotsRead.assign(slots.size(), 1);
+    f.slotsWritten.assign(slots.size(), 1);
+    f.exitSlots.assign(slots.size(), Interval::top());
+    for (const Instr& in : code) {
+      if (in.op == OpCode::kDiv || in.op == OpCode::kMod) f.mayRaise = true;
+    }
+    return f;
+  };
+  // Every jump the compiler emits is forward, so pc order is a
+  // topological order of the control-flow graph: one in-order pass with
+  // joins at jump targets is the exact fixpoint.
+  std::vector<std::optional<AbsState>> in(n + 1);
+  in[0] = AbsState{{},
+                   std::vector<Interval>(static_cast<std::size_t>(p.tempCount()), Interval::top()),
+                   std::vector<Interval>(slots.begin(), slots.end())};
+  bool broken = false;
+  const auto propagate = [&](std::size_t target, AbsState s) {
+    if (target > n) {
+      broken = true;
+      return;
+    }
+    if (!in[target]) {
+      in[target] = std::move(s);
+      return;
+    }
+    AbsState& d = *in[target];
+    if (d.stack.size() != s.stack.size()) {
+      broken = true;
+      return;
+    }
+    for (std::size_t i = 0; i < d.stack.size(); ++i) d.stack[i] = join(d.stack[i], s.stack[i]);
+    for (std::size_t i = 0; i < d.temps.size(); ++i) d.temps[i] = join(d.temps[i], s.temps[i]);
+    for (std::size_t i = 0; i < d.slots.size(); ++i) d.slots[i] = join(d.slots[i], s.slots[i]);
+  };
+  for (std::size_t pc = 0; pc < n && !broken; ++pc) {
+    if (!in[pc]) continue;  // unreachable program point
+    AbsState s = *in[pc];
+    const Instr& ins = code[pc];
+    const auto stackHas = [&](std::size_t k) {
+      if (s.stack.size() < k) broken = true;
+      return !broken;
+    };
+    const auto forwardTarget = [&] {
+      if (ins.arg < 0 || static_cast<std::size_t>(ins.arg) <= pc) broken = true;
+      return !broken;
+    };
+    const auto slotIndex = [&](int arg) {
+      if (arg < 0 || static_cast<std::size_t>(arg) >= slots.size()) broken = true;
+      return static_cast<std::size_t>(arg);
+    };
+    const auto tempIndex = [&](int arg) {
+      if (arg < 0 || static_cast<std::size_t>(arg) >= s.temps.size()) broken = true;
+      return static_cast<std::size_t>(arg);
+    };
+    switch (ins.op) {
+      case OpCode::kPush:
+        s.stack.push_back(Interval::singleton(ins.imm));
+        propagate(pc + 1, std::move(s));
+        break;
+      case OpCode::kLoad: {
+        const std::size_t idx = slotIndex(ins.arg);
+        if (broken) break;
+        out.slotsRead[idx] = 1;
+        s.stack.push_back(s.slots[idx]);
+        propagate(pc + 1, std::move(s));
+        break;
+      }
+      case OpCode::kAdd:
+      case OpCode::kSub:
+      case OpCode::kMul:
+      case OpCode::kMin:
+      case OpCode::kMax:
+      case OpCode::kEq:
+      case OpCode::kNe:
+      case OpCode::kLt:
+      case OpCode::kLe:
+      case OpCode::kGt:
+      case OpCode::kGe: {
+        if (!stackHas(2)) break;
+        const Interval b = s.stack.back();
+        s.stack.pop_back();
+        const Interval a = s.stack.back();
+        Interval r;
+        switch (ins.op) {
+          case OpCode::kAdd: r = absAdd(a, b); break;
+          case OpCode::kSub: r = absSub(a, b); break;
+          case OpCode::kMul: r = absMul(a, b); break;
+          case OpCode::kMin: r = absMin(a, b); break;
+          case OpCode::kMax: r = absMax(a, b); break;
+          case OpCode::kEq: r = absCmp(expr::Op::kEq, a, b); break;
+          case OpCode::kNe: r = absCmp(expr::Op::kNe, a, b); break;
+          case OpCode::kLt: r = absCmp(expr::Op::kLt, a, b); break;
+          case OpCode::kLe: r = absCmp(expr::Op::kLe, a, b); break;
+          case OpCode::kGt: r = absCmp(expr::Op::kGt, a, b); break;
+          default: r = absCmp(expr::Op::kGe, a, b); break;
+        }
+        s.stack.back() = r;
+        propagate(pc + 1, std::move(s));
+        break;
+      }
+      case OpCode::kDiv:
+      case OpCode::kMod: {
+        if (!stackHas(2)) break;
+        const Interval b = s.stack.back();
+        s.stack.pop_back();
+        const Interval a = s.stack.back();
+        const DivFacts d = ins.op == OpCode::kDiv ? absDiv(a, b) : absMod(a, b);
+        out.divSites.push_back(DivSite{pc, d.mayRaise, d.mustRaise});
+        if (d.mayRaise) out.mayRaise = true;
+        // No abstract state flows past a guaranteed raise.
+        if (d.mustRaise) break;
+        s.stack.back() = d.result;
+        propagate(pc + 1, std::move(s));
+        break;
+      }
+      case OpCode::kDivUnchecked:
+      case OpCode::kModUnchecked: {
+        // Already relaxed by an earlier analysis pass: the proof that the
+        // site never raises was done then, so it is neither a raise
+        // source nor a site to report again (idempotence).
+        if (!stackHas(2)) break;
+        const Interval b = s.stack.back();
+        s.stack.pop_back();
+        const Interval a = s.stack.back();
+        const DivFacts d = ins.op == OpCode::kDivUnchecked ? absDiv(a, b) : absMod(a, b);
+        s.stack.back() = d.result.isBottom() ? Interval::top() : d.result;
+        propagate(pc + 1, std::move(s));
+        break;
+      }
+      case OpCode::kNeg:
+      case OpCode::kAbs:
+      case OpCode::kNot:
+        if (!stackHas(1)) break;
+        s.stack.back() = ins.op == OpCode::kNeg   ? absNeg(s.stack.back())
+                         : ins.op == OpCode::kAbs ? absAbs(s.stack.back())
+                                                  : absNot(s.stack.back());
+        propagate(pc + 1, std::move(s));
+        break;
+      case OpCode::kJump:
+        if (!forwardTarget()) break;
+        propagate(static_cast<std::size_t>(ins.arg), std::move(s));
+        break;
+      case OpCode::kJumpIfZero:
+      case OpCode::kJumpIfNonZero: {
+        if (!stackHas(1) || !forwardTarget()) break;
+        const Interval v = s.stack.back();
+        s.stack.pop_back();
+        const bool zeroFeasible = v.contains(0);
+        const bool nonzeroFeasible = mayNonzero(v);
+        const bool jumpOnZero = ins.op == OpCode::kJumpIfZero;
+        if (jumpOnZero ? zeroFeasible : nonzeroFeasible) {
+          propagate(static_cast<std::size_t>(ins.arg), s);
+        }
+        if (jumpOnZero ? nonzeroFeasible : zeroFeasible) {
+          propagate(pc + 1, std::move(s));
+        }
+        break;
+      }
+      case OpCode::kStore: {
+        if (!stackHas(1)) break;
+        const std::size_t idx = slotIndex(ins.arg);
+        if (broken) break;
+        out.slotsWritten[idx] = 1;
+        s.slots[idx] = s.stack.back();
+        s.stack.pop_back();
+        propagate(pc + 1, std::move(s));
+        break;
+      }
+      case OpCode::kTee: {
+        if (!stackHas(1)) break;
+        const std::size_t idx = tempIndex(ins.arg);
+        if (broken) break;
+        s.temps[idx] = s.stack.back();
+        propagate(pc + 1, std::move(s));
+        break;
+      }
+      case OpCode::kLoadTmp: {
+        const std::size_t idx = tempIndex(ins.arg);
+        if (broken) break;
+        s.stack.push_back(s.temps[idx]);
+        propagate(pc + 1, std::move(s));
+        break;
+      }
+      default:
+        broken = true;
+        break;
+    }
+  }
+  if (broken) return fallback();
+  if (!in[n]) {
+    // Every path died in a guaranteed-raising division.
+    out.value = Interval::bottom();
+    out.mayRaise = true;
+    out.mustRaise = true;
+    return out;
+  }
+  AbsState& exit = *in[n];
+  if (exit.stack.size() != 1) return fallback();
+  out.value = exit.stack[0];
+  out.exitSlots = std::move(exit.slots);
+  return out;
+}
+
+std::size_t relaxSafeDivChecks(expr::ExprProgram& p, std::span<const Interval> slots) {
+  if (p.empty()) return 0;
+  const ProgramFacts facts = analyzeProgram(p, slots);
+  std::size_t relaxed = 0;
+  for (const DivSite& site : facts.divSites) {
+    if (!site.mayRaise) {
+      p.relaxDivCheck(site.pc);
+      ++relaxed;
+    }
+  }
+  return relaxed;
+}
+
+std::vector<Interval> typeIntervals(const AtomicType& type) {
+  const std::size_t n = type.variableCount();
+  std::vector<Interval> env(n);
+  std::vector<char> exported(n, 0);
+  for (std::size_t pi = 0; pi < type.portCount(); ++pi) {
+    for (const int v : type.port(static_cast<int>(pi)).exports) {
+      if (v >= 0 && static_cast<std::size_t>(v) < n) exported[static_cast<std::size_t>(v)] = 1;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    // Exported variables are connector-writable during interactions;
+    // nothing local bounds them.
+    env[i] = exported[i] != 0 ? Interval::top()
+                              : Interval::singleton(type.variable(static_cast<int>(i)).init);
+  }
+  const IntervalEnv read = [&env, n](expr::VarRef r) {
+    if (r.scope != 0 || r.index < 0 || static_cast<std::size_t>(r.index) >= n) {
+      return Interval::top();
+    }
+    return env[static_cast<std::size_t>(r.index)];
+  };
+  // Widening fixpoint: the first round joins precise action images, every
+  // later change widens straight to top, so each variable moves at most
+  // twice and the loop terminates in O(variables) rounds.
+  for (int round = 0;; ++round) {
+    bool changed = false;
+    for (std::size_t ti = 0; ti < type.transitionCount(); ++ti) {
+      const Transition& t = type.transition(static_cast<int>(ti));
+      const ExprFacts g = analyzeExpr(t.guard, read);
+      if (g.mustRaise || g.value.isBottom()) continue;
+      if (!g.mayRaise && g.value == Interval::singleton(0)) continue;  // dead transition
+      for (const expr::Assign& a : t.actions) {
+        const ExprFacts f = analyzeExpr(a.value, read);
+        if (f.mustRaise) break;  // later actions of the block never run
+        const std::size_t target = static_cast<std::size_t>(a.target.index);
+        if (a.target.scope != 0 || target >= n) continue;
+        const Interval joined = join(env[target], f.value);
+        if (joined != env[target]) {
+          env[target] = round == 0 ? joined : Interval::top();
+          changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+  return env;
+}
+
+void optimizeTransition(CompiledTransition& ct, std::size_t variableCount) {
+  // Execution-side environment: all-top component variables. Hosts and
+  // the distributed runtime mutate GlobalState directly, so reachability
+  // facts (typeIntervals) must NOT feed execution pruning — only
+  // literal/operator arithmetic may.
+  const std::vector<Interval> top(variableCount, Interval::top());
+  if (!ct.guard.empty()) {
+    const ProgramFacts g = analyzeProgram(ct.guard, top);
+    if (!g.mayRaise && g.value == Interval::singleton(0)) {
+      // Dead transition: both guard forms collapse to the constant-0
+      // program (never the empty program — empty means trivially true).
+      ct.guard = expr::ExprProgram::constant(0);
+      ct.fused = expr::ExprProgram::constant(0);
+      return;
+    }
+    if (!g.mayRaise && !g.value.isBottom() && !g.value.contains(0)) {
+      // Always-true guard: the empty program is the trivially-true
+      // convention, and the fused form drops its guard prefix — which is
+      // exactly the action block (or nothing: a bare location move).
+      ct.guard = expr::ExprProgram();
+      ct.fused = ct.actionBlock;
+    }
+  }
+  const std::span<const Interval> env(top);
+  relaxSafeDivChecks(ct.guard, env);
+  for (CompiledTransition::Action& a : ct.actions) relaxSafeDivChecks(a.value, env);
+  relaxSafeDivChecks(ct.fused, env);
+  relaxSafeDivChecks(ct.actionBlock, env);
+}
+
+}  // namespace cbip::analyze

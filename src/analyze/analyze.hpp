@@ -1,0 +1,218 @@
+// Abstract interpretation over the data sub-language.
+//
+// The paper's thesis is that rigorous design catches defects *before*
+// execution; until now every correctness instrument in this repo was
+// dynamic (differential traces, sanitizers, D-Finder state exploration).
+// This module adds the static side: a forward abstract interpreter over
+// both representations of the data sub-language — Expr trees and
+// ExprProgram bytecode — in the domain
+//
+//     interval x may-raise-EvalError
+//
+// ExprProgram is an unusually friendly analysis target: it is loop-free
+// (every jump is forward), its arithmetic is fully defined
+// (two's-complement wrapping for + - * neg abs, EvalError on zero
+// divisors and on INT64_MIN / -1), and it has exactly one kind of
+// runtime failure. A single in-order pass with joins at jump targets is
+// therefore a *complete* fixpoint, not an approximation of one.
+//
+// Three consumers:
+//   * lint (src/analyze/lint.hpp) — always-false / always-true guards,
+//     guaranteed-EvalError sites, connector data-flow diagnostics;
+//   * build-time pruning (AtomicType::compileIfNeeded,
+//     CompiledConnector::build) — a guard proven constant folds to a
+//     constant program, a kDiv/kMod proven non-raising relaxes to its
+//     unchecked opcode (relaxSafeDivChecks). Gated by
+//     expr::analysisEnabled() / CBIP_NO_ANALYZE;
+//   * the D-Finder feed (src/verify/dfinder.cpp) — transitions whose
+//     guard is provably false under typeIntervals() are removed from the
+//     deadlock-condition sources.
+//
+// Soundness contract — two environments, deliberately different:
+//   * Execution-side pruning uses an all-top environment for component
+//     variables: tests, srbip message application and host code mutate
+//     GlobalState directly, so *no* assumption about reachable variable
+//     values is safe there. Facts then derive only from literals and
+//     range-clamping operators (%, min, max, abs, comparisons), which is
+//     still enough to relax literal-divisor checks and kill
+//     arithmetically impossible guards.
+//   * typeIntervals() seeds from declared initial values and closes over
+//     the type's own transitions — the same "reachable when the
+//     component runs in isolation under the engine" contract as the
+//     verifier's componentInvariant. Only lint and the D-Finder feed
+//     consume it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/atomic.hpp"
+#include "expr/compile.hpp"
+#include "expr/expr.hpp"
+
+namespace cbip::analyze {
+
+using expr::Value;
+
+/// A closed interval of int64 values; `lo > hi` encodes bottom (no
+/// value — unreachable or guaranteed-raise). Top is the full int64
+/// range. The domain has no infinities: wrapping arithmetic goes to top
+/// instead of widening past the representable range.
+struct Interval {
+  Value lo = 0;
+  Value hi = 0;
+
+  static Interval top() {
+    return Interval{std::numeric_limits<Value>::min(), std::numeric_limits<Value>::max()};
+  }
+  static Interval bottom() { return Interval{1, 0}; }
+  static Interval singleton(Value v) { return Interval{v, v}; }
+  static Interval range(Value lo, Value hi) { return Interval{lo, hi}; }
+
+  bool isBottom() const { return lo > hi; }
+  bool isTop() const {
+    return lo == std::numeric_limits<Value>::min() && hi == std::numeric_limits<Value>::max();
+  }
+  bool isSingleton() const { return lo == hi; }
+  bool contains(Value v) const { return lo <= v && v <= hi; }
+
+  friend bool operator==(const Interval&, const Interval&) = default;
+
+  std::string toString() const;
+};
+
+/// Least upper bound (interval hull).
+Interval join(Interval a, Interval b);
+
+// ---- transfer functions -------------------------------------------------
+//
+// Each mirrors the concrete operator in expr.hpp exactly: wrapping ops
+// return top as soon as a corner leaves the int64 range (the wrapped
+// image of an interval is not an interval), the INT64_MIN edge cases of
+// neg/abs go to top unless the operand is that singleton, and
+// comparisons return a sub-interval of [0, 1]. All propagate bottom.
+
+Interval absAdd(Interval a, Interval b);
+Interval absSub(Interval a, Interval b);
+Interval absMul(Interval a, Interval b);
+Interval absNeg(Interval a);
+Interval absAbs(Interval a);
+Interval absNot(Interval a);
+Interval absMin(Interval a, Interval b);
+Interval absMax(Interval a, Interval b);
+/// `op` must be one of kEq..kGe.
+Interval absCmp(expr::Op op, Interval a, Interval b);
+
+/// Division / modulo carry the EvalError dimension alongside the value:
+/// mayRaise when the divisor interval admits 0 (or the INT64_MIN / -1
+/// pair is admitted), mustRaise when *every* admitted operand pair
+/// raises — then `result` is bottom.
+struct DivFacts {
+  Interval result = Interval::bottom();
+  bool mayRaise = false;
+  bool mustRaise = false;
+};
+
+DivFacts absDiv(Interval a, Interval b);
+DivFacts absMod(Interval a, Interval b);
+
+/// Result of abstractly evaluating one expression: its value interval
+/// plus the EvalError dimension. mustRaise implies mayRaise and a bottom
+/// value (evaluation never completes).
+struct ExprFacts {
+  Interval value = Interval::top();
+  bool mayRaise = false;
+  bool mustRaise = false;
+};
+
+/// Maps a variable reference to its interval; the analysis equivalent of
+/// expr::EvalContext. Returning top() is always sound.
+using IntervalEnv = std::function<Interval(expr::VarRef)>;
+
+/// Abstractly evaluates an Expr tree under `env`. Mirrors Expr::eval's
+/// semantics including short-circuit && / || and ite branch pruning: a
+/// branch the condition interval excludes contributes neither value nor
+/// raise facts, exactly as its concrete evaluation would be skipped.
+ExprFacts analyzeExpr(const expr::Expr& e, const IntervalEnv& env);
+
+/// Convenience for component-local expressions (scope 0, slot = index);
+/// references outside `slots` read top.
+ExprFacts analyzeLocal(const expr::Expr& e, std::span<const Interval> slots);
+
+/// One reachable kDiv/kMod instruction in a program, with the EvalError
+/// facts that held at its operands. A site with !mayRaise is provably
+/// safe to relax; a site with mustRaise raises on every evaluation that
+/// reaches it.
+struct DivSite {
+  std::size_t pc = 0;
+  bool mayRaise = false;
+  bool mustRaise = false;
+};
+
+/// Facts about one full ExprProgram evaluation over an entry frame
+/// described by `slots` (see analyzeProgram).
+struct ProgramFacts {
+  /// Interval of the program result; bottom when the program cannot
+  /// complete (mustRaise). The empty program is trivially true: [1, 1].
+  Interval value = Interval::top();
+  bool mayRaise = false;
+  /// True when no execution reaches the exit — every path hits a
+  /// guaranteed-raising division.
+  bool mustRaise = false;
+  /// Reachable checked-division sites in program order (relaxed
+  /// kDivUnchecked/kModUnchecked sites are not re-reported).
+  std::vector<DivSite> divSites;
+  /// Per-slot intervals at program exit (kStore applied); empty when the
+  /// exit is unreachable. Size matches the input span.
+  std::vector<Interval> exitSlots;
+  /// Per-slot flags: slot read (kLoad) / written (kStore) on some
+  /// reachable path. Size matches the input span.
+  std::vector<char> slotsRead;
+  std::vector<char> slotsWritten;
+};
+
+/// Forward abstract interpretation of `p` with entry frame `slots`
+/// (frame-base-relative slot i has interval slots[i]). Every jump in
+/// compiled programs is forward, so one in-order pass joining abstract
+/// states at jump targets reaches the fixpoint exactly; conditional
+/// jumps refine (a [0,0] operand only takes its zero edge). On any
+/// structural inconsistency (foreign bytecode, out-of-range slot) the
+/// result degrades soundly: top value, mayRaise iff the program holds a
+/// checked division, no sites.
+ProgramFacts analyzeProgram(const expr::ExprProgram& p, std::span<const Interval> slots);
+
+/// Rewrites every checked division site of `p` that analyzeProgram
+/// proves non-raising under `slots` into its unchecked twin; returns how
+/// many sites were relaxed. Idempotent — already-relaxed sites are not
+/// sites any more.
+std::size_t relaxSafeDivChecks(expr::ExprProgram& p, std::span<const Interval> slots);
+
+/// Per-variable intervals covering every value the variable can hold
+/// when instances of `type` run in isolation under the engine: exported
+/// variables start at top (connectors write them during interactions),
+/// unexported ones at their declared initial value, then a widening
+/// fixpoint over the type's own transition writes (transitions whose
+/// guard is provably false or provably raising under the current facts
+/// contribute nothing). Same contract as the verifier's
+/// componentInvariant — NOT sound against host code mutating GlobalState
+/// directly, which is why execution-side pruning never consumes this.
+std::vector<Interval> typeIntervals(const AtomicType& type);
+
+/// Build-time pruning of one compiled transition under the all-top
+/// (mutation-proof) environment:
+///   * guard provably false and non-raising  -> guard and fused both
+///     become the constant-0 program (the transition is dead);
+///   * guard provably true and non-raising   -> guard empties (the
+///     trivially-true convention) and fused drops its guard prefix;
+///   * every surviving program has its provably-safe division checks
+///     relaxed.
+/// Caller (AtomicType::compileIfNeeded) gates this behind
+/// expr::analysisEnabled().
+void optimizeTransition(CompiledTransition& ct, std::size_t variableCount);
+
+}  // namespace cbip::analyze

@@ -1,0 +1,225 @@
+#include "analyze/lint.hpp"
+
+#include <string>
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace cbip::analyze {
+
+namespace {
+
+using expr::Expr;
+using expr::VarRef;
+
+/// Display names for component-local expressions.
+std::string localName(const AtomicType& type, VarRef r) {
+  if (r.scope == 0 && r.index >= 0 &&
+      static_cast<std::size_t>(r.index) < type.variableCount()) {
+    return type.variable(r.index).name;
+  }
+  return "?";
+}
+
+std::string transitionWhere(const AtomicType& type, int ti) {
+  const Transition& t = type.transition(ti);
+  const std::string port =
+      t.port == kInternalPort ? std::string("tau") : type.port(t.port).name;
+  return "atom " + type.name() + ", transition #" + std::to_string(ti) + " (" +
+         type.locationName(t.from) + " --" + port + "--> " + type.locationName(t.to) + ")";
+}
+
+/// Classifies one guard under `env` into at most one diagnostic.
+void lintGuard(const Expr& guard, const IntervalEnv& env, const std::string& where,
+               const std::string& guardText, bool connectorSide,
+               std::vector<Diagnostic>& out) {
+  if (guard.isTrue()) return;  // the default guard is not worth a finding
+  const ExprFacts g = analyzeExpr(guard, env);
+  if (g.mustRaise) {
+    out.push_back(Diagnostic{LintKind::kGuaranteedRaise, where,
+                             "guard " + guardText + " raises EvalError on every evaluation"});
+    return;
+  }
+  if (g.mayRaise) return;  // runtime-dependent; not statically decidable
+  if (g.value == Interval::singleton(0)) {
+    out.push_back(Diagnostic{
+        connectorSide ? LintKind::kDeadConnector : LintKind::kDeadTransition, where,
+        "guard " + guardText + " is always false (provable value interval [0, 0])"});
+  } else if (!g.value.isBottom() && !g.value.contains(0)) {
+    out.push_back(Diagnostic{
+        connectorSide ? LintKind::kAlwaysTrueConnectorGuard : LintKind::kAlwaysTrueGuard, where,
+        "guard " + guardText + " is always true (provable value interval " +
+            g.value.toString() + "); drop it or fix the condition"});
+  }
+}
+
+}  // namespace
+
+const char* lintKindName(LintKind kind) {
+  switch (kind) {
+    case LintKind::kDeadTransition: return "dead-transition";
+    case LintKind::kAlwaysTrueGuard: return "always-true-guard";
+    case LintKind::kGuaranteedRaise: return "guaranteed-evalerror";
+    case LintKind::kDeadConnector: return "dead-connector";
+    case LintKind::kAlwaysTrueConnectorGuard: return "always-true-connector-guard";
+    case LintKind::kConnectorVarReadBeforeWrite: return "connector-var-read-before-write";
+    case LintKind::kConnectorVarNeverRead: return "connector-var-never-read";
+  }
+  return "unknown";
+}
+
+std::string toString(const Diagnostic& d) {
+  return d.where + ": [" + lintKindName(d.kind) + "] " + d.message;
+}
+
+std::vector<Diagnostic> lintType(const AtomicType& type) {
+  std::vector<Diagnostic> out;
+  const std::vector<Interval> intervals = typeIntervals(type);
+  const IntervalEnv env = [&type, &intervals](VarRef r) {
+    if (r.scope != 0 || r.index < 0 ||
+        static_cast<std::size_t>(r.index) >= intervals.size()) {
+      return Interval::top();
+    }
+    return intervals[static_cast<std::size_t>(r.index)];
+  };
+  const auto name = [&type](VarRef r) { return localName(type, r); };
+  for (std::size_t ti = 0; ti < type.transitionCount(); ++ti) {
+    const Transition& t = type.transition(static_cast<int>(ti));
+    const std::string where = transitionWhere(type, static_cast<int>(ti));
+    lintGuard(t.guard, env, where, "`" + t.guard.toString(name) + "`",
+              /*connectorSide=*/false, out);
+    for (std::size_t ai = 0; ai < t.actions.size(); ++ai) {
+      const expr::Assign& a = t.actions[ai];
+      const ExprFacts f = analyzeExpr(a.value, env);
+      if (f.mustRaise) {
+        out.push_back(Diagnostic{
+            LintKind::kGuaranteedRaise, where,
+            "action #" + std::to_string(ai) + " (" + localName(type, a.target) +
+                " := " + a.value.toString(name) + ") raises EvalError on every evaluation"});
+        break;  // later actions of the block never run
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Diagnostic> lintSystem(const System& system) {
+  std::vector<Diagnostic> out;
+  // Each distinct type once, however many instances share it.
+  std::vector<const AtomicType*> seen;
+  for (const System::Instance& inst : system.instances()) {
+    const AtomicType* t = inst.type.get();
+    bool dup = false;
+    for (const AtomicType* s : seen) dup = dup || s == t;
+    if (dup) continue;
+    seen.push_back(t);
+    std::vector<Diagnostic> typeDiags = lintType(*t);
+    out.insert(out.end(), typeDiags.begin(), typeDiags.end());
+  }
+  for (std::size_t ci = 0; ci < system.connectorCount(); ++ci) {
+    const Connector& c = system.connector(ci);
+    const std::string where =
+        "connector " + (c.name().empty() ? "#" + std::to_string(ci) : c.name());
+    const std::size_t nVars = c.variableCount();
+    // Connector-local variables are zeroed by the engine before every
+    // evaluation, then written by up transfers in order. Track the data
+    // flow: intervals for precision, written/read flags for the two
+    // flow diagnostics.
+    std::vector<Interval> connVars(nVars, Interval::singleton(0));
+    std::vector<char> written(nVars, 0);
+    std::vector<char> readEver(nVars, 0);
+    std::vector<char> rbwReported(nVars, 0);
+    const IntervalEnv env = [&connVars](VarRef r) {
+      if (r.scope == expr::kConnectorScope) {
+        if (r.index >= 0 && static_cast<std::size_t>(r.index) < connVars.size()) {
+          return connVars[static_cast<std::size_t>(r.index)];
+        }
+      }
+      // End-scope reads are exported variables, which typeIntervals()
+      // deliberately seeds at top (connector-writable): no extra
+      // precision is available there.
+      return Interval::top();
+    };
+    const auto exprName = [&system, &c](VarRef r) -> std::string {
+      if (r.scope == expr::kConnectorScope) {
+        return r.index >= 0 && static_cast<std::size_t>(r.index) < c.variableCount()
+                   ? c.variableName(static_cast<std::size_t>(r.index))
+                   : "?";
+      }
+      if (r.scope >= 0 && static_cast<std::size_t>(r.scope) < c.endCount()) {
+        const ConnectorEnd& end = c.end(static_cast<std::size_t>(r.scope));
+        const AtomicType& t = *system.instance(static_cast<std::size_t>(end.port.instance)).type;
+        const PortDecl& p = t.port(end.port.port);
+        if (r.index >= 0 && static_cast<std::size_t>(r.index) < p.exports.size()) {
+          return system.endLabel(end) + "." +
+                 t.variable(p.exports[static_cast<std::size_t>(r.index)]).name;
+        }
+      }
+      return "?";
+    };
+    // Flags connector-variable reads in `e`, reporting each variable read
+    // before any up transfer defined it (it reads the per-evaluation
+    // zero) at most once per connector.
+    const auto noteReads = [&](const Expr& e, const std::string& site) {
+      std::vector<VarRef> refs;
+      e.collectVars(refs);
+      for (const VarRef& r : refs) {
+        if (r.scope != expr::kConnectorScope) continue;
+        if (r.index < 0 || static_cast<std::size_t>(r.index) >= nVars) continue;
+        const std::size_t i = static_cast<std::size_t>(r.index);
+        readEver[i] = 1;
+        if (written[i] == 0 && rbwReported[i] == 0) {
+          rbwReported[i] = 1;
+          out.push_back(Diagnostic{
+              LintKind::kConnectorVarReadBeforeWrite, where,
+              site + " reads connector variable '" + c.variableName(i) +
+                  "' before any up transfer wrote it (it reads the per-interaction zero)"});
+        }
+      }
+    };
+    noteReads(c.guard(), "the guard");
+    lintGuard(c.guard(), env, where, "`" + c.guard().toString(exprName) + "`",
+              /*connectorSide=*/true, out);
+    for (std::size_t ui = 0; ui < c.ups().size(); ++ui) {
+      const expr::Assign& up = c.ups()[ui];
+      noteReads(up.value, "up #" + std::to_string(ui));
+      const ExprFacts f = analyzeExpr(up.value, env);
+      if (f.mustRaise) {
+        out.push_back(Diagnostic{
+            LintKind::kGuaranteedRaise, where,
+            "up #" + std::to_string(ui) + " (" + exprName(up.target) +
+                " := " + up.value.toString(exprName) +
+                ") raises EvalError on every evaluation"});
+      }
+      if (up.target.scope == expr::kConnectorScope && up.target.index >= 0 &&
+          static_cast<std::size_t>(up.target.index) < nVars) {
+        const std::size_t i = static_cast<std::size_t>(up.target.index);
+        connVars[i] = f.mustRaise ? Interval::top() : f.value;
+        written[i] = 1;
+      }
+    }
+    for (std::size_t di = 0; di < c.downs().size(); ++di) {
+      const DownAssign& down = c.downs()[di];
+      noteReads(down.value, "down #" + std::to_string(di));
+      const ExprFacts f = analyzeExpr(down.value, env);
+      if (f.mustRaise) {
+        out.push_back(Diagnostic{
+            LintKind::kGuaranteedRaise, where,
+            "down #" + std::to_string(di) + " (value " + down.value.toString(exprName) +
+                ") raises EvalError on every evaluation"});
+      }
+    }
+    for (std::size_t i = 0; i < nVars; ++i) {
+      if (readEver[i] != 0) continue;
+      out.push_back(Diagnostic{
+          LintKind::kConnectorVarNeverRead, where,
+          written[i] != 0
+              ? "connector variable '" + c.variableName(i) +
+                    "' is written by an up transfer but never read (dead up-chain)"
+              : "connector variable '" + c.variableName(i) + "' is declared but never used"});
+    }
+  }
+  return out;
+}
+
+}  // namespace cbip::analyze

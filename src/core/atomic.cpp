@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <mutex>
 
+#include "analyze/analyze.hpp"
 #include "util/require.hpp"
 
 namespace cbip {
@@ -119,6 +120,7 @@ void AtomicType::compileIfNeeded() const {
   };
   compiled_.clear();
   compiled_.reserve(transitions_.size());
+  const bool doAnalyze = expr::analysisEnabled();
   for (const Transition& t : transitions_) {
     CompiledTransition ct;
     ct.from = t.from;
@@ -142,6 +144,12 @@ void AtomicType::compileIfNeeded() const {
     if (!t.actions.empty()) {
       ct.actionBlock = expr::compileFused(Expr::top(), t.actions, slots);
     }
+    // Analysis-guided pruning (src/analyze): provably constant guards
+    // fold to constant programs, provably safe division checks relax.
+    // Build-time and under the same mutex, so the escape hatch
+    // (CBIP_NO_ANALYZE / setAnalysisEnabled) only affects types compiled
+    // after the toggle — exactly like the compilation switch.
+    if (doAnalyze) analyze::optimizeTransition(ct, variables_.size());
     compiled_.push_back(std::move(ct));
   }
   compiledBuilt_.store(true, std::memory_order_release);

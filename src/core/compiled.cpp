@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdlib>
 
+#include "analyze/analyze.hpp"
 #include "core/system.hpp"
 #include "util/require.hpp"
 
@@ -104,6 +105,42 @@ void CompiledConnector::build(const System& system, const Connector& connector,
     downs_.push_back(std::move(down));
   }
 
+  // Analysis-guided pruning (src/analyze), the connector-side mirror of
+  // the transition pass in AtomicType::compileIfNeeded. The entry frame
+  // at guard time: end-export slots hold component variables, which host
+  // code and the distributed runtime may have set to anything — top;
+  // connector-variable slots were just zeroed by gather — exactly [0, 0].
+  if (expr::analysisEnabled()) {
+    std::vector<analyze::Interval> env(static_cast<std::size_t>(frameSize_),
+                                       analyze::Interval::top());
+    for (std::size_t s = loads_.size(); s < env.size(); ++s) {
+      env[s] = analyze::Interval::singleton(0);
+    }
+    if (!guard_.empty()) {
+      const analyze::ProgramFacts g = analyze::analyzeProgram(guard_, env);
+      if (!g.mayRaise && g.value == analyze::Interval::singleton(0)) {
+        // Dead connector: the guard collapses to the constant-0 program
+        // (never empty — empty means trivially true to guardTrue()).
+        guard_ = expr::ExprProgram::constant(0);
+      } else if (!g.mayRaise && !g.value.isBottom() && !g.value.contains(0)) {
+        guard_ = expr::ExprProgram();
+      } else {
+        analyze::relaxSafeDivChecks(guard_, env);
+      }
+    }
+    analyze::relaxSafeDivChecks(upBlock_, env);
+    // The unfused up programs run sequentially over the live frame, so
+    // each sees the abstract results of the earlier ones; the resulting
+    // environment is what the down transfers evaluate under.
+    for (Up& u : ups_) {
+      analyze::relaxSafeDivChecks(u.value, env);
+      const analyze::ProgramFacts f = analyze::analyzeProgram(u.value, env);
+      env[static_cast<std::size_t>(u.targetSlot)] =
+          f.value.isBottom() ? analyze::Interval::top() : f.value;
+    }
+    for (Down& d : downs_) analyze::relaxSafeDivChecks(d.value, env);
+  }
+
   // Scan form (classic build only — the sharded build serves cross-shard
   // connectors, whose scans go through ShardedSystem's cached masks and
   // the classic gather/evalGuard instead): cached feasible masks, one
@@ -140,6 +177,23 @@ void CompiledConnector::build(const System& system, const Connector& connector,
            port.exports[static_cast<std::size_t>(r.index)];
   };
   if (!connector.guard().isTrue()) scanGuard_ = expr::compile(connector.guard(), scanSlots);
+  // Same pruning for the scan-layout guard: full variable blocks are
+  // top, connector-variable slots (zeroed by gatherScan) are [0, 0].
+  if (expr::analysisEnabled() && !scanGuard_.empty()) {
+    std::vector<analyze::Interval> senv(static_cast<std::size_t>(scanFrameSize_),
+                                        analyze::Interval::top());
+    for (std::int32_t s = scanVarBase_; s < scanFrameSize_; ++s) {
+      senv[static_cast<std::size_t>(s)] = analyze::Interval::singleton(0);
+    }
+    const analyze::ProgramFacts g = analyze::analyzeProgram(scanGuard_, senv);
+    if (!g.mayRaise && g.value == analyze::Interval::singleton(0)) {
+      scanGuard_ = expr::ExprProgram::constant(0);
+    } else if (!g.mayRaise && !g.value.isBottom() && !g.value.contains(0)) {
+      scanGuard_ = expr::ExprProgram();
+    } else {
+      analyze::relaxSafeDivChecks(scanGuard_, senv);
+    }
+  }
 }
 
 void CompiledConnector::gather(const GlobalState& state, std::span<Value> frame) const {

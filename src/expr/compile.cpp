@@ -29,6 +29,15 @@ std::atomic<bool>& fuseFlag() {
   return flag;
 }
 
+std::atomic<bool>& analyzeFlag() {
+  static std::atomic<bool> flag = [] {
+    const char* env = std::getenv("CBIP_NO_ANALYZE");
+    const bool disabled = env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0');
+    return !disabled;
+  }();
+  return flag;
+}
+
 /// Stack slots evaluation needs for `e` (an upper bound once folding
 /// shrinks the program; postfix needs max(lhs, 1 + rhs) for binaries).
 int stackNeed(const Expr& e) {
@@ -564,6 +573,12 @@ Value ExprProgram::exec(std::span<const Value> frame, std::int32_t base, Value* 
         requireEval(!divOverflows(stack[sp - 1], stack[sp]), "integer overflow in modulo");
         stack[sp - 1] %= stack[sp];
         break;
+      // The unchecked twins exist only downstream of an analysis proof
+      // that the divisor excludes 0 and the INT64_MIN / -1 corner cannot
+      // occur (relaxDivCheck); the elided requireEval calls are the whole
+      // point of the relaxation.
+      case OpCode::kDivUnchecked: --sp; stack[sp - 1] /= stack[sp]; break;
+      case OpCode::kModUnchecked: --sp; stack[sp - 1] %= stack[sp]; break;
       case OpCode::kMin:
         --sp;
         if (stack[sp] < stack[sp - 1]) stack[sp - 1] = stack[sp];
@@ -600,6 +615,25 @@ Value ExprProgram::exec(std::span<const Value> frame, std::int32_t base, Value* 
   }
   requireEval(sp == 1, "ExprProgram::run: corrupt program (stack imbalance)");
   return stack[0];
+}
+
+ExprProgram ExprProgram::constant(Value v) {
+  ExprProgram p;
+  p.code_.push_back(Instr{OpCode::kPush, 0, v});
+  p.maxStack_ = 1;
+  return p;
+}
+
+void ExprProgram::relaxDivCheck(std::size_t pc) {
+  require(pc < code_.size(), "relaxDivCheck: pc out of range");
+  Instr& in = code_[pc];
+  if (in.op == OpCode::kDiv) {
+    in.op = OpCode::kDivUnchecked;
+  } else if (in.op == OpCode::kMod) {
+    in.op = OpCode::kModUnchecked;
+  } else {
+    require(false, "relaxDivCheck: pc does not hold a checked division");
+  }
 }
 
 ExprProgram compile(const Expr& e, const SlotMap& slots) {
@@ -641,5 +675,9 @@ void setCompilationEnabled(bool on) { compileFlag().store(on, std::memory_order_
 bool fusionEnabled() { return fuseFlag().load(std::memory_order_relaxed); }
 
 void setFusionEnabled(bool on) { fuseFlag().store(on, std::memory_order_relaxed); }
+
+bool analysisEnabled() { return analyzeFlag().load(std::memory_order_relaxed); }
+
+void setAnalysisEnabled(bool on) { analyzeFlag().store(on, std::memory_order_relaxed); }
 
 }  // namespace cbip::expr

@@ -74,6 +74,13 @@ enum class OpCode : std::uint8_t {
   kStore,    // pop v; frame[base + arg] := v (requires the mutable-frame run)
   kTee,      // temp[arg] := stack top (no pop) — parks a CSE value
   kLoadTmp,  // push temp[arg]
+  // Analysis-relaxed division (src/analyze): kDiv/kMod with the
+  // zero-divisor and INT64_MIN / -1 checks elided. Only ever produced by
+  // ExprProgram::relaxDivCheck after the abstract interpreter proved the
+  // site can never raise; executing one with a zero divisor is UB (which
+  // is exactly what the sanitizer CI legs would catch on an analyzer bug).
+  kDivUnchecked,
+  kModUnchecked,
 };
 
 struct Instr {
@@ -124,6 +131,23 @@ class ExprProgram {
 
   /// True when the program writes the frame (holds kStore instructions).
   bool storesFrame() const { return hasStores_; }
+
+  /// Evaluation-stack slots the program needs (analysis sizes its abstract
+  /// stack from this) and CSE temp registers it uses.
+  int maxStack() const { return maxStack_; }
+  int tempCount() const { return tempCount_; }
+
+  /// The single-instruction program `Push v`. The analysis layer stamps a
+  /// guard proven constant out with one of these (never an *empty*
+  /// program: empty means trivially true to every dispatch site).
+  static ExprProgram constant(Value v);
+
+  /// Replaces the kDiv/kMod at `pc` with its unchecked twin (see the
+  /// OpCode comment). Caller contract: the abstract interpreter proved
+  /// the site can never raise — this is the only sanctioned mutation of a
+  /// built program, used by analyze::relaxSafeDivChecks. Throws
+  /// ModelError when `pc` does not hold a checked division.
+  void relaxDivCheck(std::size_t pc);
 
   /// Batch evaluation over one shared frame: `out[i] =
   /// ops[i].program->run(frame, ops[i].base)` for every i, in order, with
@@ -202,5 +226,19 @@ bool compilationEnabled();
 /// Overrides the compilation switch (differential tests and benchmarks
 /// toggle this to compare the two evaluation paths in one process).
 void setCompilationEnabled(bool on);
+
+/// True when the build layer should run the abstract interpreter over
+/// freshly compiled programs and apply analysis-guided pruning (guard
+/// constant-folding, division-check relaxation — see src/analyze);
+/// defaults to true unless the CBIP_NO_ANALYZE environment variable is
+/// set to a non-empty value other than "0". Consulted at *build* time
+/// (AtomicType::compileIfNeeded, CompiledConnector::build, the D-Finder
+/// guard-feasibility feed), not per dispatch: toggling it affects
+/// programs compiled afterwards.
+bool analysisEnabled();
+
+/// Overrides the analysis switch (differential tests and benchmarks
+/// toggle this to compare analyzed and unanalyzed builds in one process).
+void setAnalysisEnabled(bool on);
 
 }  // namespace cbip::expr

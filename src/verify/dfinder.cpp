@@ -3,6 +3,7 @@
 #include <map>
 #include <ostream>
 
+#include "analyze/analyze.hpp"
 #include "sat/solver.hpp"
 #include "util/require.hpp"
 
@@ -77,6 +78,40 @@ std::vector<Place> trapExcluding(const System& system, const InteractionNet& net
 
 }  // namespace
 
+std::size_t strengthenWithAnalysis(const System& system,
+                                   std::vector<ComponentInvariant>& componentInvariants) {
+  // typeIntervals is per type, not per instance — compute it once however
+  // many instances share the type.
+  std::map<const AtomicType*, std::vector<analyze::Interval>> cache;
+  std::size_t pruned = 0;
+  for (std::size_t i = 0; i < system.instanceCount() && i < componentInvariants.size(); ++i) {
+    const AtomicType& type = *system.instance(i).type;
+    auto it = cache.find(&type);
+    if (it == cache.end()) it = cache.emplace(&type, analyze::typeIntervals(type)).first;
+    const std::vector<analyze::Interval>& intervals = it->second;
+    const analyze::IntervalEnv env = [&intervals](expr::VarRef r) {
+      if (r.scope != 0 || r.index < 0 ||
+          static_cast<std::size_t>(r.index) >= intervals.size()) {
+        return analyze::Interval::top();
+      }
+      return intervals[static_cast<std::size_t>(r.index)];
+    };
+    ComponentInvariant& inv = componentInvariants[i];
+    for (std::size_t ti = 0; ti < type.transitionCount() && ti < inv.guardFeasible.size();
+         ++ti) {
+      if (!inv.guardFeasible[ti]) continue;  // already proven by exploration
+      const Transition& t = type.transition(static_cast<int>(ti));
+      if (t.guard.isTrue()) continue;
+      const analyze::ExprFacts g = analyze::analyzeExpr(t.guard, env);
+      if (!g.mayRaise && g.value == analyze::Interval::singleton(0)) {
+        inv.guardFeasible[ti] = false;
+        ++pruned;
+      }
+    }
+  }
+  return pruned;
+}
+
 DFinderResult checkDeadlockFreedom(const System& system, const DFinderOptions& options) {
   system.validate();
   std::vector<ComponentInvariant> invs;
@@ -84,6 +119,9 @@ DFinderResult checkDeadlockFreedom(const System& system, const DFinderOptions& o
   for (std::size_t i = 0; i < system.instanceCount(); ++i) {
     invs.push_back(componentInvariant(*system.instance(i).type, options.component));
   }
+  // The abstract-interpretation feed runs before the interaction net is
+  // built so provably-dead guards vanish from both DIS and the net.
+  if (expr::analysisEnabled()) strengthenWithAnalysis(system, invs);
   return checkDeadlockFreedomWith(system, std::move(invs), {});
 }
 

@@ -48,6 +48,19 @@ struct DFinderResult {
   std::size_t booleanVariables = 0;
 };
 
+/// Strengthens component invariants with facts from the abstract
+/// interpreter (src/analyze): every transition whose guard is provably
+/// false under the component's per-variable value intervals
+/// (analyze::typeIntervals — the same reachable-in-isolation contract as
+/// componentInvariant) has guardFeasible cleared, shrinking the DIS
+/// enablement sources and the interaction net before the SAT encoding.
+/// Returns the number of guards newly proven infeasible.
+/// checkDeadlockFreedom applies this automatically while
+/// expr::analysisEnabled(); callers of checkDeadlockFreedomWith that
+/// build their own invariants may call it directly.
+std::size_t strengthenWithAnalysis(const System& system,
+                                   std::vector<ComponentInvariant>& componentInvariants);
+
 /// Runs the full D-Finder pipeline on `system`.
 DFinderResult checkDeadlockFreedom(const System& system, const DFinderOptions& options = {});
 

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "analyze/analyze.hpp"
 #include "core/semantics.hpp"
 #include "engine/engine.hpp"
 #include "engine/engine_mt.hpp"
@@ -421,27 +422,39 @@ std::vector<Value> randomVars(Rng& rng) {
 class FusedDifferential : public ::testing::TestWithParam<int> {};
 
 TEST_P(FusedDifferential, FusedUnfusedAndInterpreterAgree) {
-  // One random guarded command, three dispatch strategies: the fused
-  // program, the unfused guard + per-action programs, and the tree-walking
-  // interpreter. All three must agree on (a) whether evaluation raised,
+  // One random guarded command, four dispatch strategies: the fused
+  // program, the analyzed fused program (provably-safe division checks
+  // relaxed under the all-top environment, as build-time pruning does),
+  // the unfused guard + per-action programs, and the tree-walking
+  // interpreter. All must agree on (a) whether evaluation raised,
   // (b) whether the guard held, and (c) the final variable store — which
   // includes the partial writes of an action block whose later action
-  // raised.
+  // raised. randomVars seasons the stores with kMin/kMax/-1, so the
+  // guaranteed-raise vectors (zero divisors, INT64_MIN / -1) are hit.
   Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729);
+  const std::vector<analyze::Interval> topEnv(4, analyze::Interval::top());
   for (int round = 0; round < 200; ++round) {
     const Expr guard = randomExpr(rng, 3);
     const std::vector<Assign> actions = randomActions(rng);
     const ExprProgram fused = expr::compileFused(guard, actions, localSlot);
+    ExprProgram relaxed = fused;
+    analyze::relaxSafeDivChecks(relaxed, topEnv);
     for (int k = 0; k < 10; ++k) {
       std::vector<Value> fusedVars = randomVars(rng);
+      std::vector<Value> relaxedVars = fusedVars;
       std::vector<Value> unfusedVars = fusedVars;
       std::vector<Value> interpVars = fusedVars;
       const auto viaFused = runFused(fused, fusedVars);
+      const auto viaRelaxed = runFused(relaxed, relaxedVars);
       const auto viaUnfused = runUnfused(guard, actions, unfusedVars);
       const auto viaInterp = runInterpreted(guard, actions, interpVars);
       // Fused vs unfused: identical, error for error.
       ASSERT_EQ(viaFused, viaUnfused) << guard.toString() << " round " << round;
       ASSERT_EQ(fusedVars, unfusedVars) << guard.toString() << " round " << round;
+      // Analyzed (relaxed) fused program: bit-identical behaviour — the
+      // relaxation only rewrites sites proven unable to raise.
+      ASSERT_EQ(viaFused, viaRelaxed) << guard.toString() << " round " << round;
+      ASSERT_EQ(fusedVars, relaxedVars) << guard.toString() << " round " << round;
       // Interpreter: same outcome; which doomed subexpression raises
       // first may differ (divisor-before-dividend order), so compare the
       // store only on non-raising rounds.

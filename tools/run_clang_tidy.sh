@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Ratcheted clang-tidy driver: lint only the .cpp files the current
+# change touches (vs the merge base), with warnings promoted to errors.
+# New and modified code must be clean under .clang-tidy; untouched files
+# are never revisited, so adopting stricter checks needs no tree-wide
+# cleanup first.
+#
+# Usage: tools/run_clang_tidy.sh BUILD_DIR [BASE_REF]
+#   BUILD_DIR  cmake build directory containing compile_commands.json
+#   BASE_REF   diff base (default: merge-base with origin/main, falling
+#              back to HEAD~1 on shallow or detached checkouts)
+set -euo pipefail
+
+BUILD_DIR=${1:?usage: $0 BUILD_DIR [BASE_REF]}
+BASE_REF=${2:-}
+
+if [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
+  echo "error: $BUILD_DIR/compile_commands.json not found" \
+       "(configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON)" >&2
+  exit 2
+fi
+
+if [[ -z "$BASE_REF" ]]; then
+  BASE_REF=$(git merge-base origin/main HEAD 2>/dev/null) ||
+    BASE_REF=$(git rev-parse HEAD~1 2>/dev/null) ||
+    BASE_REF=""
+  # Direct push to main: the merge base IS HEAD and the diff would be
+  # empty — ratchet over the pushed commit instead.
+  if [[ -n "$BASE_REF" && "$BASE_REF" == "$(git rev-parse HEAD)" ]]; then
+    BASE_REF=$(git rev-parse HEAD~1 2>/dev/null) || BASE_REF=""
+  fi
+fi
+
+# Touched .cpp files under the linted roots. Only translation units: a
+# header edit shows up through the TUs that include it on the next touch,
+# and headers alone have no compile command to lint against.
+if [[ -n "$BASE_REF" ]]; then
+  mapfile -t files < <(git diff --name-only --diff-filter=d "$BASE_REF"...HEAD -- \
+    'src/**/*.cpp' 'tools/*.cpp' | sort -u)
+else
+  # No usable base (fresh history): lint everything once.
+  mapfile -t files < <(git ls-files 'src/**/*.cpp' 'tools/*.cpp' | sort -u)
+fi
+
+if [[ ${#files[@]} -eq 0 ]]; then
+  echo "run_clang_tidy: no touched .cpp files vs ${BASE_REF:-<none>}; nothing to lint"
+  exit 0
+fi
+
+echo "run_clang_tidy: linting ${#files[@]} file(s) vs ${BASE_REF:-<full tree>}:"
+printf '  %s\n' "${files[@]}"
+
+clang-tidy -p "$BUILD_DIR" --warnings-as-errors='*' --quiet "${files[@]}"
+echo "run_clang_tidy: clean"
