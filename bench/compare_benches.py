@@ -5,7 +5,8 @@ committed baseline and fail on large throughput regressions.
 Usage: bench/compare_benches.py BASELINE_JSON NEW_JSON [--max-regression PCT]
 
 Both files are the merged format emitted by bench/run_benches.sh
-({"bench_engine": {...}, "bench_sharded": {...}}). Two tiers of checks:
+({"bench_engine": {...}, "bench_sharded": {...}, "bench_expr": {...},
+"bench_dfinder": {...}}). Two tiers of checks:
 
 * Ratio gates (always enforced): same-run A/B ratios — the batched scan
   over the scalar scan, the compiled engine over the interpreted one.
@@ -45,6 +46,12 @@ KEY_RATIOS = [
      "BM_SequentialEngineFusedVsUnfused/0"),
     ("bench_engine", "BM_SequentialEngineAnalyzedVsUnanalyzed/1",
      "BM_SequentialEngineAnalyzedVsUnanalyzed/0"),
+    ("bench_engine", "BM_SequentialEngineThreadedVsSwitch/1",
+     "BM_SequentialEngineThreadedVsSwitch/0"),
+    ("bench_expr", "BM_DispatchThreadedVsSwitch/1", "BM_DispatchThreadedVsSwitch/0"),
+    ("bench_expr", "BM_BatchBlockedVsScalar/1", "BM_BatchBlockedVsScalar/0"),
+    ("bench_dfinder", "BM_DFinderPhilosophersAnalyzedVsUnanalyzed/1",
+     "BM_DFinderPhilosophersAnalyzedVsUnanalyzed/0"),
 ]
 
 # Absolute throughput counters, only comparable on matching context.
@@ -53,6 +60,8 @@ KEY_COUNTERS = [
     ("bench_engine", "BM_EnabledScan/256/1"),
     ("bench_sharded", "BM_SequentialEngine256"),
     ("bench_sharded", "BM_ShardedEngine256/4/real_time"),
+    ("bench_dfinder", "BM_DFinderPhilosophers/8"),
+    ("bench_dfinder", "BM_DFinderGasStation/4"),
 ]
 
 

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Runs the engine benchmark suite and emits a single BENCH_engine.json.
+# Runs the benchmark suites and emits a single BENCH_engine.json.
 #
 # Usage: bench/run_benches.sh [BUILD_DIR] [OUTPUT_JSON]
 #   BUILD_DIR    CMake build tree containing the bench_* executables
@@ -17,7 +17,12 @@ BUILD_DIR="${1:-build}"
 OUT="${2:-BENCH_engine.json}"
 : "${BENCH_ARGS:=--benchmark_min_time=0.05}"
 
-for bench in bench_engine bench_sharded; do
+# The merged file keys each suite's google-benchmark JSON by binary name;
+# compare_benches.py gates ratios/counters across all of them (engine and
+# scan throughput, VM dispatch, sharded scaling, D-Finder verification).
+SUITES=(bench_engine bench_sharded bench_expr bench_dfinder)
+
+for bench in "${SUITES[@]}"; do
   if [[ ! -x "$BUILD_DIR/$bench" ]]; then
     echo "error: $BUILD_DIR/$bench not found or not executable" >&2
     echo "       (configure with google-benchmark installed: the bench_*" >&2
@@ -29,17 +34,24 @@ done
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
 
-for bench in bench_engine bench_sharded; do
+# bench_dfinder's scaling table prints to stdout (it would corrupt the
+# JSON stream) and takes minutes; suppress it for the merged run.
+export CBIP_BENCH_NO_TABLE=1
+
+for bench in "${SUITES[@]}"; do
   echo "== $bench $BENCH_ARGS" >&2
   # shellcheck disable=SC2086  # BENCH_ARGS is intentionally word-split
   "$BUILD_DIR/$bench" --benchmark_format=json $BENCH_ARGS > "$tmpdir/$bench.json"
 done
 
 {
-  printf '{\n"bench_engine":\n'
-  cat "$tmpdir/bench_engine.json"
-  printf ',\n"bench_sharded":\n'
-  cat "$tmpdir/bench_sharded.json"
+  printf '{'
+  sep=''
+  for bench in "${SUITES[@]}"; do
+    printf '%s\n"%s":\n' "$sep" "$bench"
+    cat "$tmpdir/$bench.json"
+    sep=','
+  done
   printf '}\n'
 } > "$OUT"
 
