@@ -70,14 +70,63 @@ def load(path):
         merged = json.load(f)
     counters = {}
     context = {}
+    obs = {}
     for suite, payload in merged.items():
         ctx = payload.get("context", {})
         context[suite] = (ctx.get("host_name"), ctx.get("num_cpus"))
+        obs[suite] = payload.get("obs", {}).get("counters", {})
         for bench in payload.get("benchmarks", []):
             ips = bench.get("items_per_second")
             if ips is not None:
                 counters[(suite, bench["name"])] = ips
-    return counters, context
+    return counters, context, obs
+
+
+def report_obs(base_obs, new_obs):
+    """Informational (never gating) report of the telemetry counters each
+    suite exported (src/obs, attached by run_benches.sh): execution-path
+    mix shifts — batch-scan hit rate dropping, EvalError scalar replays
+    appearing — that a pure timing diff cannot attribute."""
+
+    def rate(counters, hits, *alternatives):
+        total = counters.get(hits, 0) + sum(counters.get(a, 0) for a in alternatives)
+        return (counters.get(hits, 0) / total) if total else None
+
+    derived = [
+        ("batch-scan hit rate",
+         lambda c: rate(c, "scan.batch.calls", "scan.scalar.calls",
+                        "scan.interp.calls")),
+        ("sharded batch-scan hit rate",
+         lambda c: rate(c, "shard.scan.batch.calls", "shard.scan.scalar.calls")),
+        ("tryfire hit rate",
+         lambda c: (c.get("vm.tryfire.hits", 0) / c["vm.tryfire.calls"]
+                    if c.get("vm.tryfire.calls") else None)),
+        ("block replays", lambda c: c.get("vm.batch.replays")),
+        ("block lanes/block",
+         lambda c: (c["vm.batch.block_lanes"] / c["vm.batch.blocks"]
+                    if c.get("vm.batch.blocks") else None)),
+        ("cross-shard conflicts",
+         lambda c: c.get("engine.sharded.cross.conflicts")),
+        ("stalled epochs", lambda c: c.get("engine.sharded.epochs.stalled")),
+    ]
+    printed_header = False
+    for suite in sorted(set(base_obs) | set(new_obs)):
+        b, n = base_obs.get(suite, {}), new_obs.get(suite, {})
+        if not b and not n:
+            continue
+        lines = []
+        for label, fn in derived:
+            bv, nv = fn(b), fn(n)
+            if bv is None and nv is None:
+                continue
+            fmt = lambda v: "n/a" if v is None else (
+                f"{v:.1%}" if isinstance(v, float) and "rate" in label else f"{v:g}")
+            lines.append(f"  {suite}: {label}  {fmt(bv)} -> {fmt(nv)}")
+        if lines and not printed_header:
+            print("\nobs counter deltas (informational, never gating):")
+            printed_header = True
+        for line in lines:
+            print(line)
 
 
 def main():
@@ -92,8 +141,8 @@ def main():
     )
     args = parser.parse_args()
 
-    base, baseCtx = load(args.baseline)
-    new, newCtx = load(args.new)
+    base, baseCtx, baseObs = load(args.baseline)
+    new, newCtx, newObs = load(args.new)
     floor = 1.0 - args.max_regression / 100.0
     failures = []
 
@@ -138,6 +187,8 @@ def main():
                   f"{newCtx.get(suite)}; absolute throughput not comparable)")
             continue
         check(f"{suite}:{name} [items/s]", base[(suite, name)], new[(suite, name)])
+
+    report_obs(baseObs, newObs)
 
     if failures:
         print(f"\nbench-regression gate FAILED ({len(failures)} check(s)):",

@@ -40,19 +40,45 @@ export CBIP_BENCH_NO_TABLE=1
 
 for bench in "${SUITES[@]}"; do
   echo "== $bench $BENCH_ARGS" >&2
+  # Each suite also dumps its telemetry snapshot (src/obs) at exit; the
+  # merge attaches it under the suite's "obs" key so counter-level deltas
+  # (batch-scan hit rate, EvalError replays) ride along with the timings.
   # shellcheck disable=SC2086  # BENCH_ARGS is intentionally word-split
-  "$BUILD_DIR/$bench" --benchmark_format=json $BENCH_ARGS > "$tmpdir/$bench.json"
+  CBIP_OBS_EXPORT="$tmpdir/$bench.obs.json" \
+    "$BUILD_DIR/$bench" --benchmark_format=json $BENCH_ARGS > "$tmpdir/$bench.json"
 done
 
-{
-  printf '{'
-  sep=''
-  for bench in "${SUITES[@]}"; do
-    printf '%s\n"%s":\n' "$sep" "$bench"
-    cat "$tmpdir/$bench.json"
-    sep=','
-  done
-  printf '}\n'
-} > "$OUT"
+# Merge, stamping provenance (git SHA, dirty flag, CMake build type) into
+# every suite's context block so a committed baseline records exactly
+# which tree produced it.
+GIT_SHA="$(git -C "$(dirname "$0")/.." rev-parse --short HEAD 2>/dev/null || echo unknown)"
+if ! git -C "$(dirname "$0")/.." diff --quiet HEAD 2>/dev/null; then
+  GIT_SHA="$GIT_SHA-dirty"
+fi
+BUILD_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD_DIR/CMakeCache.txt" 2>/dev/null | head -1)"
+
+SUITES_CSV="$(IFS=,; echo "${SUITES[*]}")" \
+TMPDIR_BENCH="$tmpdir" GIT_SHA="$GIT_SHA" BUILD_TYPE="${BUILD_TYPE:-unknown}" \
+python3 - "$OUT" <<'PYEOF'
+import json, os, sys
+
+out = sys.argv[1]
+tmpdir = os.environ["TMPDIR_BENCH"]
+merged = {}
+for suite in os.environ["SUITES_CSV"].split(","):
+    with open(os.path.join(tmpdir, suite + ".json")) as f:
+        payload = json.load(f)
+    payload.setdefault("context", {})
+    payload["context"]["git_sha"] = os.environ["GIT_SHA"]
+    payload["context"]["build_type"] = os.environ["BUILD_TYPE"]
+    obs_path = os.path.join(tmpdir, suite + ".obs.json")
+    if os.path.exists(obs_path):
+        with open(obs_path) as f:
+            payload["obs"] = json.load(f)
+    merged[suite] = payload
+with open(out, "w") as f:
+    json.dump(merged, f, indent=1)
+    f.write("\n")
+PYEOF
 
 echo "wrote $OUT" >&2

@@ -4,9 +4,18 @@
 #include <mutex>
 
 #include "analyze/analyze.hpp"
+#include "obs/obs.hpp"
 #include "util/require.hpp"
 
 namespace cbip {
+
+namespace {
+// Telemetry (src/obs): guard-then-fire collapse rate of the fused
+// dispatch path (engine/engine.hpp runInternal tau settling is the main
+// caller). Counts only, never steers.
+const obs::Counter g_tryFireCalls("vm.tryfire.calls");
+const obs::Counter g_tryFireHits("vm.tryfire.hits");
+}  // namespace
 
 int AtomicType::addLocation(const std::string& name) {
   locations_.push_back(name);
@@ -363,6 +372,7 @@ void fire(const AtomicType& type, AtomicState& state, const Transition& t) {
 }
 
 bool tryFire(const AtomicType& type, AtomicState& state, int ti) {
+  g_tryFireCalls.add();
   if (!expr::compilationEnabled()) {
     const Transition& t = type.transition(ti);
     if (t.from != state.location) {
@@ -372,6 +382,7 @@ bool tryFire(const AtomicType& type, AtomicState& state, int ti) {
     expr::VecContext ctx(state.vars);
     expr::applyAssignments(t.actions, ctx);
     state.location = t.to;
+    g_tryFireHits.add();
     return true;
   }
   const CompiledTransition& ct = type.compiledTransition(ti);
@@ -385,6 +396,7 @@ bool tryFire(const AtomicType& type, AtomicState& state, int ti) {
     // Trivial guard, no actions: the dispatch is a bare location move.
     if (!ct.fused.empty() && ct.fused.run(std::span<Value>(state.vars), 0) == 0) return false;
     state.location = ct.to;
+    g_tryFireHits.add();
     return true;
   }
   // Unfused escape hatch: guard dispatch, then one dispatch per action.
@@ -393,6 +405,7 @@ bool tryFire(const AtomicType& type, AtomicState& state, int ti) {
     state.vars[static_cast<std::size_t>(a.target)] = a.value.run(state.vars);
   }
   state.location = ct.to;
+  g_tryFireHits.add();
   return true;
 }
 

@@ -4,11 +4,22 @@
 #include <bit>
 #include <optional>
 
+#include "obs/obs.hpp"
 #include "util/require.hpp"
 
 namespace cbip {
 
 namespace {
+
+// Telemetry (src/obs): which scan path served each connector refresh, and
+// how large the incremental cache's per-step dirty sets run. Counts only,
+// never steers — enabled sets are bit-identical on every path.
+const obs::Counter g_scanBatch("scan.batch.calls");
+const obs::Counter g_scanScalar("scan.scalar.calls");
+const obs::Counter g_scanInterp("scan.interp.calls");
+const obs::Counter g_cacheUpdates("cache.updates");
+const obs::Counter g_cacheRecomputes("cache.recomputes");
+const obs::Histogram g_cacheDirty("cache.dirty_connectors");
 
 /// Resolves connector expressions against a global state: scope >= 0 is
 /// the scope-th end's exported variable, kConnectorScope the connector's
@@ -68,6 +79,7 @@ void appendConnectorInteractions(const System& system, const GlobalState& state,
                                  std::size_t ci, std::vector<EnabledInteraction>& out) {
   const Connector& c = system.connector(ci);
   if (expr::compilationEnabled() && batchScanEnabled()) {
+    g_scanBatch.add();
     // Batched scan: one gathered frame, every transition guard in one
     // bytecode pass, mask set by bit operations over the cached feasible
     // masks (see CompiledConnector::scanEnabled). Scratch reused across
@@ -93,6 +105,7 @@ void appendConnectorInteractions(const System& system, const GlobalState& state,
     }
     return;
   }
+  (expr::compilationEnabled() ? g_scanScalar : g_scanInterp).add();
   // Per-end enabled transitions, computed once per connector.
   std::vector<std::vector<int>> endEnabled(c.endCount());
   for (std::size_t e = 0; e < c.endCount(); ++e) {
@@ -202,19 +215,24 @@ void EnabledInteractionCache::reset(const GlobalState& state) {
 
 void EnabledInteractionCache::update(const GlobalState& state,
                                      std::span<const int> dirtyInstances) {
+  g_cacheUpdates.add();
   for (int inst : dirtyInstances) {
     for (int ci : system_->connectorsOf(static_cast<std::size_t>(inst))) {
       connectorQueued_[static_cast<std::size_t>(ci)] = 1;
     }
   }
+  std::uint64_t recomputed = 0;
   for (int inst : dirtyInstances) {
     for (int ci : system_->connectorsOf(static_cast<std::size_t>(inst))) {
       auto& queued = connectorQueued_[static_cast<std::size_t>(ci)];
       if (!queued) continue;  // already recomputed via an earlier instance
       queued = 0;
       recomputeConnector(static_cast<std::size_t>(ci), state);
+      ++recomputed;
     }
   }
+  g_cacheRecomputes.add(recomputed);
+  g_cacheDirty.observe(static_cast<std::int64_t>(recomputed));
 }
 
 void EnabledInteractionCache::updateAfterExecute(const GlobalState& state,

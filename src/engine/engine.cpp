@@ -1,8 +1,16 @@
 #include "engine/engine.hpp"
 
+#include "obs/obs.hpp"
 #include "util/require.hpp"
 
 namespace cbip {
+
+namespace {
+// Telemetry (src/obs): counts only, never steers — traces are
+// bit-identical with observability on, off, or compiled out.
+const obs::Counter g_seqSteps("engine.seq.steps");
+const obs::Counter g_seqRuns("engine.seq.runs");
+}  // namespace
 
 SequentialEngine::SequentialEngine(const System& system, SchedulingPolicy& policy)
     : system_(&system), policy_(&policy) {
@@ -19,6 +27,7 @@ RunResult SequentialEngine::run(const RunOptions& options) {
 }
 
 RunResult SequentialEngine::run(GlobalState start, const RunOptions& options) {
+  g_seqRuns.add();
   RunResult result;
   result.finalState = std::move(start);
   // Settle initial tau steps so offers reflect stable states.
@@ -59,6 +68,7 @@ RunResult SequentialEngine::run(GlobalState start, const RunOptions& options) {
     execute(*system_, result.finalState, ei, choice);
     if (cache) cache->updateAfterExecute(result.finalState, ei);
     ++result.steps;
+    g_seqSteps.add();
     if (options.recordTrace) {
       result.trace.events.push_back(TraceEvent{
           step, ei.connector, ei.mask, interactionLabel(*system_, ei)});

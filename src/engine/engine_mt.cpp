@@ -7,11 +7,16 @@
 #include <thread>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "util/require.hpp"
 
 namespace cbip {
 
 namespace {
+
+// Telemetry (src/obs): counts only, never steers.
+const obs::Counter g_mtSteps("engine.mt.steps");
+const obs::Histogram g_mtBatchSize("engine.mt.batch_size");
 
 /// Command sent from the engine to a component worker thread.
 struct ExecuteCommand {
@@ -198,6 +203,9 @@ RunResult MultiThreadEngine::run(const MtOptions& options) {
       }
       candidates = std::move(rest);
     }
+
+    g_mtSteps.add(batch.size());
+    g_mtBatchSize.observe(static_cast<std::int64_t>(batch.size()));
 
     // Connector data transfer centrally, then parallel dispatch.
     std::vector<int> dispatched;

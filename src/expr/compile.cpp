@@ -5,11 +5,18 @@
 #include <string>
 #include <unordered_map>
 
+#include "obs/obs.hpp"
 #include "util/require.hpp"
 
 namespace cbip::expr {
 
 namespace {
+
+// Telemetry (src/obs): counts only, never steers evaluation.
+const obs::Counter g_batchBlocks("vm.batch.blocks");
+const obs::Counter g_batchLanes("vm.batch.block_lanes");
+const obs::Counter g_batchScalarOps("vm.batch.scalar_ops");
+const obs::Counter g_batchReplays("vm.batch.replays");
 
 std::atomic<bool>& compileFlag() {
   static std::atomic<bool> flag = [] {
@@ -710,9 +717,12 @@ void ExprProgram::runBatch(std::span<const BatchOp> ops, std::span<const Value> 
           const std::size_t lanes = std::min(kBatchLanes, j - b);
           const std::size_t needLanes = static_cast<std::size_t>(p.batchMaxStack_) * lanes;
           if (laneBuf.size() < needLanes) laneBuf.resize(needLanes);
+          g_batchBlocks.add();
+          g_batchLanes.add(lanes);
           try {
             p.execBlock(ops.subspan(b, lanes), frame, laneBuf.data(), out.subspan(b, lanes));
           } catch (const EvalError&) {
+            g_batchReplays.add();
             for (std::size_t k = b; k < b + lanes; ++k) {
               out[k] = p.exec(frame, ops[k].base, stack);
             }
@@ -723,6 +733,7 @@ void ExprProgram::runBatch(std::span<const BatchOp> ops, std::span<const Value> 
         continue;
       }
     }
+    g_batchScalarOps.add(j - i);
     for (; i < j; ++i) {
 #if CBIP_HAS_COMPUTED_GOTO
       if (accelerated && !ops[i].program->threaded_.empty()) {

@@ -1,14 +1,27 @@
 #include "net/network.hpp"
 
+#include "obs/obs.hpp"
 #include "util/require.hpp"
 
 namespace cbip::net {
+
+namespace {
+// Telemetry (src/obs): counts only; the latency histogram is in virtual
+// time units (queueing included), not wall clock.
+const obs::Counter g_sent("net.sent");
+const obs::Counter g_delivered("net.delivered");
+const obs::Counter g_commits("net.commits");
+const obs::Histogram g_latency("net.latency");
+}  // namespace
 
 void Context::send(NodeId to, int type, std::vector<std::int64_t> payload) {
   network_->post(self_, to, type, std::move(payload), now_);
 }
 
-void Context::commit() { ++network_->commits_; }
+void Context::commit() {
+  g_commits.add();
+  ++network_->commits_;
+}
 
 Network::Network(std::uint64_t seed, Latency latency, Time processing)
     : rng_(seed), latency_(latency), processing_(processing) {
@@ -36,7 +49,8 @@ void Network::post(NodeId from, NodeId to, int type, std::vector<std::int64_t> p
   Time& last = lastDelivery_[static_cast<std::size_t>(from)][static_cast<std::size_t>(to)];
   if (at < last) at = last;
   last = at;
-  queue_.push(Event{at, seq_++, Message{from, to, type, std::move(payload)}});
+  g_sent.add();
+  queue_.push(Event{at, now, seq_++, Message{from, to, type, std::move(payload)}});
 }
 
 RunStats Network::run(const RunLimits& limits) {
@@ -67,6 +81,8 @@ RunStats Network::run(const RunLimits& limits) {
     ++events;
     ++deliveredPerNode_[static_cast<std::size_t>(ev.message.to)];
     ++stats.deliveredMessages;
+    g_delivered.add();
+    g_latency.observe(static_cast<std::int64_t>(now_ - ev.sentAt));
     Context ctx(*this, ev.message.to, now_);
     nodes_[static_cast<std::size_t>(ev.message.to)]->onMessage(ev.message, ctx);
   }

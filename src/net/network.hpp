@@ -113,6 +113,7 @@ class Network {
 
   struct Event {
     Time at = 0;
+    Time sentAt = 0;        // virtual send instant (telemetry: latency)
     std::uint64_t seq = 0;  // tie-break: preserves determinism
     Message message;
   };

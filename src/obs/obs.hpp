@@ -1,0 +1,262 @@
+// Engine-wide telemetry: a lock-free counters/gauges registry with
+// thread-local sharded accumulation.
+//
+// Rigorous system design demands that claims about a system be backed by
+// evidence from the artifact itself; this module is the instrumentation
+// substrate every "measure then optimize" PR consumes. The hot layers
+// (engines, VM, enabled-set scan, D-Finder/SAT, simulated network) record
+// into named metrics through the handles below; `snapshot()` folds the
+// per-thread cells into one consistent view and `toJson()` exports it.
+//
+// Recording discipline (the part that must not slow the engines down):
+//   * every metric handle resolves its name to a small integer id once,
+//     at construction (registration is mutex-protected and cold);
+//   * add()/observe()/record() touch only a thread-local cell block —
+//     one relaxed atomic load (the runtime toggle), one bounds check,
+//     one relaxed atomic add. No locks, no sharing, no false sharing
+//     between recording threads;
+//   * snapshot() is RCU-flavored: writers never block or wait for it. It
+//     takes the registry mutex (against registration and thread
+//     retirement only) and sums the live blocks with relaxed loads plus
+//     the retired totals of exited threads. A snapshot is therefore a
+//     consistent-enough view: monotone, and exact whenever the recording
+//     threads are quiescent (joined), which is when the engines read it.
+//
+// Escape hatches, mirroring the execution-layer ones:
+//   * runtime: the CBIP_NO_OBS environment variable (or setEnabled(false))
+//     turns every recording call into a single load-and-branch;
+//   * build: the CBIP_NO_OBS *compile definition* (CMake option
+//     -DCBIP_NO_OBS=ON) compiles the whole recording layer to true no-ops
+//     — empty inline bodies, no registry, no thread-locals — for the
+//     zero-overhead baseline builds. The snapshot/export API survives
+//     (returning empty data) so tools and tests build either way.
+//
+// Traces and results must be bit-identical with observability on, off,
+// or compiled out: telemetry only ever counts, it never steers.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace cbip::obs {
+
+/// One folded view of every registered metric. Counter values are exact
+/// sums over all threads that ever recorded (live threads via their cell
+/// blocks, exited threads via the retired totals).
+struct Snapshot {
+  struct Histogram {
+    std::string name;
+    /// Power-of-two buckets: buckets[0] counts values <= 0, buckets[b]
+    /// (b >= 1) counts values with bit_width == b, the last bucket
+    /// everything wider. count() = sum of buckets.
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t sum = 0;  // sum of observed values (negatives clamp to 0)
+    std::uint64_t count() const {
+      std::uint64_t n = 0;
+      for (std::uint64_t b : buckets) n += b;
+      return n;
+    }
+  };
+
+  std::vector<std::pair<std::string, std::uint64_t>> counters;  // name-sorted
+  std::vector<std::pair<std::string, std::int64_t>> gauges;     // name-sorted
+  std::vector<Histogram> histograms;                            // name-sorted
+
+  /// Value of a counter by exact name; 0 when absent (a metric nobody
+  /// recorded into may legitimately be missing).
+  std::uint64_t counter(std::string_view name) const;
+  /// Histogram by exact name; nullptr when absent.
+  const Histogram* histogram(std::string_view name) const;
+};
+
+/// Serializes a snapshot as one JSON object:
+///   {"counters":{...},"gauges":{...},"histograms":{name:{"buckets":[...],
+///    "sum":N,"count":N}}}
+/// Keys are sorted, output is deterministic.
+std::string toJson(const Snapshot& snapshot);
+
+#if defined(CBIP_NO_OBS)
+
+// ---- compiled-out build: every recording call is a true no-op ----------
+
+inline bool enabled() { return false; }
+inline void setEnabled(bool) {}
+
+class Counter {
+ public:
+  explicit Counter(const char*) {}
+  explicit Counter(const std::string&) {}
+  void add(std::uint64_t = 1) const {}
+};
+
+class Gauge {
+ public:
+  explicit Gauge(const char*) {}
+  explicit Gauge(const std::string&) {}
+  void set(std::int64_t) const {}
+};
+
+class Histogram {
+ public:
+  explicit Histogram(const char*) {}
+  explicit Histogram(const std::string&) {}
+  void observe(std::int64_t) const {}
+};
+
+class Timer {
+ public:
+  explicit Timer(const char*) {}
+  explicit Timer(const std::string&) {}
+  void record(std::uint64_t) const {}
+
+  class Scope {
+   public:
+    explicit Scope(const Timer&) {}
+  };
+};
+
+inline std::uint64_t nowNanos() { return 0; }
+inline Snapshot snapshot() { return {}; }
+inline void resetAll() {}
+
+#else  // !CBIP_NO_OBS
+
+namespace detail {
+/// Backing store for enabled(). Constant-initialized to true so hot-path
+/// readers inline to one relaxed load with no init guard; the CBIP_NO_OBS
+/// environment override is applied once during obs.cpp's static init.
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+/// True when recording is active; defaults to true unless the CBIP_NO_OBS
+/// environment variable is set to a non-empty value other than "0". Every
+/// recording call checks this first (one inlined relaxed atomic load —
+/// keeping the disabled path call-free is what the <2% overhead budget of
+/// the engine benches rests on).
+inline bool enabled() { return detail::g_enabled.load(std::memory_order_relaxed); }
+
+/// Overrides the recording switch (tests and tools toggle it to prove
+/// traces stay bit-identical either way).
+inline void setEnabled(bool on) { detail::g_enabled.store(on, std::memory_order_relaxed); }
+
+/// Monotonic nanosecond clock shared by timers and the trace log
+/// (steady_clock; origin unspecified but common process-wide).
+std::uint64_t nowNanos();
+
+namespace detail {
+/// Registers `cells` consecutive accumulation cells under `name` with the
+/// given kind tag; returns the first cell id. Re-registering a name
+/// returns the existing id (metric handles are freely re-constructible).
+enum class Kind : std::uint8_t { kCounter, kHistogram, kTimerNs, kTimerCalls };
+int registerMetric(const std::string& name, int cells, Kind kind);
+int registerGauge(const std::string& name);
+/// Adds into this thread's cell for `id`. Lock-free: grows the block on
+/// first touch of a new id, then it is one relaxed atomic add.
+void add(int id, std::uint64_t delta);
+void gaugeSet(int id, std::int64_t value);
+}  // namespace detail
+
+/// A named monotonic counter. Cheap to construct (name lookup under the
+/// registry mutex); add() is the lock-free hot path.
+class Counter {
+ public:
+  explicit Counter(const char* name)
+      : id_(detail::registerMetric(name, 1, detail::Kind::kCounter)) {}
+  explicit Counter(const std::string& name)
+      : id_(detail::registerMetric(name, 1, detail::Kind::kCounter)) {}
+
+  void add(std::uint64_t delta = 1) const {
+    if (enabled()) detail::add(id_, delta);
+  }
+
+ private:
+  int id_;
+};
+
+/// A named last-write-wins value (not sharded: sets are rare and a sum
+/// across threads would be meaningless).
+class Gauge {
+ public:
+  explicit Gauge(const char* name) : id_(detail::registerGauge(name)) {}
+  explicit Gauge(const std::string& name) : id_(detail::registerGauge(name)) {}
+
+  void set(std::int64_t value) const {
+    if (enabled()) detail::gaugeSet(id_, value);
+  }
+
+ private:
+  int id_;
+};
+
+/// A power-of-two-bucket histogram (see Snapshot::Histogram for the
+/// bucket layout). observe() is two cell adds.
+class Histogram {
+ public:
+  /// Bucket count: <=0, bit_width 1..15, >= 2^15. Small on purpose — the
+  /// recorded quantities (latencies in virtual time units, dirty-set
+  /// sizes, batch widths) live comfortably in 16 log2 buckets.
+  static constexpr int kBuckets = 17;
+
+  explicit Histogram(const char* name) : Histogram(std::string(name)) {}
+  explicit Histogram(const std::string& name)
+      : id_(detail::registerMetric(name, kBuckets + 1, detail::Kind::kHistogram)) {}
+
+  void observe(std::int64_t value) const;
+
+ private:
+  int id_;
+};
+
+/// Accumulated wall time: exports as two counters, `name.ns` (total
+/// nanoseconds) and `name.calls`. The Scope RAII helper reads the clock
+/// only while recording is enabled.
+class Timer {
+ public:
+  explicit Timer(const char* name) : Timer(std::string(name)) {}
+  explicit Timer(const std::string& name)
+      : ns_(detail::registerMetric(name + ".ns", 1, detail::Kind::kTimerNs)),
+        calls_(detail::registerMetric(name + ".calls", 1, detail::Kind::kTimerCalls)) {}
+
+  void record(std::uint64_t nanos) const {
+    if (enabled()) {
+      detail::add(ns_, nanos);
+      detail::add(calls_, 1);
+    }
+  }
+
+  class Scope {
+   public:
+    explicit Scope(const Timer& timer)
+        : timer_(&timer), start_(enabled() ? nowNanos() : 0) {}
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    ~Scope() {
+      if (start_ != 0) timer_->record(nowNanos() - start_);
+    }
+
+   private:
+    const Timer* timer_;
+    std::uint64_t start_;
+  };
+
+ private:
+  int ns_;
+  int calls_;
+};
+
+/// Folds every registered metric into one Snapshot (see the file comment
+/// for the consistency contract).
+Snapshot snapshot();
+
+/// Zeroes every cell, retired total and gauge. For tests and per-run
+/// exports; call it while the instrumented threads are quiescent if the
+/// subsequent snapshot must be exact.
+void resetAll();
+
+#endif  // CBIP_NO_OBS
+
+}  // namespace cbip::obs

@@ -1,0 +1,87 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <ostream>
+
+namespace cbip::obs {
+
+void TraceLog::complete(std::string name, const char* category, int tid,
+                        std::uint64_t startNs, std::uint64_t endNs) {
+  const std::scoped_lock lock(mutex_);
+  events_.push_back(Event{'X', std::move(name), category, tid, startNs,
+                          endNs >= startNs ? endNs - startNs : 0});
+}
+
+void TraceLog::instant(std::string name, const char* category, int tid, std::uint64_t atNs) {
+  const std::scoped_lock lock(mutex_);
+  events_.push_back(Event{'i', std::move(name), category, tid, atNs, 0});
+}
+
+void TraceLog::setThreadName(int tid, std::string name) {
+  const std::scoped_lock lock(mutex_);
+  threadNames_.emplace_back(tid, std::move(name));
+}
+
+std::size_t TraceLog::eventCount() const {
+  const std::scoped_lock lock(mutex_);
+  return events_.size();
+}
+
+void TraceLog::write(std::ostream& os) const {
+  const std::scoped_lock lock(mutex_);
+  // Rebase on the earliest event so timestamps start near zero; Chrome's
+  // ts/dur unit is microseconds (fractional values are accepted).
+  std::uint64_t t0 = 0;
+  bool haveT0 = false;
+  for (const Event& e : events_) {
+    if (!haveT0 || e.ts < t0) {
+      t0 = e.ts;
+      haveT0 = true;
+    }
+  }
+  const auto formatMicros = [](std::uint64_t ns) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%llu.%03llu", static_cast<unsigned long long>(ns / 1000),
+                  static_cast<unsigned long long>(ns % 1000));
+    return std::string(buf);
+  };
+  const auto micros = [&](std::uint64_t ns) { return formatMicros(ns - t0); };
+  const auto escape = [](const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      if (static_cast<unsigned char>(c) >= 0x20) out += c;
+    }
+    return out;
+  };
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& [tid, name] : threadNames_) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\"" << escape(name) << "\"}}";
+  }
+  for (const Event& e : events_) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"ph\":\"" << e.phase << "\",\"pid\":1,\"tid\":" << e.tid << ",\"name\":\""
+       << escape(e.name) << "\",\"cat\":\"" << e.category << "\",\"ts\":" << micros(e.ts);
+    if (e.phase == 'X') os << ",\"dur\":" << formatMicros(e.dur);
+    if (e.phase == 'i') os << ",\"s\":\"t\"";
+    os << '}';
+  }
+  os << "],\"displayTimeUnit\":\"ns\"}\n";
+}
+
+namespace {
+std::atomic<TraceLog*> g_sink{nullptr};
+}  // namespace
+
+TraceLog* traceSink() { return g_sink.load(std::memory_order_acquire); }
+
+void setTraceSink(TraceLog* log) { g_sink.store(log, std::memory_order_release); }
+
+}  // namespace cbip::obs

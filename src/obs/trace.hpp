@@ -1,0 +1,73 @@
+// Chrome trace-event span log: a timeline export loadable by
+// chrome://tracing and Perfetto (ui.perfetto.dev).
+//
+// The sharded engine emits one complete-span per epoch phase per shard
+// (plan / cross / local) plus the barrier-wait gaps between them, giving
+// the exact sharded-epoch timeline the rebalancing work needs to see:
+// which shard idles, which phase dominates, where the cross-phase
+// serialization bites. Emission is epoch-grained (a handful of events per
+// barrier crossing), so a mutex-guarded event vector is plenty — the
+// per-interaction hot path never touches this module.
+//
+// Engines find the log through a process-global sink pointer
+// (setTraceSink); a null sink — the default — means no event is recorded
+// and the engines skip even the clock reads. The runtime/buildtime
+// CBIP_NO_OBS switches gate emission exactly like the counters.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cbip::obs {
+
+class TraceLog {
+ public:
+  /// The log's epoch: timestamps are exported relative to the first
+  /// event's nanosecond clock reading, in microseconds.
+  TraceLog() = default;
+
+  /// A completed span [startNs, endNs) (nowNanos() readings) on track
+  /// `tid` (the engines use the shard index).
+  void complete(std::string name, const char* category, int tid, std::uint64_t startNs,
+                std::uint64_t endNs);
+
+  /// A zero-duration marker.
+  void instant(std::string name, const char* category, int tid, std::uint64_t atNs);
+
+  /// Names a track in the viewer (thread_name metadata event).
+  void setThreadName(int tid, std::string name);
+
+  std::size_t eventCount() const;
+
+  /// Writes the whole log as one Chrome trace JSON object
+  /// ({"traceEvents":[...],"displayTimeUnit":"ns"}): load the file via
+  /// chrome://tracing "Load" or drop it into ui.perfetto.dev.
+  void write(std::ostream& os) const;
+
+ private:
+  struct Event {
+    char phase = 'X';  // 'X' complete, 'i' instant
+    std::string name;
+    const char* category = "";
+    int tid = 0;
+    std::uint64_t ts = 0;   // nanoseconds (clock domain of nowNanos)
+    std::uint64_t dur = 0;  // nanoseconds, complete events only
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<Event> events_;
+  std::vector<std::pair<int, std::string>> threadNames_;
+};
+
+/// The process-global span sink consulted by the engines; null by default.
+TraceLog* traceSink();
+
+/// Installs (or clears, with nullptr) the span sink. The log must outlive
+/// every engine run that can observe it. Not synchronized against runs in
+/// flight — install before starting the run, clear after it returns.
+void setTraceSink(TraceLog* log);
+
+}  // namespace cbip::obs

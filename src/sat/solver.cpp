@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.hpp"
 #include "util/require.hpp"
 
 namespace cbip::sat {
@@ -10,6 +11,35 @@ namespace cbip::sat {
 namespace {
 constexpr double kVarDecay = 0.95;
 constexpr double kActivityLimit = 1e100;
+
+// Telemetry (src/obs): per-solve deltas, flushed on every exit path.
+const obs::Counter g_solves("sat.solves");
+const obs::Counter g_conflicts("sat.conflicts");
+const obs::Counter g_decisions("sat.decisions");
+const obs::Counter g_propagations("sat.propagations");
+const obs::Counter g_restarts("sat.restarts");
+
+/// RAII flush of the counter deltas one solve() call accumulates; covers
+/// every exit path, including throws.
+class SolveScope {
+ public:
+  explicit SolveScope(const Solver& s)
+      : s_(&s), c_(s.conflicts()), d_(s.decisions()), p_(s.propagations()),
+        r_(s.restarts()) {}
+  SolveScope(const SolveScope&) = delete;
+  SolveScope& operator=(const SolveScope&) = delete;
+  ~SolveScope() {
+    g_solves.add();
+    g_conflicts.add(s_->conflicts() - c_);
+    g_decisions.add(s_->decisions() - d_);
+    g_propagations.add(s_->propagations() - p_);
+    g_restarts.add(s_->restarts() - r_);
+  }
+
+ private:
+  const Solver* s_;
+  std::uint64_t c_, d_, p_, r_;
+};
 }  // namespace
 
 Solver::Solver() {
@@ -222,6 +252,7 @@ Lit Solver::pickBranchLit() {
 }
 
 Result Solver::solve(const std::vector<Lit>& assumptions) {
+  const SolveScope scope(*this);
   if (rootUnsat_) return Result::kUnsat;
   backtrack(0);
   if (propagate() != kUndef) {
@@ -269,6 +300,7 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
         decisionLevel() > static_cast<int>(assumptions.size())) {
       conflictsThisRestart = 0;
       conflictBudget += conflictBudget / 2;
+      ++restarts_;
       backtrack(static_cast<int>(assumptions.size()));
       continue;
     }

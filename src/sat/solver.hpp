@@ -46,6 +46,7 @@ class Solver {
   std::uint64_t conflicts() const { return conflicts_; }
   std::uint64_t decisions() const { return decisions_; }
   std::uint64_t propagations() const { return propagations_; }
+  std::uint64_t restarts() const { return restarts_; }
 
  private:
   static constexpr int kUndef = -1;
@@ -91,6 +92,7 @@ class Solver {
   std::uint64_t conflicts_ = 0;
   std::uint64_t decisions_ = 0;
   std::uint64_t propagations_ = 0;
+  std::uint64_t restarts_ = 0;
 };
 
 }  // namespace cbip::sat

@@ -5,15 +5,31 @@
 #include <barrier>
 #include <exception>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <tuple>
 #include <vector>
 
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "util/require.hpp"
 
 namespace cbip::shard {
 
 namespace {
+
+// Telemetry (src/obs): counts only, never steers — traces stay
+// bit-identical with observability on, off, or compiled out. Per-shard
+// metrics ("shard.<s>.*") are registered lazily at run end because the
+// shard count is per-engine; everything below is flushed at barrier
+// completions or after the join, never on the per-interaction hot path.
+const obs::Counter g_runs("engine.sharded.runs");
+const obs::Counter g_steps("engine.sharded.steps");
+const obs::Counter g_epochs("engine.sharded.epochs");
+const obs::Counter g_stalled("engine.sharded.epochs.stalled");
+const obs::Counter g_crossCandidates("engine.sharded.cross.candidates");
+const obs::Counter g_crossAccepted("engine.sharded.cross.accepted");
+const obs::Counter g_crossConflicts("engine.sharded.cross.conflicts");
 
 /// Independent deterministic policy seed per shard; shard 0 keeps the
 /// user seed so a K=1 run consumes the identical RandomPolicy stream as
@@ -65,7 +81,16 @@ struct Worker {
   std::size_t localEnabledCount = 0;
 
   std::uint64_t localExecuted = 0;  // this epoch
+  std::uint64_t crossExecuted = 0;  // this epoch (owned crosses only)
   std::vector<Event> events;
+
+  // Owner-only wall-clock accumulators (nanoseconds), read after the
+  // join; populated only while timing is active (see `timed` below).
+  std::uint64_t planNs = 0;
+  std::uint64_t crossNs = 0;
+  std::uint64_t localNs = 0;
+  std::uint64_t idleNs = 0;
+  std::uint64_t lockWaitNs = 0;
 
   // Scratch.
   std::vector<char> connectorQueued;  // dedup marks, sized connectorCount
@@ -102,6 +127,21 @@ RunResult ShardedEngine::run(const ShardedOptions& options) {
   require(system.indicesWarm(), "ShardedEngine: indices must be warm before workers start");
 
   ShardedState state = ss.initialState();
+
+  stats_ = ShardedStats{};
+  stats_.shards.resize(K);
+  g_runs.add();
+  // Wall-clock timing (phase spans, barrier-wait, lock-wait) is read only
+  // when someone can observe it: the obs runtime toggle is on or a trace
+  // sink is installed. Sampled once per run; epoch-grained, so the cost
+  // when active is a handful of clock reads per barrier crossing.
+#if defined(CBIP_NO_OBS)
+  obs::TraceLog* const sink = nullptr;
+  const bool timed = false;
+#else
+  obs::TraceLog* const sink = obs::traceSink();
+  const bool timed = obs::enabled() || sink != nullptr;
+#endif
 
   // Position of each local connector within its home shard's list, and of
   // each cross connector within its owner's list.
@@ -170,6 +210,7 @@ RunResult ShardedEngine::run(const ShardedOptions& options) {
                        std::tie(b.first->connector, b.first->mask);
               });
     std::fill(instanceUsed.begin(), instanceUsed.end(), 0);
+    stats_.crossCandidates += candidates.size();
     for (const auto& [ei, xi] : candidates) {
       if (accepted.size() >= remaining) break;
       const std::vector<int>& footprint = ss.connectorInstances(ei->connector);
@@ -180,10 +221,14 @@ RunResult ShardedEngine::run(const ShardedOptions& options) {
           break;
         }
       }
-      if (clash) continue;
+      if (clash) {
+        ++stats_.crossConflicts;
+        continue;
+      }
       for (int inst : footprint) instanceUsed[static_cast<std::size_t>(inst)] = 1;
       accepted.push_back(AcceptedCross{*ei, xi});
     }
+    stats_.crossAccepted += accepted.size();
     // Local step quotas: rotate the deal across shards that reported
     // enabled local work so no shard starves under a tight budget.
     std::uint64_t budget = remaining - accepted.size();
@@ -210,6 +255,24 @@ RunResult ShardedEngine::run(const ShardedOptions& options) {
     std::uint64_t epochExec = accepted.size();
     for (const auto& w : workers) epochExec += w->localExecuted;
     executedTotal += epochExec;
+    // Per-shard load accounting (single-threaded here: the barrier
+    // completion runs on exactly one thread while the others wait).
+    ++stats_.epochs;
+    bool anyIdle = false;
+    for (std::size_t s = 0; s < K; ++s) {
+      const Worker& w = *workers[s];
+      ShardedStats::Shard& sh = stats_.shards[s];
+      sh.localSteps += w.localExecuted;
+      sh.crossSteps += w.crossExecuted;
+      sh.steps += w.localExecuted + w.crossExecuted;
+      sh.quotaGranted += localQuota[s];
+      sh.quotaUnused += localQuota[s] - w.localExecuted;
+      if (epochExec > 0 && w.localExecuted + w.crossExecuted == 0) {
+        ++sh.idleEpochs;
+        anyIdle = true;
+      }
+    }
+    if (anyIdle) ++stats_.stalledEpochs;
     if (abort.load(std::memory_order_relaxed)) {
       stop = true;
     } else if (executedTotal >= options.maxSteps) {
@@ -309,6 +372,7 @@ RunResult ShardedEngine::run(const ShardedOptions& options) {
     Worker& w = *workers[s];
     w.dirtyLog.clear();  // every shard finished reading it during plan
     w.localExecuted = 0;
+    w.crossExecuted = 0;
     for (std::size_t idx = 0; idx < accepted.size(); ++idx) {
       const AcceptedCross& entry = accepted[idx];
       const ShardedSystem::CrossConnector& x =
@@ -327,15 +391,18 @@ RunResult ShardedEngine::run(const ShardedOptions& options) {
       {
         std::vector<std::unique_lock<std::mutex>> locks;
         locks.reserve(x.shards.size());
+        const std::uint64_t lockT0 = timed ? obs::nowNanos() : 0;
         for (int t : x.shards) {
           locks.emplace_back(workers[static_cast<std::size_t>(t)]->mutex);
         }
+        if (timed) w.lockWaitNs += obs::nowNanos() - lockT0;
         ss.executeInteraction(state, entry.interaction, choice);
         for (int inst : ss.connectorInstances(entry.interaction.connector)) {
           w.dirtyLog.push_back(inst);
           workers[static_cast<std::size_t>(ss.shardOf(inst))]->crossDirty.push_back(inst);
         }
       }
+      ++w.crossExecuted;
       if (options.recordTrace) {
         w.events.push_back(Event{epoch, 0, 0, idx, entry.interaction.connector,
                                  entry.interaction.mask,
@@ -398,6 +465,27 @@ RunResult ShardedEngine::run(const ShardedOptions& options) {
     threads.reserve(K);
     for (std::size_t s = 0; s < K; ++s) {
       threads.emplace_back([&, s] {
+        Worker& w = *workers[s];
+        if (sink != nullptr) {
+          sink->setThreadName(static_cast<int>(s), "shard " + std::to_string(s));
+        }
+        // Phase bracket: accumulates the phase's wall time into `acc` and,
+        // with a sink installed, emits one complete-span on this shard's
+        // track — the epoch timeline chrome://tracing renders.
+        const auto bracket = [&](const char* name, std::uint64_t Worker::* acc,
+                                 auto&& body) {
+          if (!timed) {
+            body();
+            return;
+          }
+          const std::uint64_t t0 = obs::nowNanos();
+          body();
+          const std::uint64_t t1 = obs::nowNanos();
+          w.*acc += t1 - t0;
+          if (sink != nullptr && name != nullptr) {
+            sink->complete(name, "epoch", static_cast<int>(s), t0, t1);
+          }
+        };
         // Bootstrap: settle initial tau steps of this shard's members so
         // offers reflect stable states (mirrors SequentialEngine).
         guarded([&] {
@@ -406,12 +494,14 @@ RunResult ShardedEngine::run(const ShardedOptions& options) {
         epochBarrier.arrive_and_wait();  // completion: bootstrap no-op
         if (options.maxSteps == 0) return;
         while (true) {
-          guarded([&] { planPhase(s); });
-          planBarrier.arrive_and_wait();  // completion: resolvePlan
-          guarded([&] { crossPhase(s); });
-          crossBarrier.arrive_and_wait();
-          guarded([&] { localPhase(s); });
-          epochBarrier.arrive_and_wait();  // completion: closeEpoch
+          bracket("plan", &Worker::planNs, [&] { guarded([&] { planPhase(s); }); });
+          bracket(nullptr, &Worker::idleNs,
+                  [&] { planBarrier.arrive_and_wait(); });  // completion: resolvePlan
+          bracket("cross", &Worker::crossNs, [&] { guarded([&] { crossPhase(s); }); });
+          bracket(nullptr, &Worker::idleNs, [&] { crossBarrier.arrive_and_wait(); });
+          bracket("local", &Worker::localNs, [&] { guarded([&] { localPhase(s); }); });
+          bracket(nullptr, &Worker::idleNs,
+                  [&] { epochBarrier.arrive_and_wait(); });  // completion: closeEpoch
           if (stop) break;
         }
       });
@@ -419,6 +509,39 @@ RunResult ShardedEngine::run(const ShardedOptions& options) {
   }  // join
 
   if (firstError) std::rethrow_exception(firstError);
+
+  // Fold the owner-only timing accumulators into the run stats, then
+  // flush everything to the telemetry registry (no-op when disabled).
+  for (std::size_t s = 0; s < K; ++s) {
+    ShardedStats::Shard& sh = stats_.shards[s];
+    sh.planNs = workers[s]->planNs;
+    sh.crossNs = workers[s]->crossNs;
+    sh.localNs = workers[s]->localNs;
+    sh.idleNs = workers[s]->idleNs;
+    sh.lockWaitNs = workers[s]->lockWaitNs;
+  }
+  g_steps.add(executedTotal);
+  g_epochs.add(stats_.epochs);
+  g_stalled.add(stats_.stalledEpochs);
+  g_crossCandidates.add(stats_.crossCandidates);
+  g_crossAccepted.add(stats_.crossAccepted);
+  g_crossConflicts.add(stats_.crossConflicts);
+  if (obs::enabled()) {
+    for (std::size_t s = 0; s < K; ++s) {
+      const ShardedStats::Shard& sh = stats_.shards[s];
+      const std::string p = "shard." + std::to_string(s) + ".";
+      obs::Counter(p + "steps").add(sh.steps);
+      obs::Counter(p + "local_steps").add(sh.localSteps);
+      obs::Counter(p + "cross_steps").add(sh.crossSteps);
+      obs::Counter(p + "idle_epochs").add(sh.idleEpochs);
+      obs::Counter(p + "quota_unused").add(sh.quotaUnused);
+      obs::Counter(p + "plan_ns").add(sh.planNs);
+      obs::Counter(p + "cross_ns").add(sh.crossNs);
+      obs::Counter(p + "local_ns").add(sh.localNs);
+      obs::Counter(p + "idle_ns").add(sh.idleNs);
+      obs::Counter(p + "lock_wait_ns").add(sh.lockWaitNs);
+    }
+  }
 
   RunResult result;
   result.reason = options.maxSteps == 0 ? StopReason::kStepLimit : reason;

@@ -49,11 +49,46 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "engine/common.hpp"
 #include "shard/sharded.hpp"
 
 namespace cbip::shard {
+
+/// Scheduler-behaviour statistics for the last run(). Epoch-grained (all
+/// writes happen at barrier completions or after the join, never on the
+/// per-interaction hot path) and always collected — unlike the src/obs
+/// counters these are part of the engine's functional result, so tests can
+/// assert scheduler behaviour (idle shards, stalled epochs, quota waste)
+/// without going through the telemetry registry.
+struct ShardedStats {
+  std::uint64_t epochs = 0;           ///< epochs closed (bootstrap excluded)
+  std::uint64_t stalledEpochs = 0;    ///< epochs where >=1 shard sat idle
+                                      ///< while the epoch still made progress
+  std::uint64_t crossCandidates = 0;  ///< cross-shard candidates published
+  std::uint64_t crossAccepted = 0;    ///< accepted by the conflict resolver
+  std::uint64_t crossConflicts = 0;   ///< rejected: instance-footprint clash
+
+  struct Shard {
+    std::uint64_t steps = 0;        ///< localSteps + crossSteps
+    std::uint64_t localSteps = 0;   ///< shard-local interactions executed
+    std::uint64_t crossSteps = 0;   ///< owned cross interactions executed
+    std::uint64_t idleEpochs = 0;   ///< epochs this shard executed nothing
+                                    ///< while the epoch overall progressed
+    std::uint64_t quotaGranted = 0; ///< local-step quota dealt across epochs
+    std::uint64_t quotaUnused = 0;  ///< granted quota left on the table
+    // Wall-clock phase breakdown in nanoseconds; zero unless timing was
+    // active during the run (observability enabled or a trace sink
+    // installed; always zero in CBIP_NO_OBS builds).
+    std::uint64_t planNs = 0;
+    std::uint64_t crossNs = 0;
+    std::uint64_t localNs = 0;
+    std::uint64_t idleNs = 0;      ///< barrier-wait time between phases
+    std::uint64_t lockWaitNs = 0;  ///< cross-phase shard-mutex acquisition
+  };
+  std::vector<Shard> shards;  ///< indexed by shard id
+};
 
 struct ShardedOptions {
   std::uint64_t maxSteps = 1000;  // counts interactions, like MtOptions
@@ -84,8 +119,12 @@ class ShardedEngine {
 
   const ShardedSystem& sharded() const { return sharded_; }
 
+  /// Statistics of the most recent run(); empty before the first run.
+  const ShardedStats& lastRunStats() const { return stats_; }
+
  private:
   ShardedSystem sharded_;
+  ShardedStats stats_;
 };
 
 }  // namespace cbip::shard

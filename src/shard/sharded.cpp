@@ -4,11 +4,19 @@
 #include <bit>
 #include <optional>
 
+#include "obs/obs.hpp"
 #include "util/require.hpp"
 
 namespace cbip::shard {
 
 namespace {
+
+// Telemetry (src/obs): counts only, never steers — traces stay
+// bit-identical with observability on, off, or compiled out.
+const obs::Counter g_tryFireCalls("shard.tryfire.calls");
+const obs::Counter g_tryFireHits("shard.tryfire.hits");
+const obs::Counter g_scanBatch("shard.scan.batch.calls");
+const obs::Counter g_scanScalar("shard.scan.scalar.calls");
 
 /// Evaluation context for a component's local expressions against its
 /// variable block inside a shard frame (interpreted escape-hatch twin of
@@ -379,6 +387,7 @@ void ShardedSystem::fireAt(ShardedState& state, int instance, int ti) const {
 }
 
 bool ShardedSystem::tryFireAt(ShardedState& state, int instance, int ti) const {
+  g_tryFireCalls.add();
   const AtomicType& type = *system_->instance(static_cast<std::size_t>(instance)).type;
   int& location = state.locations[static_cast<std::size_t>(instance)];
   std::vector<Value>& frame = state.frames[static_cast<std::size_t>(shardOf(instance))];
@@ -390,6 +399,7 @@ bool ShardedSystem::tryFireAt(ShardedState& state, int instance, int ti) const {
     }
     if (!ct.fused.empty() && ct.fused.run(std::span<Value>(frame), base) == 0) return false;
     location = ct.to;
+    g_tryFireHits.add();
     return true;
   }
   // Unfused / interpreted twins: separate guard check, then fireAt, with
@@ -400,6 +410,7 @@ bool ShardedSystem::tryFireAt(ShardedState& state, int instance, int ti) const {
   }
   if (!guardHoldsAt(state, instance, ti)) return false;
   fireAt(state, instance, ti);
+  g_tryFireHits.add();
   return true;
 }
 
@@ -426,6 +437,7 @@ void ShardedSystem::appendConnectorInteractions(const ShardedState& state, int c
                                                 std::vector<EnabledInteraction>& out) const {
   const Connector& c = system_->connector(static_cast<std::size_t>(ci));
   if (expr::compilationEnabled() && batchScanEnabled()) {
+    g_scanBatch.add();
     // Batched scan twin of the compiled scalar path below: per-end enabled
     // transitions into reusable scratch, then the mask set by bit
     // operations over the masks cached at construction. Shard-local
@@ -501,6 +513,7 @@ void ShardedSystem::appendConnectorInteractions(const ShardedState& state, int c
     }
     return;
   }
+  g_scanScalar.add();
   std::vector<std::vector<int>> endEnabled(c.endCount());
   for (std::size_t e = 0; e < c.endCount(); ++e) {
     enabledTransitionsAt(state, c.end(e).port.instance, c.end(e).port.port, endEnabled[e]);

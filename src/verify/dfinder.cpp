@@ -4,10 +4,18 @@
 #include <ostream>
 
 #include "analyze/analyze.hpp"
+#include "obs/obs.hpp"
 #include "sat/solver.hpp"
 #include "util/require.hpp"
 
 namespace cbip::verify {
+
+namespace {
+// Telemetry (src/obs): counts only, never steers the verdict.
+const obs::Counter g_rounds("dfinder.rounds");
+const obs::Counter g_traps("dfinder.traps");
+const obs::Counter g_guardsPruned("dfinder.guards_pruned");
+}  // namespace
 
 const char* to_string(DFinderVerdict verdict) {
   switch (verdict) {
@@ -121,7 +129,7 @@ DFinderResult checkDeadlockFreedom(const System& system, const DFinderOptions& o
   }
   // The abstract-interpretation feed runs before the interaction net is
   // built so provably-dead guards vanish from both DIS and the net.
-  if (expr::analysisEnabled()) strengthenWithAnalysis(system, invs);
+  if (expr::analysisEnabled()) g_guardsPruned.add(strengthenWithAnalysis(system, invs));
   return checkDeadlockFreedomWith(system, std::move(invs), {});
 }
 
@@ -139,6 +147,7 @@ DFinderResult checkDeadlockFreedomWith(const System& system,
   // space of control witnesses is finite).
   constexpr int kMaxRounds = 4096;
   for (int round = 0; round < kMaxRounds; ++round) {
+    g_rounds.add();
     sat::Solver solver;
     std::map<Place, int> at;
     for (std::size_t i = 0; i < system.instanceCount(); ++i) {
@@ -251,6 +260,7 @@ DFinderResult checkDeadlockFreedomWith(const System& system,
       result.verdict = DFinderVerdict::kPotentialDeadlock;
       return result;
     }
+    g_traps.add();
     result.traps.push_back(std::move(trap));
   }
   result.verdict = DFinderVerdict::kPotentialDeadlock;
