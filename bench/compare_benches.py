@@ -40,6 +40,10 @@ KEY_RATIOS = [
     ("bench_engine", "BM_EnabledScan/256/1", "BM_EnabledScan/256/0"),
     ("bench_engine", "BM_EnabledScanDataHeavy/256/1", "BM_EnabledScanDataHeavy/256/0"),
     ("bench_sharded", "BM_ShardedScan256/1", "BM_ShardedScan256/0"),
+    ("bench_sharded", "BM_ShardedSkewed/4096/1/real_time",
+     "BM_ShardedSkewed/4096/0/real_time"),
+    ("bench_sharded", "BM_ShardedSkewed/100000/1/real_time",
+     "BM_ShardedSkewed/100000/0/real_time"),
     ("bench_engine", "BM_SequentialEngineCompiledVsInterpreted/1",
      "BM_SequentialEngineCompiledVsInterpreted/0"),
     ("bench_engine", "BM_SequentialEngineFusedVsUnfused/1",
@@ -54,12 +58,23 @@ KEY_RATIOS = [
      "BM_DFinderPhilosophersAnalyzedVsUnanalyzed/0"),
 ]
 
+# Same-run ratios that must additionally clear an absolute floor in the
+# NEW results, independent of any baseline: the adaptive scheduler
+# (rebalancing + work stealing) must beat the static partition on the
+# 10^5-component skewed-load model, or the online-rebalancing claim is
+# void no matter what the baseline recorded.
+KEY_RATIO_FLOORS = [
+    ("bench_sharded", "BM_ShardedSkewed/100000/1/real_time",
+     "BM_ShardedSkewed/100000/0/real_time", 1.0),
+]
+
 # Absolute throughput counters, only comparable on matching context.
 KEY_COUNTERS = [
     ("bench_engine", "BM_SequentialEngine/0"),
     ("bench_engine", "BM_EnabledScan/256/1"),
     ("bench_sharded", "BM_SequentialEngine256"),
     ("bench_sharded", "BM_ShardedEngine256/4/real_time"),
+    ("bench_sharded", "BM_ShardedSkewed/100000/1/real_time"),
     ("bench_dfinder", "BM_DFinderPhilosophers/8"),
     ("bench_dfinder", "BM_DFinderGasStation/4"),
 ]
@@ -174,6 +189,20 @@ def main():
         check(f"{suite}:{num} over {den} [speedup ratio]",
               base[(suite, num)] / base[(suite, den)],
               new[(suite, num)] / new[(suite, den)])
+
+    for suite, num, den, ratioFloor in KEY_RATIO_FLOORS:
+        if (suite, num) not in new or (suite, den) not in new:
+            continue  # the KEY_RATIOS pass already failed on the absence
+        if new[(suite, den)] == 0:
+            print(f"SKIP  {suite}:{num} over {den} floor (zero denominator)")
+            continue
+        ratio = new[(suite, num)] / new[(suite, den)]
+        status = "OK  " if ratio > ratioFloor else "FAIL"
+        print(f"{status}  {suite}:{num} over {den} [absolute floor "
+              f"{ratioFloor:.2f}x]  ({ratio:.2f}x)")
+        if ratio <= ratioFloor:
+            failures.append(f"{suite}:{num} over {den} at {ratio:.2f}x is below "
+                            f"the absolute floor {ratioFloor:.2f}x")
 
     for suite, name in KEY_COUNTERS:
         if (suite, name) not in base:

@@ -2,6 +2,8 @@
 
 #include <mutex>
 #include <sstream>
+#include <string_view>
+#include <unordered_set>
 
 #include "util/require.hpp"
 
@@ -83,11 +85,17 @@ bool System::indicesWarm() const {
 void System::addPriority(PriorityRule rule) { priorities_.push_back(std::move(rule)); }
 
 void System::validate() const {
-  for (std::size_t i = 0; i < instances_.size(); ++i) {
-    instances_[i].type->validate();
-    for (std::size_t j = i + 1; j < instances_.size(); ++j) {
-      require(instances_[i].name != instances_[j].name,
-              "System: duplicate instance name '" + instances_[i].name + "'");
+  // Set-based duplicate detection and one validate() per distinct type:
+  // the naive pairwise scan is O(n^2) in the instance count, which the
+  // 10^5..10^6-component benchmark models cannot afford.
+  {
+    std::unordered_set<std::string_view> names;
+    names.reserve(instances_.size());
+    std::unordered_set<const AtomicType*> types;
+    for (const Instance& inst : instances_) {
+      require(names.insert(inst.name).second,
+              "System: duplicate instance name '" + inst.name + "'");
+      if (types.insert(inst.type.get()).second) inst.type->validate();
     }
   }
   for (const Connector& c : connectors_) {

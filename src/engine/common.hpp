@@ -1,5 +1,7 @@
 // Plumbing shared by every execution engine (sequential, multi-threaded,
-// sharded): scheduling policies, stop reasons, and the run-result record.
+// sharded): scheduling policies, stop reasons, the run-result record, the
+// common run-option core, the common run-statistics record, and the
+// abstract Engine interface every engine implements.
 //
 // Extracted from engine.hpp so that new engines (engine_mt.hpp,
 // shard/engine_sharded.hpp) reuse one definition of the policy interface
@@ -62,6 +64,49 @@ struct RunResult {
   std::uint64_t steps = 0;
   Trace trace;
   GlobalState finalState;
+};
+
+/// Run-option core shared by every engine. The per-engine option structs
+/// (RunOptions, MtOptions, ShardedOptions) derive from this, so a caller
+/// holding only an `Engine&` can configure the portable knobs and run any
+/// engine through the uniform interface; engine-specific knobs keep the
+/// derived structs.
+struct EngineOptions {
+  /// Step budget. Counts *interactions* on every engine (the MT and
+  /// sharded engines may execute several per scheduling round).
+  std::uint64_t maxSteps = 1000;
+  bool recordTrace = true;
+};
+
+/// Minimal run statistics every engine reports through
+/// Engine::lastRunStats(). ShardedStats extends this with epoch/migration
+/// detail. Like ShardedStats these are part of the functional result —
+/// always collected, cheap enough to never need a toggle (two clock reads
+/// per run) — and never steer execution.
+struct RunStats {
+  std::uint64_t steps = 0;  ///< interactions executed
+  /// Scheduling rounds: steps for SequentialEngine, cycles (batches) for
+  /// MultiThreadEngine, epochs for ShardedEngine.
+  std::uint64_t scanRounds = 0;
+  std::uint64_t wallNs = 0;  ///< wall-clock duration of run()
+};
+
+/// Abstract engine interface: drive any of the three engines (sequential,
+/// multi-threaded, sharded) without knowing which one it is. The concrete
+/// engines keep their richer run(DerivedOptions) overloads; this
+/// type-erased run() merges the portable core into the engine's default
+/// options (see defaultOptions() on each engine for presetting the
+/// engine-specific knobs, e.g. the sharded seed, before a uniform run).
+class Engine {
+ public:
+  virtual ~Engine() = default;
+  /// Runs from the engine's initial state with the given portable options.
+  virtual RunResult run(const EngineOptions& options) = 0;
+  /// Stable short name: "seq", "mt", "sharded".
+  virtual const char* name() const = 0;
+  /// Statistics of the most recent run(); zeroed before the first run.
+  /// ShardedEngine covariantly returns its ShardedStats extension.
+  virtual const RunStats& lastRunStats() const = 0;
 };
 
 }  // namespace cbip

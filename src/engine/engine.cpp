@@ -1,5 +1,7 @@
 #include "engine/engine.hpp"
 
+#include <chrono>
+
 #include "obs/obs.hpp"
 #include "util/require.hpp"
 
@@ -26,8 +28,26 @@ RunResult SequentialEngine::run(const RunOptions& options) {
   return run(initialState(*system_), options);
 }
 
+RunResult SequentialEngine::run(const EngineOptions& options) {
+  RunOptions full = defaults_;
+  static_cast<EngineOptions&>(full) = options;
+  return run(full);
+}
+
 RunResult SequentialEngine::run(GlobalState start, const RunOptions& options) {
   g_seqRuns.add();
+  // RunStats (functional result, unlike the obs counters): one scheduling
+  // round per step here, plus wall time bracketing the whole run.
+  stats_ = RunStats{};
+  const auto wall0 = std::chrono::steady_clock::now();
+  const auto finishStats = [&](const RunResult& r) {
+    stats_.steps = r.steps;
+    stats_.scanRounds = r.steps;
+    stats_.wallNs = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - wall0)
+            .count());
+  };
   RunResult result;
   result.finalState = std::move(start);
   // Settle initial tau steps so offers reflect stable states.
@@ -53,6 +73,7 @@ RunResult SequentialEngine::run(GlobalState start, const RunOptions& options) {
     }
     if (enabled->empty()) {
       result.reason = StopReason::kDeadlock;
+      finishStats(result);
       return result;
     }
     if (mustFilter) {
@@ -75,10 +96,12 @@ RunResult SequentialEngine::run(GlobalState start, const RunOptions& options) {
     }
     if (options.stopWhen && options.stopWhen(result.finalState)) {
       result.reason = StopReason::kPredicate;
+      finishStats(result);
       return result;
     }
   }
   result.reason = StopReason::kStepLimit;
+  finishStats(result);
   return result;
 }
 

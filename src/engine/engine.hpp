@@ -27,9 +27,9 @@
 
 namespace cbip {
 
-struct RunOptions {
-  std::uint64_t maxSteps = 1000;
-  bool recordTrace = true;
+/// SequentialEngine options: the portable EngineOptions core (maxSteps,
+/// recordTrace) plus the engine-specific knobs below.
+struct RunOptions : EngineOptions {
   /// Maintain the enabled set incrementally (dirty-set cache over the
   /// component->connector reverse index) instead of rescanning every
   /// connector each step. Identical traces either way; off is only useful
@@ -40,7 +40,7 @@ struct RunOptions {
 };
 
 /// Single-threaded reference engine.
-class SequentialEngine {
+class SequentialEngine final : public Engine {
  public:
   /// The system must outlive the engine.
   SequentialEngine(const System& system, SchedulingPolicy& policy);
@@ -50,9 +50,20 @@ class SequentialEngine {
   /// Runs from a caller-provided state (consumed).
   RunResult run(GlobalState start, const RunOptions& options);
 
+  /// Engine interface: merges the portable core into defaultOptions().
+  RunResult run(const EngineOptions& options) override;
+  const char* name() const override { return "seq"; }
+  const RunStats& lastRunStats() const override { return stats_; }
+
+  /// Template for type-erased runs: preset engine-specific knobs here
+  /// before driving the engine through the Engine interface.
+  RunOptions& defaultOptions() { return defaults_; }
+
  private:
   const System* system_;
   SchedulingPolicy* policy_;
+  RunOptions defaults_;
+  RunStats stats_;
 };
 
 }  // namespace cbip

@@ -1,5 +1,6 @@
 #include "engine/engine_mt.hpp"
 
+#include <chrono>
 #include <condition_variable>
 #include <memory>
 #include <mutex>
@@ -135,7 +136,15 @@ MultiThreadEngine::MultiThreadEngine(const System& system, SchedulingPolicy& pol
   system.warmIndices();
 }
 
+RunResult MultiThreadEngine::run(const EngineOptions& options) {
+  MtOptions full = defaults_;
+  static_cast<EngineOptions&>(full) = options;
+  return run(full);
+}
+
 RunResult MultiThreadEngine::run(const MtOptions& options) {
+  stats_ = RunStats{};
+  const auto wall0 = std::chrono::steady_clock::now();
   const System& system = *system_;
   const std::size_t n = system.instanceCount();
 
@@ -170,6 +179,9 @@ RunResult MultiThreadEngine::run(const MtOptions& options) {
   std::uint64_t executed = 0;
   result.reason = StopReason::kStepLimit;
   while (executed < options.maxSteps) {
+    // One scheduling cycle (RunStats::scanRounds): scan, pick a batch,
+    // dispatch, re-synchronize.
+    ++stats_.scanRounds;
     // Batch selection consumes the vector, so the cached set is copied.
     std::vector<EnabledInteraction> enabled =
         cache ? cache->enabled() : enabledInteractions(system, snapshot);
@@ -241,6 +253,11 @@ RunResult MultiThreadEngine::run(const MtOptions& options) {
   for (auto& w : workers) w->stop();
   result.steps = executed;
   result.finalState = std::move(snapshot);
+  stats_.steps = executed;
+  stats_.wallNs = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - wall0)
+          .count());
   return result;
 }
 

@@ -29,9 +29,9 @@
 
 namespace cbip {
 
-struct MtOptions {
-  std::uint64_t maxSteps = 1000;  // counts interactions, not cycles
-  bool recordTrace = true;
+/// MultiThreadEngine options: the portable EngineOptions core (maxSteps
+/// counts interactions, not cycles) plus the engine-specific knobs below.
+struct MtOptions : EngineOptions {
   /// Artificial computation per fired transition (spin iterations) —
   /// models the work a real component would do in its action code.
   std::uint64_t workGrain = 0;
@@ -44,16 +44,27 @@ struct MtOptions {
   bool incrementalCache = true;
 };
 
-class MultiThreadEngine {
+class MultiThreadEngine final : public Engine {
  public:
   /// The system must outlive the engine.
   MultiThreadEngine(const System& system, SchedulingPolicy& policy);
 
   RunResult run(const MtOptions& options);
 
+  /// Engine interface: merges the portable core into defaultOptions().
+  RunResult run(const EngineOptions& options) override;
+  const char* name() const override { return "mt"; }
+  const RunStats& lastRunStats() const override { return stats_; }
+
+  /// Template for type-erased runs: preset engine-specific knobs here
+  /// before driving the engine through the Engine interface.
+  MtOptions& defaultOptions() { return defaults_; }
+
  private:
   const System* system_;
   SchedulingPolicy* policy_;
+  MtOptions defaults_;
+  RunStats stats_;
 };
 
 }  // namespace cbip

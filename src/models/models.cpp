@@ -437,6 +437,48 @@ System gcdSystem(Value x0, Value y0) {
   return sys;
 }
 
+System skewedPairs(int pairs, int hotPairs, Value coldBudget) {
+  require(pairs >= 1, "skewedPairs: need pairs >= 1");
+  require(hotPairs >= 0 && hotPairs <= pairs, "skewedPairs: need 0 <= hotPairs <= pairs");
+  require(coldBudget >= 0, "skewedPairs: coldBudget must be >= 0");
+  System sys;
+
+  auto worker = std::make_shared<AtomicType>("PairWorker");
+  {
+    const int idle = worker->addLocation("idle");
+    const int tick = worker->addPort("tick");
+    worker->addTransition(idle, tick, idle);
+    worker->setInitialLocation(idle);
+  }
+
+  // One mate type per budget class so every instance shares the two
+  // compiled transition programs: the budget is a per-instance variable,
+  // the guard/action programs are per-type.
+  const auto makeMate = [](const char* name, Value budget0) {
+    auto t = std::make_shared<AtomicType>(name);
+    const int idle = t->addLocation("idle");
+    const int budget = t->addVariable("budget", budget0);
+    const int tick = t->addPort("tick");
+    t->addTransition(idle, tick, Expr::local(budget) != Expr::lit(0),
+                     {Assign{VarRef{0, budget}, Expr::local(budget) - Expr::lit(1)}}, idle);
+    t->setInitialLocation(idle);
+    return t;
+  };
+  auto hotMate = makeMate("HotMate", -1);  // never reaches zero
+  auto coldMate = makeMate("ColdMate", coldBudget);
+
+  for (int i = 0; i < pairs; ++i) {
+    const AtomicTypePtr& mate = i < hotPairs ? hotMate : coldMate;
+    const int w = sys.addInstance("w" + std::to_string(i), worker);
+    const int m = sys.addInstance("m" + std::to_string(i), mate);
+    sys.addConnector(rendezvous("sync" + std::to_string(i),
+                                {PortRef{w, worker->portIndex("tick")},
+                                 PortRef{m, mate->portIndex("tick")}}));
+  }
+  sys.validate();
+  return sys;
+}
+
 int philosophersEating(const System& system, const GlobalState& state) {
   int count = 0;
   for (std::size_t i = 0; i < system.instanceCount(); ++i) {

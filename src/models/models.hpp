@@ -52,6 +52,20 @@ System tokenRing(int n, bool counters = true);
 /// Component variables: x, y.
 System gcdSystem(Value x0, Value y0);
 
+/// Skewed-load scaling family for the sharded engine: `pairs` disconnected
+/// (worker, mate) pairs, each joined by a single binary rendezvous. The
+/// mate guards the rendezvous with `budget != 0` and decrements the budget
+/// on every step, so a pair stays runnable exactly as long as its budget
+/// is nonzero. The first `hotPairs` pairs start with budget -1 (decrements
+/// forever, never hits zero) and the rest with `coldBudget` (>= 0; 0 means
+/// dead on arrival), so after coldBudget steps per cold pair all remaining
+/// load concentrates on the hot pairs — which sit at the low instance ids
+/// and therefore cluster in the low shards under the greedy partitioner.
+/// This is the workload the online rebalancer and work stealing exist for;
+/// bench_sharded scales it to 10^5..10^6 components.
+/// Instance layout: worker_i = 2i, mate_i = 2i+1.
+System skewedPairs(int pairs, int hotPairs, Value coldBudget = 0);
+
 // --- helpers used by property tests ---
 
 /// Number of philosophers holding (at least) their left fork.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <barrier>
+#include <chrono>
+#include <cstdlib>
 #include <exception>
 #include <mutex>
 #include <string>
@@ -30,6 +32,22 @@ const obs::Counter g_stalled("engine.sharded.epochs.stalled");
 const obs::Counter g_crossCandidates("engine.sharded.cross.candidates");
 const obs::Counter g_crossAccepted("engine.sharded.cross.accepted");
 const obs::Counter g_crossConflicts("engine.sharded.cross.conflicts");
+const obs::Counter g_rebalanceDecisions("engine.sharded.rebalance.decisions");
+const obs::Counter g_rebalanceMoved("engine.sharded.rebalance.moved");
+const obs::Counter g_stealEvents("engine.sharded.steal.events");
+
+/// CBIP_NO_REBALANCE escape hatch (same pattern as the expr/compile
+/// flags): adaptive scheduling defaults to on; the env var (any value but
+/// "0") or setRebalancingEnabled(false) restores the static-partition
+/// scheduler bit for bit.
+std::atomic<bool>& rebalanceFlag() {
+  static std::atomic<bool> flag = [] {
+    const char* env = std::getenv("CBIP_NO_REBALANCE");
+    const bool disabled = env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0');
+    return !disabled;
+  }();
+  return flag;
+}
 
 /// Independent deterministic policy seed per shard; shard 0 keeps the
 /// user seed so a K=1 run consumes the identical RandomPolicy stream as
@@ -80,9 +98,20 @@ struct Worker {
   std::vector<EnabledInteraction> crossCandidates;
   std::size_t localEnabledCount = 0;
 
-  std::uint64_t localExecuted = 0;  // this epoch
-  std::uint64_t crossExecuted = 0;  // this epoch (owned crosses only)
+  // Published at plan time alongside the candidates when this shard has
+  // more enabled local work than its quota can cover: a bounded prefix of
+  // its enabled local interactions that idle shards may steal.
+  std::vector<EnabledInteraction> stealable;
+
+  std::uint64_t localExecuted = 0;   // this epoch
+  std::uint64_t crossExecuted = 0;   // this epoch (owned crosses only)
+  std::uint64_t stolenExecuted = 0;  // this epoch (as thief, on victims' frames)
   std::vector<Event> events;
+
+  // Instances whose shared activity cell this worker raised from zero in
+  // the current load window (sparse reset: the rebalancer zeroes exactly
+  // these at window close instead of sweeping all n counters).
+  std::vector<int> activityTouched;
 
   // Owner-only wall-clock accumulators (nanoseconds), read after the
   // join; populated only while timing is active (see `timed` below).
@@ -103,7 +132,22 @@ struct AcceptedCross {
   int crossIndex = 0;  // into ShardedSystem::crossConnectors()
 };
 
+/// A work-stealing assignment resolved at the plan barrier: `thief`
+/// executes one of `victim`'s enabled local interactions during the cross
+/// phase, under the victim's frame lock.
+struct StolenLocal {
+  EnabledInteraction interaction;
+  int victim = 0;
+  int thief = 0;
+};
+
 }  // namespace
+
+bool rebalancingEnabled() { return rebalanceFlag().load(std::memory_order_relaxed); }
+
+void setRebalancingEnabled(bool enabled) {
+  rebalanceFlag().store(enabled, std::memory_order_relaxed);
+}
 
 ShardedEngine::ShardedEngine(const System& system, Partition partition)
     : sharded_(system, std::move(partition)) {}
@@ -111,8 +155,16 @@ ShardedEngine::ShardedEngine(const System& system, Partition partition)
 ShardedEngine::ShardedEngine(const System& system, std::size_t shards)
     : sharded_(system, partitionSystem(system, PartitionOptions{shards, 1.125, {}})) {}
 
+RunResult ShardedEngine::run(const EngineOptions& options) {
+  ShardedOptions full = defaults_;
+  static_cast<EngineOptions&>(full) = options;
+  return run(full);
+}
+
 RunResult ShardedEngine::run(const ShardedOptions& options) {
   require(options.epochBatch >= 1, "ShardedEngine: epochBatch must be >= 1");
+  require(options.rebalanceInterval >= 1, "ShardedEngine: rebalanceInterval must be >= 1");
+  const auto wall0 = std::chrono::steady_clock::now();
   ShardedSystem& ss = sharded_;
   const System& system = ss.system();
   const std::size_t K = ss.shardCount();
@@ -127,6 +179,14 @@ RunResult ShardedEngine::run(const ShardedOptions& options) {
   require(system.indicesWarm(), "ShardedEngine: indices must be warm before workers start");
 
   ShardedState state = ss.initialState();
+
+  // Adaptive-scheduling switches: per-run options gated by the global
+  // escape hatch. K=1 degenerates to the sequential loop either way, and
+  // the bit-identity guarantee of that configuration must survive, so the
+  // adaptive layer disarms itself entirely.
+  const bool adaptive = rebalancingEnabled() && K > 1;
+  const bool rebalanceOn = adaptive && options.rebalance;
+  const bool stealOn = adaptive && options.workStealing;
 
   stats_ = ShardedStats{};
   stats_.shards.resize(K);
@@ -178,8 +238,19 @@ RunResult ShardedEngine::run(const ShardedOptions& options) {
   bool stop = false;
   StopReason reason = StopReason::kStepLimit;
   std::vector<AcceptedCross> accepted;
+  std::vector<StolenLocal> stolen;
   std::vector<std::uint64_t> localQuota(K, 0);
   std::vector<char> instanceUsed(system.instanceCount(), 0);
+  // Rebalancer load window (epoch-grained, maintained at barrier
+  // completions): per-shard executed steps and per-instance activity.
+  // The activity vector is shared, but within an epoch every cell is
+  // written by at most one thread (local phase: the owner; cross phase:
+  // under the instance's shard mutex, on footprint-disjoint interactions),
+  // and the barriers order epochs — no data race.
+  std::vector<std::uint64_t> windowLoad(K, 0);
+  std::vector<std::uint32_t> activity(rebalanceOn ? system.instanceCount() : 0, 0);
+  std::uint64_t windowEpochs = 0;
+  bool fullRescan = false;  // set after a migration; next plan recomputes all
   std::atomic<bool> abort{false};
   std::mutex errorMutex;
   std::exception_ptr firstError;
@@ -190,9 +261,19 @@ RunResult ShardedEngine::run(const ShardedOptions& options) {
     abort.store(true, std::memory_order_relaxed);
   };
 
+  // Load-window activity bump for one executed instance (rebalanceOn
+  // only). The zero-crossing goes to the executing worker's sparse reset
+  // list; see the race note at `activity`.
+  const auto bumpActivity = [&](Worker& w, int inst) {
+    std::uint32_t& cell = activity[static_cast<std::size_t>(inst)];
+    if (cell == 0) w.activityTouched.push_back(inst);
+    ++cell;
+  };
+
   // Plan resolution: runs on one thread at the plan barrier.
   const auto resolvePlan = [&]() noexcept {
     accepted.clear();
+    stolen.clear();
     std::fill(localQuota.begin(), localQuota.end(), 0);
     if (abort.load(std::memory_order_relaxed)) return;
     const std::uint64_t remaining = options.maxSteps - executedTotal;
@@ -244,6 +325,49 @@ RunResult ShardedEngine::run(const ShardedOptions& options) {
         progress = true;
       }
     }
+    // Work stealing: hand shards with no enabled local work a segment of
+    // an overloaded shard's published surplus, footprint-disjoint against
+    // the accepted crosses and each other (instanceUsed covers both), to
+    // execute during the cross phase under the victim's frame lock. Pure
+    // function of the published plan data — deterministic, and every
+    // stolen interaction commutes with the rest of the epoch, so the
+    // serialized trace stays a valid sequential schedule.
+    if (stealOn && budget > 0) {
+      std::vector<std::size_t> cursor(K, 0);
+      for (std::size_t thief = 0; thief < K && budget > 0; ++thief) {
+        if (workers[thief]->localEnabledCount != 0) continue;
+        // Victim: the shard with the most enabled local work whose
+        // published segment is not exhausted (lowest id on ties).
+        std::size_t victim = K;
+        for (std::size_t v = 0; v < K; ++v) {
+          if (v == thief || cursor[v] >= workers[v]->stealable.size()) continue;
+          if (victim == K ||
+              workers[v]->localEnabledCount > workers[victim]->localEnabledCount) {
+            victim = v;
+          }
+        }
+        if (victim == K) continue;
+        std::uint64_t grabbed = 0;
+        while (grabbed < options.epochBatch && budget > 0 &&
+               cursor[victim] < workers[victim]->stealable.size()) {
+          const EnabledInteraction& ei = workers[victim]->stealable[cursor[victim]++];
+          const std::vector<int>& footprint = ss.connectorInstances(ei.connector);
+          bool clash = false;
+          for (int inst : footprint) {
+            if (instanceUsed[static_cast<std::size_t>(inst)] != 0) {
+              clash = true;
+              break;
+            }
+          }
+          if (clash) continue;
+          for (int inst : footprint) instanceUsed[static_cast<std::size_t>(inst)] = 1;
+          stolen.push_back(
+              StolenLocal{ei, static_cast<int>(victim), static_cast<int>(thief)});
+          ++grabbed;
+          --budget;
+        }
+      }
+    }
   };
 
   // Epoch bookkeeping: runs on one thread at the end-of-epoch barrier.
@@ -252,8 +376,9 @@ RunResult ShardedEngine::run(const ShardedOptions& options) {
       bootstrap = false;
       return;
     }
+    fullRescan = false;  // consumed by the plan phase that just ran
     std::uint64_t epochExec = accepted.size();
-    for (const auto& w : workers) epochExec += w->localExecuted;
+    for (const auto& w : workers) epochExec += w->localExecuted + w->stolenExecuted;
     executedTotal += epochExec;
     // Per-shard load accounting (single-threaded here: the barrier
     // completion runs on exactly one thread while the others wait).
@@ -264,10 +389,12 @@ RunResult ShardedEngine::run(const ShardedOptions& options) {
       ShardedStats::Shard& sh = stats_.shards[s];
       sh.localSteps += w.localExecuted;
       sh.crossSteps += w.crossExecuted;
-      sh.steps += w.localExecuted + w.crossExecuted;
+      sh.stolenSteps += w.stolenExecuted;
+      sh.steps += w.localExecuted + w.crossExecuted + w.stolenExecuted;
       sh.quotaGranted += localQuota[s];
       sh.quotaUnused += localQuota[s] - w.localExecuted;
-      if (epochExec > 0 && w.localExecuted + w.crossExecuted == 0) {
+      stats_.stealEvents += w.stolenExecuted;
+      if (epochExec > 0 && w.localExecuted + w.crossExecuted + w.stolenExecuted == 0) {
         ++sh.idleEpochs;
         anyIdle = true;
       }
@@ -283,6 +410,138 @@ RunResult ShardedEngine::run(const ShardedOptions& options) {
       stop = true;
     }
     ++epoch;
+    if (!rebalanceOn || stop) return;
+    // ---- online rebalancer ----
+    // Window load: what each shard executed, with stolen work credited to
+    // the *victim* — stealing moves the computation, migration should
+    // still see where the demand lives.
+    for (std::size_t s = 0; s < K; ++s) {
+      windowLoad[s] += workers[s]->localExecuted + workers[s]->crossExecuted;
+    }
+    for (const StolenLocal& st : stolen) ++windowLoad[static_cast<std::size_t>(st.victim)];
+    if (++windowEpochs < options.rebalanceInterval) return;
+    windowEpochs = 0;
+    std::uint64_t total = 0;
+    std::size_t maxShard = 0;
+    for (std::size_t s = 0; s < K; ++s) {
+      total += windowLoad[s];
+      if (windowLoad[s] > windowLoad[maxShard]) maxShard = s;
+    }
+    const double avg = static_cast<double>(total) / static_cast<double>(K);
+    // Persistent-skew trigger. Inputs are executed-step counts only —
+    // never wall clocks — so the decision (and hence the whole run) is
+    // deterministic for a fixed seed.
+    if (total > 0 && ss.shard(maxShard).members.size() > 1 &&
+        static_cast<double>(windowLoad[maxShard]) > options.rebalanceTolerance * avg) {
+      // Active connected groups within the overloaded shard (flood fill
+      // over connector footprints restricted to its members). Whole
+      // groups migrate together: splitting one would turn its connectors
+      // cross-shard and serialize them on the epoch scheduler — worse
+      // than the skew being fixed.
+      struct Group {
+        std::uint64_t activity = 0;
+        std::vector<int> members;
+      };
+      std::vector<char> seen(system.instanceCount(), 0);
+      std::vector<Group> groups;
+      std::vector<int> frontier;
+      for (int start : ss.shard(maxShard).members) {
+        if (seen[static_cast<std::size_t>(start)] != 0 ||
+            activity[static_cast<std::size_t>(start)] == 0) {
+          continue;
+        }
+        Group g;
+        frontier.assign(1, start);
+        seen[static_cast<std::size_t>(start)] = 1;
+        while (!frontier.empty()) {
+          const int cur = frontier.back();
+          frontier.pop_back();
+          g.activity += activity[static_cast<std::size_t>(cur)];
+          g.members.push_back(cur);
+          for (int ci : system.connectorsOf(static_cast<std::size_t>(cur))) {
+            for (int nb : ss.connectorInstances(ci)) {
+              if (ss.shardOf(nb) != static_cast<int>(maxShard) ||
+                  seen[static_cast<std::size_t>(nb)] != 0) {
+                continue;
+              }
+              seen[static_cast<std::size_t>(nb)] = 1;
+              frontier.push_back(nb);
+            }
+          }
+        }
+        std::sort(g.members.begin(), g.members.end());
+        groups.push_back(std::move(g));
+      }
+      std::sort(groups.begin(), groups.end(), [](const Group& a, const Group& b) {
+        return std::tie(b.activity, a.members.front()) <
+               std::tie(a.activity, b.members.front());
+      });
+      // Shed whole groups to the predicted-least-loaded shards until the
+      // source drops to the average, capped so a single window cannot
+      // evacuate the shard.
+      std::vector<double> predicted(windowLoad.begin(), windowLoad.end());
+      const std::size_t maxMoves =
+          std::max<std::size_t>(1, ss.shard(maxShard).members.size() / 4);
+      std::vector<ShardedSystem::Move> moves;
+      for (const Group& g : groups) {
+        if (predicted[maxShard] <= avg) break;
+        if (!moves.empty() && moves.size() + g.members.size() > maxMoves) break;
+        // A group spanning most of the shard cannot be rebalanced by
+        // moving (relabeling the hotspot helps nobody).
+        if (g.members.size() * 2 > ss.shard(maxShard).members.size()) continue;
+        std::size_t dest = maxShard;
+        for (std::size_t s = 0; s < K; ++s) {
+          if (s != maxShard && (dest == maxShard || predicted[s] < predicted[dest])) dest = s;
+        }
+        if (dest == maxShard ||
+            predicted[dest] + static_cast<double>(g.activity) >= predicted[maxShard]) {
+          break;
+        }
+        for (int inst : g.members) {
+          moves.push_back(ShardedSystem::Move{inst, static_cast<int>(dest)});
+        }
+        predicted[dest] += static_cast<double>(g.activity);
+        predicted[maxShard] -= static_cast<double>(g.activity);
+      }
+      if (!moves.empty()) {
+        try {
+          ss.migrate(state, moves);
+        } catch (...) {
+          capture();
+          return;
+        }
+        ++stats_.rebalanceDecisions;
+        stats_.componentsMoved += moves.size();
+        stats_.shards[maxShard].migratedOut += moves.size();
+        for (const ShardedSystem::Move& mv : moves) {
+          ++stats_.shards[static_cast<std::size_t>(mv.toShard)].migratedIn;
+        }
+        // The shard -> connector mapping changed: re-derive the position
+        // indexes, resize the workers' per-connector caches, and have the
+        // next plan phase recompute everything from scratch.
+        std::fill(localPos.begin(), localPos.end(), -1);
+        ownedPos.assign(ss.crossConnectors().size(), -1);
+        for (std::size_t s = 0; s < K; ++s) {
+          const ShardedSystem::Shard& shard = ss.shard(s);
+          for (std::size_t i = 0; i < shard.localConnectors.size(); ++i) {
+            localPos[static_cast<std::size_t>(shard.localConnectors[i])] =
+                static_cast<int>(i);
+          }
+          for (std::size_t i = 0; i < shard.ownedCross.size(); ++i) {
+            ownedPos[static_cast<std::size_t>(shard.ownedCross[i])] = static_cast<int>(i);
+          }
+          workers[s]->perLocal.assign(shard.localConnectors.size(), {});
+          workers[s]->perCross.assign(shard.ownedCross.size(), {});
+        }
+        fullRescan = true;
+      }
+    }
+    // Close the window (sparse activity reset; see activityTouched).
+    std::fill(windowLoad.begin(), windowLoad.end(), 0);
+    for (const auto& w : workers) {
+      for (int inst : w->activityTouched) activity[static_cast<std::size_t>(inst)] = 0;
+      w->activityTouched.clear();
+    }
   };
 
   std::barrier planBarrier(static_cast<std::ptrdiff_t>(K), resolvePlan);
@@ -316,8 +575,10 @@ RunResult ShardedEngine::run(const ShardedOptions& options) {
   const auto planPhase = [&](std::size_t s) {
     Worker& w = *workers[s];
     const ShardedSystem::Shard& shard = ss.shard(s);
-    if (epoch == 0) {
-      // First epoch: full recompute of everything this shard owns.
+    if (epoch == 0 || fullRescan) {
+      // First epoch, or the epoch right after a migration (the member /
+      // connector layout changed): full recompute of everything this
+      // shard owns.
       for (std::size_t i = 0; i < shard.localConnectors.size(); ++i) {
         w.perLocal[i].clear();
         ss.appendConnectorInteractions(state, shard.localConnectors[i], w.perLocal[i]);
@@ -366,6 +627,22 @@ RunResult ShardedEngine::run(const ShardedOptions& options) {
     }
     w.localEnabledCount = 0;
     for (const auto& list : w.perLocal) w.localEnabledCount += list.size();
+    // Publish a bounded surplus segment for work stealing when this shard
+    // has more enabled local work than one epoch's quota can drain. The
+    // segment is a deterministic prefix (connector-list order) of the
+    // enabled set; the plan barrier hands footprint-disjoint entries to
+    // idle shards.
+    w.stealable.clear();
+    if (stealOn && w.localEnabledCount > options.epochBatch) {
+      const std::size_t cap = 2 * options.epochBatch;
+      for (const auto& list : w.perLocal) {
+        for (const EnabledInteraction& ei : list) {
+          if (w.stealable.size() >= cap) break;
+          w.stealable.push_back(ei);
+        }
+        if (w.stealable.size() >= cap) break;
+      }
+    }
   };
 
   const auto crossPhase = [&](std::size_t s) {
@@ -373,6 +650,7 @@ RunResult ShardedEngine::run(const ShardedOptions& options) {
     w.dirtyLog.clear();  // every shard finished reading it during plan
     w.localExecuted = 0;
     w.crossExecuted = 0;
+    w.stolenExecuted = 0;
     for (std::size_t idx = 0; idx < accepted.size(); ++idx) {
       const AcceptedCross& entry = accepted[idx];
       const ShardedSystem::CrossConnector& x =
@@ -400,6 +678,7 @@ RunResult ShardedEngine::run(const ShardedOptions& options) {
         for (int inst : ss.connectorInstances(entry.interaction.connector)) {
           w.dirtyLog.push_back(inst);
           workers[static_cast<std::size_t>(ss.shardOf(inst))]->crossDirty.push_back(inst);
+          if (rebalanceOn) bumpActivity(w, inst);
         }
       }
       ++w.crossExecuted;
@@ -407,6 +686,38 @@ RunResult ShardedEngine::run(const ShardedOptions& options) {
         w.events.push_back(Event{epoch, 0, 0, idx, entry.interaction.connector,
                                  entry.interaction.mask,
                                  interactionLabel(system, entry.interaction)});
+      }
+    }
+    // Stolen work: execute the victims' surplus local interactions this
+    // shard was assigned at the plan barrier, under the victim's frame
+    // lock. Footprint-disjoint against everything else in the epoch, so
+    // the victim's own local phase (after the cross barrier) sees a
+    // consistent frame and refreshes its caches through crossDirty just
+    // like for a cross execution. Events serialize after the accepted
+    // crosses (seq offset), in assignment order.
+    for (std::size_t j = 0; j < stolen.size(); ++j) {
+      const StolenLocal& st = stolen[j];
+      if (st.thief != static_cast<int>(s)) continue;
+      Worker& victim = *workers[static_cast<std::size_t>(st.victim)];
+      std::vector<EnabledInteraction> one{st.interaction};
+      const auto [pick, choice] = w.policy->pick(system, placeholder, one);
+      require(pick == 0, "SchedulingPolicy returned out-of-range interaction");
+      {
+        const std::uint64_t lockT0 = timed ? obs::nowNanos() : 0;
+        const std::scoped_lock lock(victim.mutex);
+        if (timed) w.lockWaitNs += obs::nowNanos() - lockT0;
+        ss.executeInteraction(state, st.interaction, choice);
+        for (int inst : ss.connectorInstances(st.interaction.connector)) {
+          w.dirtyLog.push_back(inst);
+          victim.crossDirty.push_back(inst);
+          if (rebalanceOn) bumpActivity(w, inst);
+        }
+      }
+      ++w.stolenExecuted;
+      if (options.recordTrace) {
+        w.events.push_back(Event{epoch, 0, 0, accepted.size() + j, st.interaction.connector,
+                                 st.interaction.mask,
+                                 interactionLabel(system, st.interaction)});
       }
     }
   };
@@ -446,6 +757,7 @@ RunResult ShardedEngine::run(const ShardedOptions& options) {
       for (int inst : dirty) {
         w.dirtyLog.push_back(inst);
         refreshLocalsOf(w, inst);
+        if (rebalanceOn) bumpActivity(w, inst);
       }
       for (int inst : dirty) clearQueuedOf(w, inst);
     }
@@ -520,12 +832,21 @@ RunResult ShardedEngine::run(const ShardedOptions& options) {
     sh.idleNs = workers[s]->idleNs;
     sh.lockWaitNs = workers[s]->lockWaitNs;
   }
+  stats_.steps = executedTotal;
+  stats_.scanRounds = stats_.epochs;
+  stats_.wallNs = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                           wall0)
+          .count());
   g_steps.add(executedTotal);
   g_epochs.add(stats_.epochs);
   g_stalled.add(stats_.stalledEpochs);
   g_crossCandidates.add(stats_.crossCandidates);
   g_crossAccepted.add(stats_.crossAccepted);
   g_crossConflicts.add(stats_.crossConflicts);
+  g_rebalanceDecisions.add(stats_.rebalanceDecisions);
+  g_rebalanceMoved.add(stats_.componentsMoved);
+  g_stealEvents.add(stats_.stealEvents);
   if (obs::enabled()) {
     for (std::size_t s = 0; s < K; ++s) {
       const ShardedStats::Shard& sh = stats_.shards[s];
@@ -533,6 +854,9 @@ RunResult ShardedEngine::run(const ShardedOptions& options) {
       obs::Counter(p + "steps").add(sh.steps);
       obs::Counter(p + "local_steps").add(sh.localSteps);
       obs::Counter(p + "cross_steps").add(sh.crossSteps);
+      obs::Counter(p + "stolen_steps").add(sh.stolenSteps);
+      obs::Counter(p + "migrated_in").add(sh.migratedIn);
+      obs::Counter(p + "migrated_out").add(sh.migratedOut);
       obs::Counter(p + "idle_epochs").add(sh.idleEpochs);
       obs::Counter(p + "quota_unused").add(sh.quotaUnused);
       obs::Counter(p + "plan_ns").add(sh.planNs);

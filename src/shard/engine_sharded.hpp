@@ -56,13 +56,15 @@
 
 namespace cbip::shard {
 
-/// Scheduler-behaviour statistics for the last run(). Epoch-grained (all
-/// writes happen at barrier completions or after the join, never on the
-/// per-interaction hot path) and always collected — unlike the src/obs
-/// counters these are part of the engine's functional result, so tests can
-/// assert scheduler behaviour (idle shards, stalled epochs, quota waste)
-/// without going through the telemetry registry.
-struct ShardedStats {
+/// Scheduler-behaviour statistics for the last run(). Extends the common
+/// RunStats core (steps, scanRounds = epochs, wallNs) with epoch-grained
+/// scheduler and migration detail (all writes happen at barrier
+/// completions or after the join, never on the per-interaction hot path)
+/// and is always collected — unlike the src/obs counters these are part of
+/// the engine's functional result, so tests can assert scheduler behaviour
+/// (idle shards, stalled epochs, quota waste, migration counts) without
+/// going through the telemetry registry.
+struct ShardedStats : RunStats {
   std::uint64_t epochs = 0;           ///< epochs closed (bootstrap excluded)
   std::uint64_t stalledEpochs = 0;    ///< epochs where >=1 shard sat idle
                                       ///< while the epoch still made progress
@@ -70,14 +72,24 @@ struct ShardedStats {
   std::uint64_t crossAccepted = 0;    ///< accepted by the conflict resolver
   std::uint64_t crossConflicts = 0;   ///< rejected: instance-footprint clash
 
+  // Online-rebalancing outcome (zero when rebalancing is disabled).
+  std::uint64_t rebalanceDecisions = 0;  ///< load-window checks that migrated
+  std::uint64_t componentsMoved = 0;     ///< instances migrated across shards
+  std::uint64_t stealEvents = 0;         ///< local interactions executed by a
+                                         ///< thief shard during a cross phase
+
   struct Shard {
-    std::uint64_t steps = 0;        ///< localSteps + crossSteps
+    std::uint64_t steps = 0;        ///< localSteps + crossSteps + stolenSteps
     std::uint64_t localSteps = 0;   ///< shard-local interactions executed
     std::uint64_t crossSteps = 0;   ///< owned cross interactions executed
+    std::uint64_t stolenSteps = 0;  ///< interactions this shard executed as
+                                    ///< a thief (on some victim's frame)
     std::uint64_t idleEpochs = 0;   ///< epochs this shard executed nothing
                                     ///< while the epoch overall progressed
     std::uint64_t quotaGranted = 0; ///< local-step quota dealt across epochs
     std::uint64_t quotaUnused = 0;  ///< granted quota left on the table
+    std::uint64_t migratedIn = 0;   ///< instances migrated into this shard
+    std::uint64_t migratedOut = 0;  ///< instances migrated out of this shard
     // Wall-clock phase breakdown in nanoseconds; zero unless timing was
     // active during the run (observability enabled or a trace sink
     // installed; always zero in CBIP_NO_OBS builds).
@@ -90,15 +102,32 @@ struct ShardedStats {
   std::vector<Shard> shards;  ///< indexed by shard id
 };
 
-struct ShardedOptions {
-  std::uint64_t maxSteps = 1000;  // counts interactions, like MtOptions
-  bool recordTrace = true;
+/// ShardedEngine options: the portable EngineOptions core (maxSteps counts
+/// interactions, like MtOptions) plus the engine-specific knobs below.
+struct ShardedOptions : EngineOptions {
   /// Seed for the default per-shard scheduling policies.
   std::uint64_t seed = 0;
   /// Upper bound on shard-local interactions one shard executes per
   /// epoch. Larger values amortize the per-epoch barriers; 1 globally
   /// synchronizes every step.
   std::uint64_t epochBatch = 8;
+  /// Online rebalancing: every rebalanceInterval epochs, migrate members
+  /// of a persistently overloaded shard (load > rebalanceTolerance x the
+  /// average over the window) to the least-loaded shards. Decisions read
+  /// only executed-step counts — never wall clocks — so runs stay
+  /// deterministic for a fixed seed. Also gated by the global
+  /// CBIP_NO_REBALANCE / setRebalancingEnabled() escape hatch; with either
+  /// switch off, traces are bit-identical to the static-partition engine.
+  bool rebalance = true;
+  std::uint64_t rebalanceInterval = 8;  ///< epochs per load window
+  double rebalanceTolerance = 1.5;      ///< trigger: maxLoad > tol * avgLoad
+  /// Work stealing for load bursts: shards with no enabled local work
+  /// execute surplus local interactions of overloaded shards during the
+  /// cross phase, under the victim's frame lock (the existing ordered
+  /// locking discipline). Plan-time assignment, footprint-disjoint against
+  /// everything else in the epoch — deterministic and replay-safe. Gated
+  /// by the same escape hatch as `rebalance`.
+  bool workStealing = true;
   /// Scheduling policy per shard. Default: RandomPolicy(seed) for shard 0
   /// — making a one-shard run bit-identical to SequentialEngine with
   /// RandomPolicy(seed) — and an independently seeded RandomPolicy per
@@ -107,7 +136,16 @@ struct ShardedOptions {
   std::function<std::unique_ptr<SchedulingPolicy>(std::size_t shard)> policyFactory;
 };
 
-class ShardedEngine {
+/// Global escape hatch for the adaptive layer (rebalancing + stealing),
+/// same discipline as CBIP_NO_FUSE et al.: defaults to on unless the
+/// CBIP_NO_REBALANCE environment variable is set (any value but "0");
+/// setRebalancingEnabled() overrides at runtime. With the hatch off the
+/// engine is bit-identical to the static-partition scheduler regardless
+/// of ShardedOptions::rebalance / workStealing.
+bool rebalancingEnabled();
+void setRebalancingEnabled(bool enabled);
+
+class ShardedEngine final : public Engine {
  public:
   /// The system must outlive the engine.
   ShardedEngine(const System& system, Partition partition);
@@ -117,13 +155,23 @@ class ShardedEngine {
   /// Runs from the system's initial state.
   RunResult run(const ShardedOptions& options);
 
+  /// Engine interface: merges the portable core into defaultOptions().
+  RunResult run(const EngineOptions& options) override;
+  const char* name() const override { return "sharded"; }
+
   const ShardedSystem& sharded() const { return sharded_; }
 
   /// Statistics of the most recent run(); empty before the first run.
-  const ShardedStats& lastRunStats() const { return stats_; }
+  const ShardedStats& lastRunStats() const override { return stats_; }
+
+  /// Template for type-erased runs: preset engine-specific knobs (seed,
+  /// epochBatch, rebalance, ...) here before driving the engine through
+  /// the Engine interface.
+  ShardedOptions& defaultOptions() { return defaults_; }
 
  private:
   ShardedSystem sharded_;
+  ShardedOptions defaults_;
   ShardedStats stats_;
 };
 

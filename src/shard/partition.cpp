@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <queue>
+#include <tuple>
 
 #include "util/require.hpp"
 
@@ -90,6 +92,17 @@ Partition partitionSystem(const System& system, const PartitionOptions& options)
     }
   }
 
+  // Seed order for the empty-frontier case: highest degree first, lowest
+  // index on ties — the same order the former full candidate scan
+  // produced when every unassigned affinity was zero. The cursor only
+  // ever moves forward because assignment is monotone.
+  std::vector<std::size_t> byDegree(n);
+  for (std::size_t i = 0; i < n; ++i) byDegree[i] = i;
+  std::sort(byDegree.begin(), byDegree.end(), [&](std::size_t a, std::size_t b) {
+    return degree[a] != degree[b] ? degree[a] > degree[b] : a < b;
+  });
+  std::size_t seedCursor = 0;
+
   // Affinity of each unassigned instance to the shard currently growing.
   std::vector<long long> affinity(n, 0);
   for (std::size_t s = 0; s < k; ++s) {
@@ -107,36 +120,55 @@ Partition partitionSystem(const System& system, const PartitionOptions& options)
         }
       }
     }
+    // Growth frontier: lazy max-heap over (affinity, degree, -index), so
+    // each pick costs O(log n) instead of a full O(n) scan (quadratic in
+    // total — prohibitive at the 10^5..10^6-component benchmark sizes).
+    // Entries go stale when the instance is assigned or its affinity has
+    // since grown; stale tops are dropped on inspection. Zero-affinity
+    // instances never enter the heap, so an empty frontier means every
+    // unassigned affinity is zero and the byDegree seed order takes over
+    // — exactly the former scan's tie-break in both regimes.
+    using HeapEntry = std::tuple<long long, long long, long long>;
+    std::priority_queue<HeapEntry> frontier;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (shardOf[i] == -1 && affinity[i] > 0) {
+        frontier.push({affinity[i], degree[i], -static_cast<long long>(i)});
+      }
+    }
     while (assigned < n && load[s] < cap) {
       // Leave at least one instance for every shard after this one.
       if (n - assigned <= remainingShards - 1) break;
-      // Best candidate: strongest affinity; ties and the empty-frontier
-      // case fall back to the highest-degree (then lowest-index)
-      // unassigned instance, which seeds the next growth region.
       int best = -1;
-      for (std::size_t i = 0; i < n; ++i) {
-        if (shardOf[i] != -1) continue;
-        if (best == -1) {
-          best = static_cast<int>(i);
+      long long bestAffinity = 0;
+      while (!frontier.empty()) {
+        const auto [a, d, ni] = frontier.top();
+        (void)d;
+        const auto i = static_cast<std::size_t>(-ni);
+        if (shardOf[i] != -1 || affinity[i] != a) {
+          frontier.pop();
           continue;
         }
-        const std::size_t b = static_cast<std::size_t>(best);
-        if (affinity[i] > affinity[b] ||
-            (affinity[i] == affinity[b] && degree[i] > degree[b])) {
-          best = static_cast<int>(i);
-        }
+        best = static_cast<int>(i);
+        bestAffinity = a;
+        break;
+      }
+      if (best == -1) {
+        while (seedCursor < n && shardOf[byDegree[seedCursor]] != -1) ++seedCursor;
+        best = static_cast<int>(byDegree[seedCursor]);
       }
       const std::size_t pick = static_cast<std::size_t>(best);
       // Past the even share, keep growing only while the candidate
       // actually touches the shard (tolerance buys smaller cuts, not
       // arbitrary imbalance).
-      if (load[s] >= target && affinity[pick] == 0) break;
+      if (load[s] >= target && bestAffinity == 0) break;
       shardOf[pick] = static_cast<int>(s);
       ++load[s];
       ++assigned;
       for (const auto& [to, w] : adj[pick]) {
-        if (shardOf[static_cast<std::size_t>(to)] == -1) {
-          affinity[static_cast<std::size_t>(to)] += w;
+        const auto t = static_cast<std::size_t>(to);
+        if (shardOf[t] == -1) {
+          affinity[t] += w;
+          frontier.push({affinity[t], degree[t], -static_cast<long long>(t)});
         }
       }
     }

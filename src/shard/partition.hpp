@@ -63,6 +63,12 @@ class Partition {
   int shardOf(std::size_t instance) const { return shardOf_[instance]; }
   const std::vector<int>& assignment() const { return shardOf_; }
 
+  /// Reassigns one instance (online rebalancing: the shard count is
+  /// fixed, only the mapping moves). The caller keeps every derived
+  /// structure — frames, member lists, connector classes — in sync; see
+  /// ShardedSystem::migrate.
+  void assign(std::size_t instance, int shard) { shardOf_[instance] = shard; }
+
  private:
   std::vector<int> shardOf_;
   std::size_t shardCount_ = 1;

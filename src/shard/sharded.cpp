@@ -214,59 +214,178 @@ ShardedSystem::ShardedSystem(const System& system, Partition partition)
   if (expr::compilationEnabled()) ensureCompiled();
 }
 
+void ShardedSystem::compileLocal(int ci) {
+  const Connector& c = system_->connector(static_cast<std::size_t>(ci));
+  LocalProgram& lp = localPrograms_[static_cast<std::size_t>(ci)];
+  const expr::SlotMap slots = [&](expr::VarRef r) {
+    if (r.scope == expr::kConnectorScope) {
+      require(r.index >= 0 && static_cast<std::size_t>(r.index) < c.variableCount(),
+              "connector '" + c.name() + "': connector variable out of range");
+      return lp.varBase + r.index;
+    }
+    require(r.scope >= 0 && static_cast<std::size_t>(r.scope) < c.endCount(),
+            "connector '" + c.name() + "': end scope out of range");
+    const ConnectorEnd& end = c.end(static_cast<std::size_t>(r.scope));
+    const AtomicType& type =
+        *system_->instance(static_cast<std::size_t>(end.port.instance)).type;
+    const PortDecl& port = type.port(end.port.port);
+    require(r.index >= 0 && static_cast<std::size_t>(r.index) < port.exports.size(),
+            "connector '" + c.name() + "': export index out of range");
+    return frameBase_[static_cast<std::size_t>(end.port.instance)] +
+           port.exports[static_cast<std::size_t>(r.index)];
+  };
+  lp.guard = expr::ExprProgram();
+  if (!c.guard().isTrue()) lp.guard = expr::compile(c.guard(), slots);
+  lp.ups.clear();
+  for (const expr::Assign& up : c.ups()) {
+    require(up.target.scope == expr::kConnectorScope,
+            "connector '" + c.name() + "': up target is not a connector variable");
+    lp.ups.push_back(LocalProgram::UpOp{slots(up.target), expr::compile(up.value, slots)});
+  }
+  lp.upBlock = expr::ExprProgram();
+  if (!c.ups().empty()) lp.upBlock = expr::compileFused(Expr::top(), c.ups(), slots);
+  lp.downs.clear();
+  for (const DownAssign& d : c.downs()) {
+    lp.downs.push_back(LocalProgram::DownOp{
+        d.end, slots(expr::VarRef{d.end, d.exportIndex}), expr::compile(d.value, slots)});
+  }
+}
+
+void ShardedSystem::compileCross(CrossConnector& x) {
+  const auto place = [this, &x](int instance) {
+    const auto it = std::lower_bound(x.shards.begin(), x.shards.end(), shardOf(instance));
+    return CompiledConnector::FramePlacement{
+        static_cast<int>(it - x.shards.begin()), frameBase(instance)};
+  };
+  x.compiled.emplace(*system_, system_->connector(static_cast<std::size_t>(x.connector)),
+                     place);
+}
+
 void ShardedSystem::ensureCompiled() {
   if (compiledBuilt_ || !expr::compilationEnabled()) return;
   // Programs may not have been lowered if compilation was toggled on
   // after validate(); warmIndices re-forces them (single-threaded).
   system_->warmIndices();
   for (const Shard& shard : shards_) {
-    for (int ci : shard.localConnectors) {
-      const Connector& c = system_->connector(static_cast<std::size_t>(ci));
-      LocalProgram& lp = localPrograms_[static_cast<std::size_t>(ci)];
-      const expr::SlotMap slots = [&](expr::VarRef r) {
-        if (r.scope == expr::kConnectorScope) {
-          require(r.index >= 0 && static_cast<std::size_t>(r.index) < c.variableCount(),
-                  "connector '" + c.name() + "': connector variable out of range");
-          return lp.varBase + r.index;
-        }
-        require(r.scope >= 0 && static_cast<std::size_t>(r.scope) < c.endCount(),
-                "connector '" + c.name() + "': end scope out of range");
-        const ConnectorEnd& end = c.end(static_cast<std::size_t>(r.scope));
-        const AtomicType& type =
-            *system_->instance(static_cast<std::size_t>(end.port.instance)).type;
-        const PortDecl& port = type.port(end.port.port);
-        require(r.index >= 0 && static_cast<std::size_t>(r.index) < port.exports.size(),
-                "connector '" + c.name() + "': export index out of range");
-        return frameBase_[static_cast<std::size_t>(end.port.instance)] +
-               port.exports[static_cast<std::size_t>(r.index)];
-      };
-      lp.guard = expr::ExprProgram();
-      if (!c.guard().isTrue()) lp.guard = expr::compile(c.guard(), slots);
-      lp.ups.clear();
-      for (const expr::Assign& up : c.ups()) {
-        require(up.target.scope == expr::kConnectorScope,
-                "connector '" + c.name() + "': up target is not a connector variable");
-        lp.ups.push_back(LocalProgram::UpOp{slots(up.target), expr::compile(up.value, slots)});
-      }
-      lp.upBlock = expr::ExprProgram();
-      if (!c.ups().empty()) lp.upBlock = expr::compileFused(Expr::top(), c.ups(), slots);
-      lp.downs.clear();
-      for (const DownAssign& d : c.downs()) {
-        lp.downs.push_back(LocalProgram::DownOp{
-            d.end, slots(expr::VarRef{d.end, d.exportIndex}), expr::compile(d.value, slots)});
-      }
+    for (int ci : shard.localConnectors) compileLocal(ci);
+  }
+  for (CrossConnector& x : cross_) compileCross(x);
+  compiledBuilt_ = true;
+}
+
+void ShardedSystem::migrate(ShardedState& state, std::span<const Move> moves) {
+  const std::size_t n = system_->instanceCount();
+  const std::size_t cc = system_->connectorCount();
+  // Drop no-op moves up front so "nothing moved" costs nothing.
+  std::vector<Move> effective;
+  for (const Move& m : moves) {
+    require(m.instance >= 0 && static_cast<std::size_t>(m.instance) < n,
+            "migrate: instance out of range");
+    require(m.toShard >= 0 && static_cast<std::size_t>(m.toShard) < shards_.size(),
+            "migrate: destination shard out of range");
+    if (shardOf(m.instance) != m.toShard) effective.push_back(m);
+  }
+  if (effective.empty()) return;
+
+  // Connectors touching a moved instance are the only ones whose layout
+  // or classification can change.
+  std::vector<char> touched(cc, 0);
+  for (const Move& m : effective) {
+    for (int ci : system_->connectorsOf(static_cast<std::size_t>(m.instance))) {
+      touched[static_cast<std::size_t>(ci)] = 1;
     }
   }
-  for (CrossConnector& x : cross_) {
-    const auto place = [this, &x](int instance) {
-      const auto it = std::lower_bound(x.shards.begin(), x.shards.end(), shardOf(instance));
-      return CompiledConnector::FramePlacement{
-          static_cast<int>(it - x.shards.begin()), frameBase(instance)};
-    };
-    x.compiled.emplace(*system_, system_->connector(static_cast<std::size_t>(x.connector)),
-                       place);
+
+  // Move each instance's variable block to the tail of the destination
+  // frame. The source slice becomes a hole: no frameBase points at it any
+  // more, and non-moved instances' bases never change.
+  for (const Move& m : effective) {
+    const std::size_t inst = static_cast<std::size_t>(m.instance);
+    const std::size_t from = static_cast<std::size_t>(shardOf(m.instance));
+    const std::size_t to = static_cast<std::size_t>(m.toShard);
+    const AtomicType& type = *system_->instance(inst).type;
+    const std::size_t vc = type.variableCount();
+    std::vector<Value>& sf = state.frames[from];
+    std::vector<Value>& df = state.frames[to];
+    const std::size_t oldBase = static_cast<std::size_t>(frameBase_[inst]);
+    const int newBase = static_cast<int>(df.size());
+    df.insert(df.end(), sf.begin() + static_cast<std::ptrdiff_t>(oldBase),
+              sf.begin() + static_cast<std::ptrdiff_t>(oldBase + vc));
+    frameBase_[inst] = newBase;
+    partition_.assign(inst, m.toShard);
+    shards_[to].frameSize = df.size();
+    auto& src = shards_[from].members;
+    src.erase(std::lower_bound(src.begin(), src.end(), m.instance));
+    auto& dst = shards_[to].members;
+    dst.insert(std::lower_bound(dst.begin(), dst.end(), m.instance), m.instance);
   }
-  compiledBuilt_ = true;
+
+  // Reclassify the touched connectors against the new instance->shard
+  // mapping. Newly-local connectors get fresh connector-variable tail
+  // slots in their home frame (the old slots, wherever they were, leak as
+  // holes — fresh-zero semantics re-zeroes the new ones per transfer).
+  std::vector<int> shardsOf;  // scratch: involved shards of one connector
+  for (std::size_t ci = 0; ci < cc; ++ci) {
+    if (touched[ci] == 0) continue;
+    const Connector& c = system_->connector(ci);
+    shardsOf.clear();
+    for (int inst : footprint_[ci]) shardsOf.push_back(shardOf(inst));
+    std::sort(shardsOf.begin(), shardsOf.end());
+    shardsOf.erase(std::unique(shardsOf.begin(), shardsOf.end()), shardsOf.end());
+    if (shardsOf.size() <= 1) {
+      const std::size_t home = static_cast<std::size_t>(shardsOf.front());
+      LocalProgram& lp = localPrograms_[ci];
+      lp.connector = static_cast<int>(ci);
+      lp.homeShard = static_cast<int>(home);
+      lp.varBase = static_cast<int>(shards_[home].frameSize);
+      lp.varCount = static_cast<int>(c.variableCount());
+      shards_[home].frameSize += c.variableCount();
+      state.frames[home].resize(shards_[home].frameSize, 0);
+      if (compiledBuilt_) compileLocal(static_cast<int>(ci));
+      crossIndex_[ci] = -1;
+    } else {
+      localPrograms_[ci] = LocalProgram{};
+      crossIndex_[ci] = -2;  // cross; rebuilt below
+    }
+  }
+
+  // Rebuild the cross-connector table in connector order (preserving the
+  // compiled placements of untouched entries) and re-derive every shard's
+  // connector lists — O(connectors), all index patching, no compilation.
+  std::vector<CrossConnector> newCross;
+  newCross.reserve(cross_.size());
+  for (std::size_t ci = 0; ci < cc; ++ci) {
+    const int xi = crossIndex_[ci];
+    if (xi == -1) continue;
+    CrossConnector x;
+    if (touched[ci] == 0) {
+      x = std::move(cross_[static_cast<std::size_t>(xi)]);
+    } else {
+      x.connector = static_cast<int>(ci);
+      for (int inst : footprint_[ci]) x.shards.push_back(shardOf(inst));
+      std::sort(x.shards.begin(), x.shards.end());
+      x.shards.erase(std::unique(x.shards.begin(), x.shards.end()), x.shards.end());
+      x.owner = x.shards.front();
+      if (compiledBuilt_) compileCross(x);
+    }
+    crossIndex_[ci] = static_cast<int>(newCross.size());
+    newCross.push_back(std::move(x));
+  }
+  cross_ = std::move(newCross);
+  for (Shard& s : shards_) {
+    s.localConnectors.clear();
+    s.ownedCross.clear();
+  }
+  for (std::size_t ci = 0; ci < cc; ++ci) {
+    const int xi = crossIndex_[ci];
+    if (xi < 0) {
+      shards_[static_cast<std::size_t>(localPrograms_[ci].homeShard)].localConnectors.push_back(
+          static_cast<int>(ci));
+    } else {
+      shards_[static_cast<std::size_t>(cross_[static_cast<std::size_t>(xi)].owner)]
+          .ownedCross.push_back(xi);
+    }
+  }
 }
 
 ShardedState ShardedSystem::initialState() const {

@@ -114,6 +114,26 @@ class ShardedSystem {
   /// builds in the other engines.
   void ensureCompiled();
 
+  /// One online-rebalancing move: instance -> destination shard.
+  struct Move {
+    int instance = -1;
+    int toShard = -1;
+  };
+
+  /// Migrates instances between shards in place, patching `state` to
+  /// match. Frames are position-independent, so each move is a frame-slice
+  /// copy to the tail of the destination frame plus a frameBase/partition
+  /// patch; the vacated slice stays behind as an unobservable hole (frames
+  /// grow monotonically across migrations — the rebalancer's hysteresis
+  /// bounds move counts, so holes never dominate). Only the connectors
+  /// touching a moved instance are reclassified (local <-> cross) and — if
+  /// the compiled programs were built — recompiled against the new
+  /// layout; everything else (footprints, masks, other programs, other
+  /// instances' bases) is untouched. Must run while single-threaded with
+  /// all frames quiescent (the engine calls it between epochs);
+  /// enabled-interaction sets and toGlobal() are preserved exactly.
+  void migrate(ShardedState& state, std::span<const Move> moves);
+
   // ---- state conversion ----
   ShardedState initialState() const;
   GlobalState toGlobal(const ShardedState& state) const;
@@ -150,6 +170,12 @@ class ShardedSystem {
 
  private:
   void connectorTransfer(ShardedState& state, const EnabledInteraction& interaction) const;
+  /// (Re)compiles the programs of local connector `ci` against the current
+  /// layout (frame bases + its LocalProgram var slots).
+  void compileLocal(int ci);
+  /// (Re)builds the sharded CompiledConnector of `x` against the current
+  /// layout.
+  void compileCross(CrossConnector& x);
 
   const System* system_;
   Partition partition_;

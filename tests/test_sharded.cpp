@@ -467,6 +467,217 @@ TEST(ShardedSystem, GlobalStateRoundTrips) {
   EXPECT_THROW(engine.sharded().fromGlobal(bad), EvalError);
 }
 
+// ---- online rebalancing + work stealing ----
+
+/// Forces the adaptive layer on for one test's scope: the tests below
+/// assert that migrations / steals actually happen, which the
+/// CBIP_NO_REBALANCE ctest leg would otherwise veto globally.
+struct ForceRebalancingOn {
+  bool saved = shard::rebalancingEnabled();
+  ForceRebalancingOn() { shard::setRebalancingEnabled(true); }
+  ~ForceRebalancingOn() { shard::setRebalancingEnabled(saved); }
+};
+
+TEST(Rebalancing, MigratePreservesStateAndEnabledSets) {
+  const System sys = models::philosophersAtomic(8);
+  shard::ShardedSystem ss(sys,
+                          shard::partitionSystem(sys, PartitionOptions{2, 1.125, {}}));
+  ss.ensureCompiled();
+  shard::ShardedState st = ss.initialState();
+  // Evolve a few steps first so the frames hold mid-run values.
+  const auto allEnabled = [&]() {
+    std::vector<EnabledInteraction> en;
+    for (std::size_t ci = 0; ci < sys.connectorCount(); ++ci) {
+      ss.appendConnectorInteractions(st, static_cast<int>(ci), en);
+    }
+    return en;
+  };
+  for (int i = 0; i < 5; ++i) {
+    const std::vector<EnabledInteraction> en = allEnabled();
+    ASSERT_FALSE(en.empty());
+    ss.executeInteraction(st, en.front(),
+                          std::vector<int>(en.front().choices.size(), 0));
+  }
+  const GlobalState before = ss.toGlobal(st);
+  const auto snapshot = [&]() {
+    std::vector<std::pair<int, InteractionMask>> snap;
+    for (const EnabledInteraction& ei : allEnabled()) snap.push_back({ei.connector, ei.mask});
+    return snap;
+  };
+  const auto beforeEnabled = snapshot();
+
+  // Moves chosen to force both reclassifications: the first cross
+  // connector becomes fully local to shard 1, and one untouched shard-0
+  // local connector gets an end moved away, becoming cross.
+  ASSERT_FALSE(ss.crossConnectors().empty());
+  const int xc = ss.crossConnectors().front().connector;
+  std::vector<shard::ShardedSystem::Move> moves;
+  for (int inst : ss.connectorInstances(xc)) {
+    if (ss.shardOf(inst) != 1) moves.push_back({inst, 1});
+  }
+  ASSERT_FALSE(moves.empty());
+  int splitCi = -1;
+  for (int ci : ss.shard(0).localConnectors) {
+    bool touched = false;
+    for (int inst : ss.connectorInstances(ci)) {
+      for (const auto& m : moves) touched = touched || m.instance == inst;
+    }
+    if (!touched) {
+      splitCi = ci;
+      break;
+    }
+  }
+  ASSERT_GE(splitCi, 0);
+  moves.push_back({ss.connectorInstances(splitCi).front(), 1});
+
+  ss.migrate(st, moves);
+  EXPECT_EQ(ss.crossIndexOf(xc), -1);      // cross -> local
+  EXPECT_GE(ss.crossIndexOf(splitCi), 0);  // local -> cross
+  for (const auto& m : moves) EXPECT_EQ(ss.shardOf(m.instance), 1);
+  // Migration is unobservable: same global state, same enabled sets, and
+  // the new layout still round-trips through GlobalState.
+  EXPECT_EQ(ss.toGlobal(st), before);
+  EXPECT_EQ(snapshot(), beforeEnabled);
+  EXPECT_EQ(ss.toGlobal(ss.fromGlobal(before)), before);
+}
+
+TEST(Rebalancing, RebalancedTracesSequentiallyReplayable) {
+  // Skewed pairs: the cold pairs die after 4 steps each, the hot pairs
+  // (clustered in shard 0 by the greedy partitioner) run forever — the
+  // load window must notice and migrate them apart.
+  const ForceRebalancingOn forceOn;
+  const System sys = models::skewedPairs(32, 4, 4);
+  ShardedEngine engine(sys, 4);
+  ShardedOptions opt;
+  opt.maxSteps = 600;
+  opt.seed = 7;
+  opt.rebalanceInterval = 2;
+  const RunResult r = engine.run(opt);
+  const shard::ShardedStats st = engine.lastRunStats();
+  EXPECT_GT(st.rebalanceDecisions, 0u);
+  EXPECT_GT(st.componentsMoved, 0u);
+  EXPECT_EQ(r.trace.events.size(), r.steps);
+  expectSequentiallyReplayable(sys, r);
+}
+
+TEST(Rebalancing, WorkStealingAloneIsExactAndReplayable) {
+  // Rebalancing off isolates the steal path (this is also the TSan
+  // coverage for thief-side execution): the skew persists, so idle shards
+  // must keep stealing shard 0's surplus.
+  const ForceRebalancingOn forceOn;
+  const System sys = models::skewedPairs(24, 6, 2);
+  ShardedEngine engine(sys, 3);
+  ShardedOptions opt;
+  opt.maxSteps = 400;
+  opt.seed = 5;
+  opt.rebalance = false;
+  opt.epochBatch = 4;  // 6 hot pairs enabled > 4 => surplus gets published
+  const RunResult r = engine.run(opt);
+  const shard::ShardedStats st = engine.lastRunStats();
+  EXPECT_EQ(st.rebalanceDecisions, 0u);
+  EXPECT_GT(st.stealEvents, 0u);
+  std::uint64_t stepSum = 0;
+  std::uint64_t stolenSum = 0;
+  for (const auto& sh : st.shards) {
+    stepSum += sh.steps;
+    stolenSum += sh.stolenSteps;
+  }
+  EXPECT_EQ(stepSum, r.steps);
+  EXPECT_EQ(stolenSum, st.stealEvents);
+  expectSequentiallyReplayable(sys, r);
+}
+
+TEST(Rebalancing, CountersAreExact) {
+  const ForceRebalancingOn forceOn;
+  const System sys = models::skewedPairs(48, 6, 4);
+  ShardedEngine engine(sys, 4);
+  ShardedOptions opt;
+  opt.maxSteps = 800;
+  opt.seed = 3;
+  opt.rebalanceInterval = 2;
+  const RunResult r = engine.run(opt);
+  const shard::ShardedStats st = engine.lastRunStats();
+  EXPECT_GT(st.componentsMoved, 0u);
+  std::uint64_t in = 0;
+  std::uint64_t out = 0;
+  std::uint64_t stolen = 0;
+  std::uint64_t stepSum = 0;
+  for (const auto& sh : st.shards) {
+    in += sh.migratedIn;
+    out += sh.migratedOut;
+    stolen += sh.stolenSteps;
+    stepSum += sh.steps;
+    EXPECT_EQ(sh.steps, sh.localSteps + sh.crossSteps + sh.stolenSteps);
+  }
+  EXPECT_EQ(st.componentsMoved, in);
+  EXPECT_EQ(st.componentsMoved, out);
+  EXPECT_EQ(st.stealEvents, stolen);
+  EXPECT_EQ(stepSum, r.steps);
+  EXPECT_EQ(st.steps, r.steps);
+  EXPECT_EQ(st.scanRounds, st.epochs);
+  EXPECT_GT(st.wallNs, 0u);
+}
+
+TEST(Rebalancing, EscapeHatchBitIdenticalToStaticScheduler) {
+  const System sys = models::skewedPairs(32, 4, 4);
+  struct Outcome {
+    RunResult result;
+    shard::ShardedStats stats;
+  };
+  const auto runWith = [&](bool hatch, bool optionsOn) {
+    const bool saved = shard::rebalancingEnabled();
+    shard::setRebalancingEnabled(hatch);
+    ShardedEngine engine(sys, 4);
+    ShardedOptions opt;
+    opt.maxSteps = 500;
+    opt.seed = 7;
+    opt.rebalanceInterval = 2;
+    opt.rebalance = optionsOn;
+    opt.workStealing = optionsOn;
+    Outcome o{engine.run(opt), {}};
+    o.stats = engine.lastRunStats();
+    shard::setRebalancingEnabled(saved);
+    return o;
+  };
+  const Outcome hatchOff = runWith(false, true);  // hatch beats the options
+  const Outcome optionsOff = runWith(true, false);
+  const Outcome adaptive = runWith(true, true);
+  EXPECT_EQ(hatchOff.result.trace.labels(), optionsOff.result.trace.labels());
+  EXPECT_EQ(hatchOff.result.finalState, optionsOff.result.finalState);
+  for (const Outcome* o : {&hatchOff, &optionsOff}) {
+    EXPECT_EQ(o->stats.rebalanceDecisions, 0u);
+    EXPECT_EQ(o->stats.componentsMoved, 0u);
+    EXPECT_EQ(o->stats.stealEvents, 0u);
+  }
+  EXPECT_GT(adaptive.stats.rebalanceDecisions + adaptive.stats.stealEvents, 0u);
+}
+
+// ---- satellite: the unified Engine interface ----
+
+TEST(EngineInterface, DrivesAllThreeEnginesUniformly) {
+  const System sys = models::philosophersAtomic(8);
+  RandomPolicy pSeq(9);
+  RandomPolicy pMt(9);
+  SequentialEngine seq(sys, pSeq);
+  MultiThreadEngine mt(sys, pMt);
+  ShardedEngine sh(sys, 2);
+  sh.defaultOptions().seed = 9;
+  const std::vector<std::pair<Engine*, const char*>> engines = {
+      {&seq, "seq"}, {&mt, "mt"}, {&sh, "sharded"}};
+  EngineOptions opt;
+  opt.maxSteps = 120;
+  for (const auto& [engine, name] : engines) {
+    EXPECT_STREQ(engine->name(), name);
+    const RunResult r = engine->run(opt);
+    EXPECT_EQ(r.steps, 120u) << name;
+    const RunStats& st = engine->lastRunStats();
+    EXPECT_EQ(st.steps, 120u) << name;
+    EXPECT_GT(st.scanRounds, 0u) << name;
+    // Every trace is a valid behaviour of the reference semantics.
+    replayOnReference(sys, r.trace);
+  }
+}
+
 // ---- satellite: enum printing ----
 
 TEST(EnumPrinting, StopReasonNames) {

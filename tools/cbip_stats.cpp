@@ -43,6 +43,7 @@ struct Options {
   std::size_t shards = 2;
   std::uint64_t steps = 1000;
   std::uint64_t seed = 0;
+  bool rebalance = true;        // sharded only: the whole adaptive layer
   std::string jsonPath = "-";   // "-" = stdout
   std::string tracePath;        // empty = no trace
 };
@@ -51,7 +52,8 @@ int usage() {
   std::cerr << "usage: cbip-stats [--model <name|file.bip>] [--n N] "
                "[--engine seq|mt|sharded]\n"
                "                  [--shards K] [--steps N] [--seed S] "
-               "[--json <path|->] [--trace <path>]\n";
+               "[--rebalance on|off]\n"
+               "                  [--json <path|->] [--trace <path>]\n";
   return 2;
 }
 
@@ -61,6 +63,11 @@ std::optional<System> loadModel(const Options& opt) {
   if (opt.model == "gas") return models::gasStation(opt.n, opt.n);
   if (opt.model == "prodcons") return models::producerConsumer(opt.n);
   if (opt.model == "tokenring") return models::tokenRing(opt.n);
+  // Skewed-load pairs (the rebalancer's benchmark family): n pairs, 1/8
+  // hot, the rest dead after 4 steps each.
+  if (opt.model == "skewed") {
+    return models::skewedPairs(opt.n, std::max(1, opt.n / 8), 4);
+  }
   std::ifstream in(opt.model);
   if (!in) {
     std::cerr << "cbip-stats: cannot open model file " << opt.model << "\n";
@@ -102,6 +109,11 @@ int main(int argc, char** argv) {
     else if (arg == "--shards" && (v = value())) opt.shards = std::stoul(v);
     else if (arg == "--steps" && (v = value())) opt.steps = std::stoull(v);
     else if (arg == "--seed" && (v = value())) opt.seed = std::stoull(v);
+    else if (arg == "--rebalance" && (v = value())) {
+      const std::string mode = v;
+      if (mode != "on" && mode != "off") return usage();
+      opt.rebalance = mode == "on";
+    }
     else if (arg == "--json" && (v = value())) opt.jsonPath = v;
     else if (arg == "--trace" && (v = value())) opt.tracePath = v;
     else return usage();
@@ -117,46 +129,59 @@ int main(int argc, char** argv) {
   obs::TraceLog trace;
   if (!opt.tracePath.empty()) obs::setTraceSink(&trace);
 
+  // All three engines are driven through the shared Engine interface:
+  // engine-specific knobs (seed, shard count, rebalancing) are preset on
+  // the concrete engine's defaultOptions() template, then the run itself
+  // only sees the portable EngineOptions core.
+  RandomPolicy policy(opt.seed);
+  std::optional<SequentialEngine> seqEngine;
+  std::optional<MultiThreadEngine> mtEngine;
+  std::optional<shard::ShardedEngine> shardedEngine;
+  Engine* engine = nullptr;
+  if (opt.engine == "seq") {
+    engine = &seqEngine.emplace(*system, policy);
+  } else if (opt.engine == "mt") {
+    engine = &mtEngine.emplace(*system, policy);
+  } else {
+    shard::ShardedEngine& se = shardedEngine.emplace(*system, opt.shards);
+    se.defaultOptions().seed = opt.seed;
+    se.defaultOptions().rebalance = opt.rebalance;
+    se.defaultOptions().workStealing = opt.rebalance;
+    engine = &se;
+  }
+
   RunResult result;
   std::optional<shard::ShardedStats> shardStats;
   try {
-    if (opt.engine == "seq") {
-      RandomPolicy policy(opt.seed);
-      SequentialEngine engine(*system, policy);
-      RunOptions options;
-      options.maxSteps = opt.steps;
-      options.recordTrace = false;
-      result = engine.run(options);
-    } else if (opt.engine == "mt") {
-      RandomPolicy policy(opt.seed);
-      MultiThreadEngine engine(*system, policy);
-      MtOptions options;
-      options.maxSteps = opt.steps;
-      options.recordTrace = false;
-      result = engine.run(options);
-    } else {
-      shard::ShardedEngine engine(*system, opt.shards);
-      shard::ShardedOptions options;
-      options.maxSteps = opt.steps;
-      options.recordTrace = false;
-      options.seed = opt.seed;
-      result = engine.run(options);
-      shardStats = engine.lastRunStats();
-    }
+    EngineOptions options;
+    options.maxSteps = opt.steps;
+    options.recordTrace = false;
+    result = engine->run(options);
+    if (shardedEngine) shardStats = shardedEngine->lastRunStats();
   } catch (const std::exception& e) {
     obs::setTraceSink(nullptr);
     std::cerr << "cbip-stats: run failed: " << e.what() << "\n";
     return 2;
   }
   obs::setTraceSink(nullptr);
+  const RunStats& runStats = engine->lastRunStats();
 
   std::string out = "{\"model\":\"";
   appendEscaped(out, opt.model);
   out += "\",\"engine\":\"" + opt.engine + "\"";
   out += ",\"steps\":" + std::to_string(result.steps);
   out += ",\"reason\":\"" + std::string(to_string(result.reason)) + "\"";
+  // Portable RunStats core — present for every engine (scan_rounds means
+  // steps on seq, scheduler cycles on mt, epochs on sharded).
+  out += ",\"stats\":{\"steps\":" + std::to_string(runStats.steps);
+  out += ",\"scan_rounds\":" + std::to_string(runStats.scanRounds);
+  out += ",\"wall_ns\":" + std::to_string(runStats.wallNs) + "}";
   if (shardStats) {
     const shard::ShardedStats& st = *shardStats;
+    out += ",\"rebalance\":{\"enabled\":" + std::string(opt.rebalance ? "true" : "false");
+    out += ",\"decisions\":" + std::to_string(st.rebalanceDecisions);
+    out += ",\"components_moved\":" + std::to_string(st.componentsMoved);
+    out += ",\"steal_events\":" + std::to_string(st.stealEvents) + "}";
     out += ",\"sharded\":{\"epochs\":" + std::to_string(st.epochs);
     out += ",\"stalled_epochs\":" + std::to_string(st.stalledEpochs);
     out += ",\"cross_candidates\":" + std::to_string(st.crossCandidates);
@@ -169,6 +194,9 @@ int main(int argc, char** argv) {
       out += "{\"steps\":" + std::to_string(sh.steps);
       out += ",\"local_steps\":" + std::to_string(sh.localSteps);
       out += ",\"cross_steps\":" + std::to_string(sh.crossSteps);
+      out += ",\"stolen_steps\":" + std::to_string(sh.stolenSteps);
+      out += ",\"migrated_in\":" + std::to_string(sh.migratedIn);
+      out += ",\"migrated_out\":" + std::to_string(sh.migratedOut);
       out += ",\"idle_epochs\":" + std::to_string(sh.idleEpochs);
       out += ",\"quota_granted\":" + std::to_string(sh.quotaGranted);
       out += ",\"quota_unused\":" + std::to_string(sh.quotaUnused);
