@@ -56,16 +56,34 @@ KEY_RATIOS = [
     ("bench_expr", "BM_BatchBlockedVsScalar/1", "BM_BatchBlockedVsScalar/0"),
     ("bench_dfinder", "BM_DFinderPhilosophersAnalyzedVsUnanalyzed/1",
      "BM_DFinderPhilosophersAnalyzedVsUnanalyzed/0"),
+    ("bench_dfinder", "BM_DFinderPhilosophers256PipelineVsLegacy/1/real_time",
+     "BM_DFinderPhilosophers256PipelineVsLegacy/0/real_time"),
+    ("bench_dfinder", "BM_DFinderTokenRing256PipelineVsLegacy/1/real_time",
+     "BM_DFinderTokenRing256PipelineVsLegacy/0/real_time"),
+    ("bench_dfinder", "BM_DFinderInvariantCompiledVsTree/1",
+     "BM_DFinderInvariantCompiledVsTree/0"),
+    ("bench_dfinder", "BM_DFinderParallelVsSerial/1/real_time",
+     "BM_DFinderParallelVsSerial/0/real_time"),
+    ("bench_dfinder", "BM_DFinderIncrementalVsFull/1",
+     "BM_DFinderIncrementalVsFull/0"),
 ]
 
 # Same-run ratios that must additionally clear an absolute floor in the
 # NEW results, independent of any baseline: the adaptive scheduler
 # (rebalancing + work stealing) must beat the static partition on the
 # 10^5-component skewed-load model, or the online-rebalancing claim is
-# void no matter what the baseline recorded.
+# void no matter what the baseline recorded; and the fast D-Finder
+# pipeline (compiled invariants, one incremental solver, template-copied
+# trap queries) must certify the 256-component models at >= 3x the
+# tree-walking serial legacy pipeline, or the verification-at-engine-
+# speed claim is void.
 KEY_RATIO_FLOORS = [
     ("bench_sharded", "BM_ShardedSkewed/100000/1/real_time",
      "BM_ShardedSkewed/100000/0/real_time", 1.0),
+    ("bench_dfinder", "BM_DFinderPhilosophers256PipelineVsLegacy/1/real_time",
+     "BM_DFinderPhilosophers256PipelineVsLegacy/0/real_time", 3.0),
+    ("bench_dfinder", "BM_DFinderTokenRing256PipelineVsLegacy/1/real_time",
+     "BM_DFinderTokenRing256PipelineVsLegacy/0/real_time", 3.0),
 ]
 
 # Absolute throughput counters, only comparable on matching context.

@@ -64,6 +64,8 @@ const char* lintKindName(LintKind kind) {
     case LintKind::kAlwaysTrueConnectorGuard: return "always-true-connector-guard";
     case LintKind::kConnectorVarReadBeforeWrite: return "connector-var-read-before-write";
     case LintKind::kConnectorVarNeverRead: return "connector-var-never-read";
+    case LintKind::kUnreachableLocation: return "unreachable-location";
+    case LintKind::kInteractionNeverEnabled: return "interaction-never-enabled";
   }
   return "unknown";
 }

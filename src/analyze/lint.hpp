@@ -50,6 +50,10 @@ enum class LintKind {
   kAlwaysTrueConnectorGuard,
   kConnectorVarReadBeforeWrite,
   kConnectorVarNeverRead,
+  // Verification-fed diagnostics (src/verify/lint.hpp — produced from
+  // D-Finder component invariants, not from the abstract interpreter):
+  kUnreachableLocation,       // location unreachable under the invariants
+  kInteractionNeverEnabled,   // interaction provably never enabled (DIS)
 };
 
 /// Stable lowercase-kebab label, e.g. "dead-transition".

@@ -26,6 +26,14 @@ int System::addConnector(Connector connector) {
   return static_cast<int>(connectors_.size()) - 1;
 }
 
+void System::removeConnector(std::size_t i) {
+  require(i < connectors_.size(), "System::removeConnector: index out of range");
+  connectors_.erase(connectors_.begin() + static_cast<std::ptrdiff_t>(i));
+  connectorsByInstance_.clear();
+  compiledPub_.store(nullptr, std::memory_order_relaxed);
+  compiled_.reset();
+}
+
 const CompiledSystem& System::compiled() const {
   // Hot path: already built and published.
   if (const CompiledSystem* p = compiledPub_.load(std::memory_order_acquire)) return *p;

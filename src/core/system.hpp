@@ -66,6 +66,11 @@ class System {
   int addInstance(const std::string& name, AtomicTypePtr type);
   /// Adds a connector; returns its index.
   int addConnector(Connector connector);
+  /// Removes the connector at index `i`; later connectors shift down one
+  /// index. Invalidates the same derived caches as addConnector. Model
+  /// edits under incremental verification use this (removing glue never
+  /// touches instances, so component invariants survive the edit).
+  void removeConnector(std::size_t i);
   void addPriority(PriorityRule rule);
   /// Enables maximal-progress filtering among interactions of the same
   /// connector (prefer strictly larger port sets).

@@ -47,6 +47,7 @@ Solver::Solver() {
   level_.push_back(0);
   reason_.push_back(kUndef);
   activity_.push_back(0.0);
+  heapPos_.push_back(-1);
   seen_.push_back(0);
   watches_.resize(2);
 }
@@ -56,8 +57,10 @@ int Solver::newVar() {
   level_.push_back(0);
   reason_.push_back(kUndef);
   activity_.push_back(0.0);
+  heapPos_.push_back(-1);
   seen_.push_back(0);
   watches_.resize(watches_.size() + 2);
+  heapInsert(variableCount());
   return variableCount();
 }
 
@@ -90,8 +93,15 @@ bool Solver::addClause(std::vector<Lit> lits) {
     return false;
   }
   if (out.size() == 1) {
+    // Root-level propagation triggered by an incremental unit clause runs
+    // *between* solve() calls, outside any SolveScope — flush its delta
+    // here or the work (including the one discovering root-level UNSAT,
+    // the early-UNSAT return below) never reaches the telemetry registry.
+    const std::uint64_t before = propagations_;
     enqueue(out[0], kUndef);
-    if (propagate() != kUndef) {
+    const bool conflict = propagate() != kUndef;
+    g_propagations.add(propagations_ - before);
+    if (conflict) {
       rootUnsat_ = true;
       return false;
     }
@@ -163,8 +173,54 @@ int Solver::propagate() {
 void Solver::bumpVar(int var) {
   activity_[static_cast<std::size_t>(var)] += varInc_;
   if (activity_[static_cast<std::size_t>(var)] > kActivityLimit) {
+    // Uniform rescale: strict order and ties are preserved, so the heap
+    // stays valid.
     for (double& a : activity_) a *= 1e-100;
     varInc_ *= 1e-100;
+  }
+  if (heapPos_[static_cast<std::size_t>(var)] >= 0) {
+    heapPercolateUp(static_cast<std::size_t>(heapPos_[static_cast<std::size_t>(var)]));
+  }
+}
+
+bool Solver::heapLess(int a, int b) const {
+  // "Higher priority than": greater activity, ties to the lower index
+  // (the choice the linear scan this heap replaced used to make).
+  const double aa = activity_[static_cast<std::size_t>(a)];
+  const double ab = activity_[static_cast<std::size_t>(b)];
+  return aa != ab ? aa > ab : a < b;
+}
+
+void Solver::heapInsert(int var) {
+  if (heapPos_[static_cast<std::size_t>(var)] >= 0) return;
+  heapPos_[static_cast<std::size_t>(var)] = static_cast<int>(heap_.size());
+  heap_.push_back(var);
+  heapPercolateUp(heap_.size() - 1);
+}
+
+void Solver::heapPercolateUp(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!heapLess(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    heapPos_[static_cast<std::size_t>(heap_[i])] = static_cast<int>(i);
+    heapPos_[static_cast<std::size_t>(heap_[parent])] = static_cast<int>(parent);
+    i = parent;
+  }
+}
+
+void Solver::heapPercolateDown(std::size_t i) {
+  while (true) {
+    const std::size_t left = 2 * i + 1;
+    if (left >= heap_.size()) break;
+    const std::size_t right = left + 1;
+    std::size_t best = left;
+    if (right < heap_.size() && heapLess(heap_[right], heap_[left])) best = right;
+    if (!heapLess(heap_[best], heap_[i])) break;
+    std::swap(heap_[i], heap_[best]);
+    heapPos_[static_cast<std::size_t>(heap_[i])] = static_cast<int>(i);
+    heapPos_[static_cast<std::size_t>(heap_[best])] = static_cast<int>(best);
+    i = best;
   }
 }
 
@@ -231,6 +287,7 @@ void Solver::backtrack(int targetLevel) {
     const int v = std::abs(trail_[i - 1]);
     assign_[static_cast<std::size_t>(v)] = -1;
     reason_[static_cast<std::size_t>(v)] = kUndef;
+    heapInsert(v);
   }
   trail_.resize(bound);
   trailLim_.resize(static_cast<std::size_t>(targetLevel));
@@ -238,17 +295,21 @@ void Solver::backtrack(int targetLevel) {
 }
 
 Lit Solver::pickBranchLit() {
-  int best = 0;
-  double bestActivity = -1.0;
-  for (int v = 1; v <= variableCount(); ++v) {
-    if (assign_[static_cast<std::size_t>(v)] == -1 &&
-        activity_[static_cast<std::size_t>(v)] > bestActivity) {
-      best = v;
-      bestActivity = activity_[static_cast<std::size_t>(v)];
+  while (!heap_.empty()) {
+    const int v = heap_[0];
+    heapPos_[static_cast<std::size_t>(v)] = -1;
+    heap_[0] = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) {
+      heapPos_[static_cast<std::size_t>(heap_[0])] = 0;
+      heapPercolateDown(0);
     }
+    if (assign_[static_cast<std::size_t>(v)] == -1) {
+      return -v;  // negative polarity first (works well on our encodings)
+    }
+    // Assigned since insertion: discard lazily and keep popping.
   }
-  if (best == 0) return 0;
-  return -best;  // negative polarity first (works well on our encodings)
+  return 0;
 }
 
 Result Solver::solve(const std::vector<Lit>& assumptions) {
@@ -309,7 +370,12 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
     if (decisionLevel() < static_cast<int>(assumptions.size())) {
       const Lit a = assumptions[static_cast<std::size_t>(decisionLevel())];
       require(std::abs(a) <= variableCount(), "solve: assumption on unknown variable");
-      if (litValue(a) == 0) return Result::kUnsat;  // conflicts with forced values
+      if (litValue(a) == 0) {
+        // Conflicts with forced values. Backtrack like every other exit:
+        // callers may addClause() right after an assumption-UNSAT.
+        backtrack(0);
+        return Result::kUnsat;
+      }
       trailLim_.push_back(trail_.size());
       if (litValue(a) == -1) enqueue(a, kUndef);
       continue;

@@ -29,6 +29,12 @@ class Solver {
   /// Allocates a fresh variable; returns its index (>= 1).
   int newVar();
   int variableCount() const { return static_cast<int>(assign_.size()) - 1; }
+  /// Clauses currently attached (post-normalization; unit clauses are
+  /// enqueued on the trail instead of stored). Per-worker telemetry for
+  /// the parallel verification portfolio.
+  std::size_t numClauses() const { return clauses_.size(); }
+  /// Alias of variableCount() under the conventional SAT-API name.
+  int numVars() const { return variableCount(); }
 
   /// Adds a clause (disjunction of literals). An empty clause makes the
   /// instance trivially unsatisfiable. Returns false if the solver is
@@ -73,6 +79,17 @@ class Solver {
   void decayActivities();
   bool attachClause(int ci);
 
+  // VSIDS order heap: candidate decision variables by activity, max
+  // first, ties to the lower index — the same choice the historical
+  // O(vars) linear scan made, at O(log vars) per operation. Assigned
+  // variables are discarded lazily when popped; backtracking re-inserts
+  // whatever it unassigns, so every unassigned variable is always in the
+  // heap.
+  bool heapLess(int a, int b) const;
+  void heapInsert(int var);
+  void heapPercolateUp(std::size_t i);
+  void heapPercolateDown(std::size_t i);
+
   int decisionLevel() const { return static_cast<int>(trailLim_.size()); }
 
   std::vector<Clause> clauses_;
@@ -81,6 +98,8 @@ class Solver {
   std::vector<int> level_;                 // var -> decision level
   std::vector<int> reason_;                // var -> clause index or kUndef
   std::vector<double> activity_;           // var -> VSIDS activity
+  std::vector<int> heap_;                  // order heap of candidate vars
+  std::vector<int> heapPos_;               // var -> slot in heap_, or -1
   std::vector<int8_t> seen_;               // scratch for analyze()
   std::vector<Lit> trail_;
   std::vector<std::size_t> trailLim_;

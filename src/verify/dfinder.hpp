@@ -10,6 +10,31 @@
 // (experiment E6). SAT yields a *potential* deadlock (the abstraction may
 // be too coarse); the witness control locations are reported so a
 // directed monolithic search can confirm them.
+//
+// Two pipelines implement the refinement loop:
+//
+//  * The fast pipeline (default) keeps ONE incremental SAT solver alive
+//    across refinement rounds (learnt clauses and VSIDS activity carry
+//    over), computes component invariants once per distinct AtomicType
+//    (instances share types, fanned out as a parallel portfolio —
+//    verify/parallel, CBIP_NO_PARALLEL_VERIFY hatch), and answers each
+//    per-witness trap query by copying a pre-encoded template solver and
+//    adding only the occupied-place units — the same SAT instance as a
+//    from-scratch rebuild, minus the per-clause re-encoding cost, so the
+//    trap sequence is unchanged. DFinderOptions::witnessBatch > 1
+//    additionally collects a batch of witnesses per round via
+//    selector-guarded blocking clauses and fans the trap queries out
+//    over the same portfolio. Merging is deterministic — traps are
+//    adopted in witness order behind a join barrier — so verdict,
+//    witness and trap sequence are bit-identical between the threaded
+//    and serial runs.
+//
+//  * The legacy pipeline (DFinderOptions::legacyPipeline) is the
+//    pre-optimization reference: per-instance tree-walking invariants, a
+//    fresh SAT encoding per round, one witness per round, everything
+//    serial. It is kept as the differential oracle (both pipelines must
+//    agree on the verdict) and as the baseline arm of the bench_dfinder
+//    speedup ratios.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +49,22 @@ namespace cbip::verify {
 struct DFinderOptions {
   ComponentInvariantOptions component;
   TrapOptions traps;
+  /// Pre-PR-10 reference pipeline (see the file comment). With the
+  /// CBIP_NO_COMPILE and CBIP_NO_PARALLEL_VERIFY hatches it reproduces
+  /// the historical tree-walking serial behaviour exactly.
+  bool legacyPipeline = false;
+  /// Fast pipeline: witnesses collected (and trap queries solved) per
+  /// refinement round — the width of the parallel trap portfolio.
+  /// Values <= 1 mean one witness per round, which is also the
+  /// measured sweet spot on the bench models: extra witnesses cost an
+  /// assumption-guarded SAT solve each and tend to yield overlapping,
+  /// redundant traps, while the template-copied trap query they feed is
+  /// already cheap. Widths > 1 remain supported (and tested) for
+  /// models whose trap queries are the bottleneck.
+  int witnessBatch = 1;
+  /// Worker threads for parallel batches (0 = hardware concurrency).
+  /// Only consulted while parallelVerifyEnabled().
+  int workers = 0;
 };
 
 enum class DFinderVerdict {
@@ -54,20 +95,35 @@ struct DFinderResult {
 /// (analyze::typeIntervals — the same reachable-in-isolation contract as
 /// componentInvariant) has guardFeasible cleared, shrinking the DIS
 /// enablement sources and the interaction net before the SAT encoding.
-/// Returns the number of guards newly proven infeasible.
-/// checkDeadlockFreedom applies this automatically while
+/// While compilation is enabled the facts come from analyzeProgram over
+/// the type's compiled guard bytecode; otherwise from analyzeExpr over
+/// the symbolic tree. Returns the number of guards newly proven
+/// infeasible. checkDeadlockFreedom applies this automatically while
 /// expr::analysisEnabled(); callers of checkDeadlockFreedomWith that
 /// build their own invariants may call it directly.
 std::size_t strengthenWithAnalysis(const System& system,
                                    std::vector<ComponentInvariant>& componentInvariants);
 
+/// Component invariants for every instance of `system`, computed once per
+/// distinct AtomicType (instances share types, and the invariant is a
+/// property of the type alone) — across the parallel portfolio when the
+/// hatch is on — then strengthened with the abstract-interpretation feed
+/// while expr::analysisEnabled().
+std::vector<ComponentInvariant> componentInvariants(const System& system,
+                                                    const DFinderOptions& options = {});
+
 /// Runs the full D-Finder pipeline on `system`.
 DFinderResult checkDeadlockFreedom(const System& system, const DFinderOptions& options = {});
 
-/// Core of the check, reusing precomputed invariants (the incremental
-/// verifier calls this directly).
+/// Core of the check, reusing precomputed invariants and previously
+/// proven traps (the incremental verifier calls this directly). When
+/// `prebuiltNet` is non-null it must be buildInteractionNet(system,
+/// componentInvariants) — the incremental verifier passes its cached
+/// chunk concatenation to skip the rebuild.
 DFinderResult checkDeadlockFreedomWith(const System& system,
                                        std::vector<ComponentInvariant> componentInvariants,
-                                       std::vector<std::vector<Place>> traps);
+                                       std::vector<std::vector<Place>> traps,
+                                       const DFinderOptions& options = {},
+                                       const InteractionNet* prebuiltNet = nullptr);
 
 }  // namespace cbip::verify

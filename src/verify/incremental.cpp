@@ -6,44 +6,111 @@
 
 namespace cbip::verify {
 
+namespace {
+
+/// isTrap restricted to one chunk: every chunk transition taking a token
+/// from `trap` must feed one back. The rest of the net respected the
+/// trap before the edit and is unchanged, so this is the whole
+/// preservation test for an addition.
+bool chunkRespectsTrap(const std::vector<NetTransition>& chunk, const std::vector<Place>& trap) {
+  const auto inTrap = [&trap](const Place& p) {
+    return std::find(trap.begin(), trap.end(), p) != trap.end();
+  };
+  for (const NetTransition& t : chunk) {
+    const bool takes = std::any_of(t.pre.begin(), t.pre.end(), inTrap);
+    if (!takes) continue;
+    const bool gives = std::any_of(t.post.begin(), t.post.end(), inTrap);
+    if (!gives) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 IncrementalVerifier::IncrementalVerifier(System components, DFinderOptions options)
     : system_(std::move(components)), options_(options) {
   system_.validate();
-  componentInvariants_.reserve(system_.instanceCount());
+  // Same invariants (per-type computation + analysis strengthening) as a
+  // full checkDeadlockFreedom run — required for the incremental-vs-full
+  // agreement the tests enforce.
+  componentInvariants_ = componentInvariants(system_, options_);
+  for (std::size_t ci = 0; ci < system_.connectorCount(); ++ci) {
+    connectorChunks_.push_back(connectorNetTransitions(system_, ci, componentInvariants_));
+  }
+  tauChunk_ = internalNetTransitions(system_, componentInvariants_);
+  initial_.reserve(system_.instanceCount());
   for (std::size_t i = 0; i < system_.instanceCount(); ++i) {
-    componentInvariants_.push_back(
-        componentInvariant(*system_.instance(i).type, options_.component));
+    initial_.push_back(Place{static_cast<int>(i), system_.instance(i).type->initialLocation()});
   }
 }
 
+IncrementalVerifier::StepResult IncrementalVerifier::recheck(
+    StepResult step, std::vector<std::vector<Place>> seeds) {
+  InteractionNet net;
+  net.initial = initial_;
+  for (const std::vector<NetTransition>& chunk : connectorChunks_) {
+    net.transitions.insert(net.transitions.end(), chunk.begin(), chunk.end());
+  }
+  net.transitions.insert(net.transitions.end(), tauChunk_.begin(), tauChunk_.end());
+
+  const std::size_t seeded = seeds.size();
+  DFinderResult check =
+      checkDeadlockFreedomWith(system_, componentInvariants_, std::move(seeds), options_, &net);
+  step.trapsNew = check.traps.size() - seeded;
+  traps_ = std::move(check.traps);
+  step.verdict = check.verdict;
+  step.witnessLocations = std::move(check.witnessLocations);
+  return step;
+}
+
 IncrementalVerifier::StepResult IncrementalVerifier::addConnector(Connector connector) {
-  system_.addConnector(std::move(connector));
+  const auto ci = static_cast<std::size_t>(system_.addConnector(std::move(connector)));
   system_.validate();
+  connectorChunks_.push_back(connectorNetTransitions(system_, ci, componentInvariants_));
+  const std::vector<NetTransition>& fresh = connectorChunks_.back();
 
-  const InteractionNet net = buildInteractionNet(system_, componentInvariants_);
+  // Dependency tracking: the edit touches only the new connector's
+  // participant instances. A trap supported entirely elsewhere is
+  // preserved without any test; an intersecting trap is rechecked
+  // against the new chunk only. The initial marking is untouched, so
+  // initiallyMarked holds from adoption time.
+  std::vector<char> touched(system_.instanceCount(), 0);
+  for (const ConnectorEnd& e : system_.connector(ci).ends()) {
+    touched[static_cast<std::size_t>(e.port.instance)] = 1;
+  }
 
-  // Preservation test: a trap stays an invariant iff it is still a trap of
-  // the extended net (new transitions must feed it back).
   StepResult step;
   std::vector<std::vector<Place>> kept;
   for (std::vector<Place>& trap : traps_) {
-    if (isTrap(net, trap) && initiallyMarked(net, trap)) {
-      kept.push_back(std::move(trap));
-      ++step.trapsKept;
-    } else {
-      ++step.trapsDropped;
+    const bool intersects = std::any_of(trap.begin(), trap.end(), [&touched](const Place& p) {
+      return touched[static_cast<std::size_t>(p.instance)] != 0;
+    });
+    if (intersects) {
+      ++step.trapsRechecked;
+      if (!chunkRespectsTrap(fresh, trap)) {
+        ++step.trapsDropped;
+        continue;
+      }
     }
+    ++step.trapsKept;
+    kept.push_back(std::move(trap));
   }
-  traps_ = std::move(kept);
+  traps_.clear();
+  return recheck(std::move(step), std::move(kept));
+}
 
-  // The deadlock check strengthens the invariant set on demand
-  // (witness-driven trap discovery); keep whatever it found for the next
-  // construction step.
-  DFinderResult check = checkDeadlockFreedomWith(system_, componentInvariants_, traps_);
-  step.trapsNew = check.traps.size() - traps_.size();
-  traps_ = std::move(check.traps);
-  step.verdict = check.verdict;
-  return step;
+IncrementalVerifier::StepResult IncrementalVerifier::removeConnector(std::size_t i) {
+  require(i < connectorChunks_.size(), "IncrementalVerifier::removeConnector: out of range");
+  system_.removeConnector(i);
+  connectorChunks_.erase(connectorChunks_.begin() + static_cast<std::ptrdiff_t>(i));
+
+  // The trap condition quantifies over net transitions and the set only
+  // shrank: every established trap (and its initial marking) survives.
+  StepResult step;
+  step.trapsKept = traps_.size();
+  std::vector<std::vector<Place>> kept = std::move(traps_);
+  traps_.clear();
+  return recheck(std::move(step), std::move(kept));
 }
 
 }  // namespace cbip::verify

@@ -1,17 +1,31 @@
 // Incremental construction + verification (monograph Section 5.6, [4]).
 //
 // BIP systems are built incrementally by adding interactions to a set of
-// components. Re-verifying from scratch after every addition wastes the
-// work already done; D-Finder's incremental method instead
-//   1. keeps the component invariants (components never change),
-//   2. tests which established interaction invariants (traps) are
-//      *preserved* by the new interactions — a trap of the extended net is
-//      exactly a trap of the old net that the new transitions respect, so
-//      the preservation test is a cheap direct check per trap,
-//   3. tops up with freshly enumerated traps only if needed, and
-//   4. re-runs the SAT deadlock check with the merged invariants.
+// components. Re-verifying from scratch after every edit wastes the work
+// already done; D-Finder's incremental method instead
+//   1. keeps the component invariants (components never change under
+//      glue edits),
+//   2. keeps the interaction net as per-connector *chunks* plus one tau
+//      chunk, so an edit rebuilds exactly one chunk,
+//   3. tests which established interaction invariants (traps) survive
+//      the edit, using dependency tracking: a trap whose support set
+//      (the instances its places belong to) misses the edited
+//      connector's participants is preserved outright — the new
+//      transitions can neither take from nor feed it; an intersecting
+//      trap is rechecked against the *new chunk only* (the rest of the
+//      net respected it before, and still does). Removing a connector
+//      preserves every trap (the trap condition quantifies over
+//      transitions, and the set only shrank),
+//   4. re-runs the SAT deadlock check seeded with the surviving traps
+//      (witness-driven discovery tops up whatever the edit invalidated).
 //
-// Experiment E7 measures the saving against from-scratch re-verification.
+// Every step's verdict provably agrees with full recomputation: both the
+// incremental and the from-scratch check run the same refinement loop to
+// a fixpoint, and a surviving trap is a genuine invariant of the edited
+// net, so seeding can never flip UNSAT to SAT or vice versa. The
+// randomized incremental-vs-full suite in tests/test_verify.cpp enforces
+// this. Experiment E7 measures the saving against from-scratch
+// re-verification (BM_DFinderIncrementalVsFull).
 #pragma once
 
 #include <vector>
@@ -25,25 +39,46 @@ class IncrementalVerifier {
  public:
   struct StepResult {
     DFinderVerdict verdict = DFinderVerdict::kPotentialDeadlock;
-    std::size_t trapsKept = 0;     // invariants preserved by the addition
-    std::size_t trapsDropped = 0;  // invalidated and discarded
-    std::size_t trapsNew = 0;      // newly enumerated
+    std::size_t trapsKept = 0;       // invariants preserved by the edit
+    std::size_t trapsRechecked = 0;  // support intersected the edit, tested
+    std::size_t trapsDropped = 0;    // invalidated and discarded
+    std::size_t trapsNew = 0;        // newly discovered by the re-check
+    /// When kPotentialDeadlock: a control-location witness per instance.
+    std::vector<int> witnessLocations;
   };
 
-  /// `components` must already hold all instances; connectors are added
-  /// one by one with addConnector.
+  /// `components` must already hold all instances (connectors are fine
+  /// too — their chunks are built up front); further connectors are then
+  /// added/removed one edit at a time.
   explicit IncrementalVerifier(System components, DFinderOptions options = {});
 
   /// Adds a connector and re-checks deadlock freedom incrementally.
   StepResult addConnector(Connector connector);
 
+  /// Removes the connector at index `i` (System::removeConnector
+  /// semantics: later connectors shift down) and re-checks. Every
+  /// established trap survives a removal.
+  StepResult removeConnector(std::size_t i);
+
   const System& system() const { return system_; }
+  const std::vector<ComponentInvariant>& invariants() const { return componentInvariants_; }
+  const std::vector<std::vector<Place>>& traps() const { return traps_; }
 
  private:
+  /// Concatenates the cached chunks (connector order, then tau) into the
+  /// net buildInteractionNet would produce, runs the seeded check, and
+  /// folds the outcome into `step`.
+  StepResult recheck(StepResult step, std::vector<std::vector<Place>> seeds);
+
   System system_;
   DFinderOptions options_;
   std::vector<ComponentInvariant> componentInvariants_;
   std::vector<std::vector<Place>> traps_;
+  /// Net chunks: one per connector (same index), plus the tau chunk and
+  /// the initial marking, which only instance edits could invalidate.
+  std::vector<std::vector<NetTransition>> connectorChunks_;
+  std::vector<NetTransition> tauChunk_;
+  std::vector<Place> initial_;
 };
 
 }  // namespace cbip::verify

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <deque>
+#include <iterator>
 #include <map>
 #include <set>
+#include <span>
 #include <unordered_set>
 
+#include "expr/compile.hpp"
 #include "util/require.hpp"
 
 namespace cbip::verify {
@@ -107,6 +110,41 @@ ComponentInvariant componentInvariant(const AtomicType& type,
     if (relevant[v]) slotOf[v] = slots++;
   }
 
+  // Compiled exploration (the default): every transition's guard + the
+  // actions surviving the cone-of-influence reduction are lowered once
+  // into a single fused ExprProgram over the reduced frame, so the BFS
+  // below runs bytecode instead of walking shared_ptr Expr trees through
+  // a virtual context. An empty program stands for a trivially-true guard
+  // with no surviving actions (nothing to evaluate). Successor states are
+  // bit-identical to the tree walk: compileFused applies the assignment
+  // block sequentially over the live frame exactly like ReducedContext.
+  // CBIP_NO_COMPILE restores the interpreted walk.
+  const bool useCompiled = expr::compilationEnabled();
+  std::vector<expr::ExprProgram> fused;
+  if (useCompiled) {
+    const expr::SlotMap reducedSlot = [&slotOf](expr::VarRef r) {
+      require(r.scope == 0 && r.index >= 0 && static_cast<std::size_t>(r.index) < slotOf.size() &&
+                  slotOf[static_cast<std::size_t>(r.index)] >= 0,
+              "component invariant: reference outside the reduced frame");
+      return slotOf[static_cast<std::size_t>(r.index)];
+    };
+    fused.reserve(type.transitionCount());
+    for (std::size_t i = 0; i < type.transitionCount(); ++i) {
+      const Transition& t = type.transition(static_cast<int>(i));
+      // Actions writing abstracted variables are dropped; COI closure
+      // guarantees the kept values read only relevant (mapped) variables.
+      std::vector<expr::Assign> kept;
+      for (const expr::Assign& a : t.actions) {
+        if (slotOf[static_cast<std::size_t>(a.target.index)] >= 0) kept.push_back(a);
+      }
+      if (t.guard.isTrue() && kept.empty()) {
+        fused.emplace_back();
+        continue;
+      }
+      fused.push_back(expr::compileFused(t.guard, kept, reducedSlot));
+    }
+  }
+
   using AbsState = std::pair<int, std::vector<Value>>;
   std::set<AbsState> seen;
   std::deque<AbsState> frontier;
@@ -131,13 +169,21 @@ ComponentInvariant componentInvariant(const AtomicType& type,
       const Transition& t = type.transition(static_cast<int>(i));
       if (t.from != state.first) continue;
       std::vector<Value> vars = state.second;
-      ReducedContext ctx(slotOf, vars);
-      if (!t.guard.isTrue() && t.guard.eval(ctx) == 0) continue;
-      guardFeasible[i] = true;
-      // Apply only the actions whose targets survive the reduction.
-      for (const expr::Assign& a : t.actions) {
-        if (slotOf[static_cast<std::size_t>(a.target.index)] >= 0) {
-          ctx.write(a.target, a.value.eval(ctx));
+      if (useCompiled) {
+        // One fused dispatch: guard test + surviving actions applied in
+        // place; result 0 means the guard failed (frame untouched).
+        const expr::ExprProgram& p = fused[i];
+        if (!p.empty() && p.run(std::span<Value>(vars), 0) == 0) continue;
+        guardFeasible[i] = true;
+      } else {
+        ReducedContext ctx(slotOf, vars);
+        if (!t.guard.isTrue() && t.guard.eval(ctx) == 0) continue;
+        guardFeasible[i] = true;
+        // Apply only the actions whose targets survive the reduction.
+        for (const expr::Assign& a : t.actions) {
+          if (slotOf[static_cast<std::size_t>(a.target.index)] >= 0) {
+            ctx.write(a.target, a.value.eval(ctx));
+          }
         }
       }
       AbsState next{t.to, std::move(vars)};
@@ -159,6 +205,87 @@ ComponentInvariant componentInvariant(const AtomicType& type,
   return inv;
 }
 
+namespace {
+
+/// Transitions of `instance` on `port` that the component invariant has
+/// not ruled out (feasible guard, reachable source).
+std::vector<const Transition*> feasibleTransitionsOf(
+    const System& system, const std::vector<ComponentInvariant>& componentInvariants,
+    int instance, int port) {
+  const AtomicType& type = *system.instance(static_cast<std::size_t>(instance)).type;
+  const ComponentInvariant& inv = componentInvariants[static_cast<std::size_t>(instance)];
+  std::vector<const Transition*> out;
+  for (std::size_t ti = 0; ti < type.transitionCount(); ++ti) {
+    const Transition& t = type.transition(static_cast<int>(ti));
+    if (t.port != port) continue;
+    if (!inv.guardFeasible[ti]) continue;
+    if (!inv.reachableLocations[static_cast<std::size_t>(t.from)]) continue;
+    out.push_back(&t);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<NetTransition> connectorNetTransitions(
+    const System& system, std::size_t ci,
+    const std::vector<ComponentInvariant>& componentInvariants) {
+  require(componentInvariants.size() == system.instanceCount(),
+          "connectorNetTransitions: invariant count mismatch");
+  require(ci < system.connectorCount(), "connectorNetTransitions: connector out of range");
+  std::vector<NetTransition> chunk;
+  const Connector& c = system.connector(ci);
+  for (InteractionMask mask : c.feasibleMasks()) {
+    std::vector<int> instances;
+    std::vector<std::vector<const Transition*>> options;
+    bool feasible = true;
+    for (std::size_t e = 0; e < c.endCount(); ++e) {
+      if ((mask & (InteractionMask{1} << e)) == 0) continue;
+      const PortRef& p = c.end(e).port;
+      auto ts = feasibleTransitionsOf(system, componentInvariants, p.instance, p.port);
+      if (ts.empty()) {
+        feasible = false;
+        break;
+      }
+      instances.push_back(p.instance);
+      options.push_back(std::move(ts));
+    }
+    if (!feasible) continue;
+    std::vector<std::size_t> pick(options.size(), 0);
+    while (true) {
+      NetTransition nt;
+      for (std::size_t k = 0; k < options.size(); ++k) {
+        nt.pre.push_back(Place{instances[k], options[k][pick[k]]->from});
+        nt.post.push_back(Place{instances[k], options[k][pick[k]]->to});
+      }
+      chunk.push_back(std::move(nt));
+      std::size_t k = 0;
+      while (k < pick.size()) {
+        if (++pick[k] < options[k].size()) break;
+        pick[k] = 0;
+        ++k;
+      }
+      if (k == pick.size()) break;
+    }
+  }
+  return chunk;
+}
+
+std::vector<NetTransition> internalNetTransitions(
+    const System& system, const std::vector<ComponentInvariant>& componentInvariants) {
+  require(componentInvariants.size() == system.instanceCount(),
+          "internalNetTransitions: invariant count mismatch");
+  std::vector<NetTransition> chunk;
+  for (std::size_t i = 0; i < system.instanceCount(); ++i) {
+    for (const Transition* t :
+         feasibleTransitionsOf(system, componentInvariants, static_cast<int>(i), kInternalPort)) {
+      chunk.push_back(NetTransition{{Place{static_cast<int>(i), t->from}},
+                                    {Place{static_cast<int>(i), t->to}}});
+    }
+  }
+  return chunk;
+}
+
 InteractionNet buildInteractionNet(const System& system,
                                    const std::vector<ComponentInvariant>& componentInvariants) {
   require(componentInvariants.size() == system.instanceCount(),
@@ -168,65 +295,16 @@ InteractionNet buildInteractionNet(const System& system,
     net.initial.push_back(
         Place{static_cast<int>(i), system.instance(i).type->initialLocation()});
   }
-
-  auto feasibleTransitionsOf = [&](int instance, int port) {
-    const AtomicType& type = *system.instance(static_cast<std::size_t>(instance)).type;
-    const ComponentInvariant& inv = componentInvariants[static_cast<std::size_t>(instance)];
-    std::vector<const Transition*> out;
-    for (std::size_t ti = 0; ti < type.transitionCount(); ++ti) {
-      const Transition& t = type.transition(static_cast<int>(ti));
-      if (t.port != port) continue;
-      if (!inv.guardFeasible[ti]) continue;
-      if (!inv.reachableLocations[static_cast<std::size_t>(t.from)]) continue;
-      out.push_back(&t);
-    }
-    return out;
-  };
-
+  // Connector chunks in index order, then the tau chunk — the order the
+  // incremental verifier's cached-chunk concatenation reproduces.
   for (std::size_t ci = 0; ci < system.connectorCount(); ++ci) {
-    const Connector& c = system.connector(ci);
-    for (InteractionMask mask : c.feasibleMasks()) {
-      std::vector<int> instances;
-      std::vector<std::vector<const Transition*>> options;
-      bool feasible = true;
-      for (std::size_t e = 0; e < c.endCount(); ++e) {
-        if ((mask & (InteractionMask{1} << e)) == 0) continue;
-        const PortRef& p = c.end(e).port;
-        auto ts = feasibleTransitionsOf(p.instance, p.port);
-        if (ts.empty()) {
-          feasible = false;
-          break;
-        }
-        instances.push_back(p.instance);
-        options.push_back(std::move(ts));
-      }
-      if (!feasible) continue;
-      std::vector<std::size_t> pick(options.size(), 0);
-      while (true) {
-        NetTransition nt;
-        for (std::size_t k = 0; k < options.size(); ++k) {
-          nt.pre.push_back(Place{instances[k], options[k][pick[k]]->from});
-          nt.post.push_back(Place{instances[k], options[k][pick[k]]->to});
-        }
-        net.transitions.push_back(std::move(nt));
-        std::size_t k = 0;
-        while (k < pick.size()) {
-          if (++pick[k] < options[k].size()) break;
-          pick[k] = 0;
-          ++k;
-        }
-        if (k == pick.size()) break;
-      }
-    }
+    std::vector<NetTransition> chunk = connectorNetTransitions(system, ci, componentInvariants);
+    net.transitions.insert(net.transitions.end(), std::make_move_iterator(chunk.begin()),
+                           std::make_move_iterator(chunk.end()));
   }
-
-  // Internal (tau) steps.
-  for (std::size_t i = 0; i < system.instanceCount(); ++i) {
-    for (const Transition* t : feasibleTransitionsOf(static_cast<int>(i), kInternalPort)) {
-      net.transitions.push_back(NetTransition{{Place{static_cast<int>(i), t->from}},
-                                              {Place{static_cast<int>(i), t->to}}});
-    }
-  }
+  std::vector<NetTransition> taus = internalNetTransitions(system, componentInvariants);
+  net.transitions.insert(net.transitions.end(), std::make_move_iterator(taus.begin()),
+                         std::make_move_iterator(taus.end()));
   return net;
 }
 

@@ -77,6 +77,21 @@ struct InteractionNet {
 InteractionNet buildInteractionNet(const System& system,
                                    const std::vector<ComponentInvariant>& componentInvariants);
 
+/// The net transitions contributed by connector `ci` alone (its feasible
+/// masks × the cartesian product of feasible transitions per
+/// participating end), in exactly the order buildInteractionNet emits
+/// them. Incremental recertification caches these per-connector chunks
+/// so a model edit rebuilds only the edited connector's slice of the net.
+std::vector<NetTransition> connectorNetTransitions(
+    const System& system, std::size_t ci,
+    const std::vector<ComponentInvariant>& componentInvariants);
+
+/// The internal (tau) net transitions of every instance, in
+/// buildInteractionNet order. The tau chunk depends only on the component
+/// invariants, never on connectors, so edits to the glue reuse it as-is.
+std::vector<NetTransition> internalNetTransitions(
+    const System& system, const std::vector<ComponentInvariant>& componentInvariants);
+
 struct TrapOptions {
   /// Maximum number of traps to enumerate.
   std::size_t maxTraps = 64;

@@ -2,8 +2,10 @@
 // random instances.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "sat/solver.hpp"
 #include "util/rng.hpp"
 
@@ -109,6 +111,58 @@ TEST(Sat, IncrementalAddAfterSolve) {
   s.addClause({-a});
   s.addClause({-b});
   EXPECT_EQ(s.solve(), Result::kUnsat);
+}
+
+TEST(Sat, SizeAccessorsTrackTheInstance) {
+  Solver s;
+  EXPECT_EQ(s.numVars(), 0);
+  EXPECT_EQ(s.numClauses(), 0u);
+  const int a = s.newVar(), b = s.newVar(), c = s.newVar();
+  EXPECT_EQ(s.numVars(), 3);
+  s.addClause({a, b});
+  s.addClause({-a, c});
+  EXPECT_EQ(s.numClauses(), 2u);
+  s.addClause({a, -a});  // tautology: dropped, not stored
+  EXPECT_EQ(s.numClauses(), 2u);
+  s.addClause({b});  // unit: enqueued at root, not stored as a clause
+  EXPECT_EQ(s.numClauses(), 2u);
+  EXPECT_EQ(s.solve(), Result::kSat);
+  EXPECT_EQ(s.numVars(), 3);
+}
+
+/// Reads one counter from a snapshot (0 when absent, e.g. CBIP_NO_OBS).
+std::uint64_t counterValue(const char* name) {
+  for (const auto& [n, v] : obs::snapshot().counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+TEST(Sat, RootLevelPropagationIsCounted) {
+  // addClause() of a unit propagates immediately (outside any solve), and
+  // that work must land in sat.propagations — including when the
+  // propagation exposes root-level UNSAT and addClause returns early.
+  const std::uint64_t before = counterValue("sat.propagations");
+  Solver s;
+  const int a = s.newVar(), b = s.newVar();
+  s.addClause({-a, b});
+  s.addClause({a});  // propagates a, then b
+  const std::uint64_t mid = counterValue("sat.propagations");
+  if (obs::enabled()) {
+    EXPECT_GE(mid - before, 2u);
+  }
+
+  Solver u;
+  const int x = u.newVar(), y = u.newVar();
+  u.addClause({-x, y});
+  u.addClause({-x, -y});
+  // Propagating x derives y and ¬y: root-level UNSAT found *inside*
+  // addClause — the early return must still have flushed the counter.
+  EXPECT_FALSE(u.addClause({x}));
+  EXPECT_EQ(u.solve(), Result::kUnsat);
+  if (obs::enabled()) {
+    EXPECT_GT(counterValue("sat.propagations"), mid);
+  }
 }
 
 // Brute-force reference check.

@@ -3,11 +3,17 @@
 // and incremental verification.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "engine/engine.hpp"
+#include "expr/compile.hpp"
 #include "models/models.hpp"
+#include "util/rng.hpp"
 #include "verify/dfinder.hpp"
 #include "verify/incremental.hpp"
 #include "verify/invariants.hpp"
+#include "verify/lint.hpp"
+#include "verify/parallel.hpp"
 #include "verify/reachability.hpp"
 
 namespace cbip::verify {
@@ -248,6 +254,333 @@ TEST(Incremental, ReusesTrapsAcrossAdditions) {
     reuses += step.trapsKept;
   }
   EXPECT_GT(reuses, 0u);
+}
+
+// ---- PR 10: pipeline equivalence ----------------------------------------
+
+/// RAII toggles for the expression-compilation and parallel-verify
+/// hatches, restoring the previous values on scope exit.
+class CompileSwitch {
+ public:
+  explicit CompileSwitch(bool on) : prev_(expr::compilationEnabled()) {
+    expr::setCompilationEnabled(on);
+  }
+  ~CompileSwitch() { expr::setCompilationEnabled(prev_); }
+  CompileSwitch(const CompileSwitch&) = delete;
+  CompileSwitch& operator=(const CompileSwitch&) = delete;
+
+ private:
+  bool prev_;
+};
+
+class ParallelSwitch {
+ public:
+  explicit ParallelSwitch(bool on) : prev_(parallelVerifyEnabled()) {
+    setParallelVerifyEnabled(on);
+  }
+  ~ParallelSwitch() { setParallelVerifyEnabled(prev_); }
+  ParallelSwitch(const ParallelSwitch&) = delete;
+  ParallelSwitch& operator=(const ParallelSwitch&) = delete;
+
+ private:
+  bool prev_;
+};
+
+std::vector<System> equivalenceZoo() {
+  std::vector<System> zoo;
+  zoo.push_back(models::philosophersAtomic(6));
+  zoo.push_back(models::philosophersTwoStep(4));
+  zoo.push_back(models::tokenRing(8));
+  zoo.push_back(models::gasStation(2, 3));
+  return zoo;
+}
+
+TEST(PipelineEquivalence, CompiledAndTreeInvariantsAgree) {
+  // The compiled fused-guard BFS and the symbolic tree walk must explore
+  // the exact same abstract state space: all four invariant fields equal,
+  // including the budget-fallback flag.
+  for (const System& sys : equivalenceZoo()) {
+    for (std::size_t i = 0; i < sys.instanceCount(); ++i) {
+      const AtomicType& type = *sys.instance(i).type;
+      ComponentInvariant compiled, tree;
+      {
+        CompileSwitch on(true);
+        compiled = componentInvariant(type);
+      }
+      {
+        CompileSwitch off(false);
+        tree = componentInvariant(type);
+      }
+      EXPECT_EQ(compiled.reachableLocations, tree.reachableLocations) << type.name();
+      EXPECT_EQ(compiled.guardFeasible, tree.guardFeasible) << type.name();
+      EXPECT_EQ(compiled.dataExact, tree.dataExact) << type.name();
+      EXPECT_EQ(compiled.statesExplored, tree.statesExplored) << type.name();
+    }
+  }
+}
+
+TEST(PipelineEquivalence, CompiledInvariantFallbackMatchesTree) {
+  // Over-budget exploration must fall back identically under both modes.
+  auto t = std::make_shared<AtomicType>("U");
+  const int run = t->addLocation("run");
+  const int n = t->addVariable("n", 0);
+  const int tick = t->addPort("tick");
+  t->addTransition(run, tick, Expr::local(n) >= Expr::lit(0),
+                   {expr::Assign{expr::VarRef{0, n}, Expr::local(n) + Expr::lit(1)}}, run);
+  t->setInitialLocation(run);
+  t->validate();
+  ComponentInvariantOptions opt;
+  opt.maxStates = 50;
+  ComponentInvariant compiled, tree;
+  {
+    CompileSwitch on(true);
+    compiled = componentInvariant(*t, opt);
+  }
+  {
+    CompileSwitch off(false);
+    tree = componentInvariant(*t, opt);
+  }
+  EXPECT_FALSE(compiled.dataExact);
+  EXPECT_EQ(compiled.dataExact, tree.dataExact);
+  EXPECT_EQ(compiled.guardFeasible, tree.guardFeasible);
+  EXPECT_EQ(compiled.statesExplored, tree.statesExplored);
+}
+
+TEST(PipelineEquivalence, ParallelAndSerialBitIdentical) {
+  // The acceptance bar: verdict, witness AND full trap sequence must be
+  // byte-identical with the parallel portfolio on and off.
+  for (const System& sys : equivalenceZoo()) {
+    DFinderResult par, ser;
+    {
+      ParallelSwitch on(true);
+      par = checkDeadlockFreedom(sys);
+    }
+    {
+      ParallelSwitch off(false);
+      ser = checkDeadlockFreedom(sys);
+    }
+    EXPECT_EQ(par.verdict, ser.verdict);
+    EXPECT_EQ(par.witnessLocations, ser.witnessLocations);
+    EXPECT_EQ(par.traps, ser.traps);
+    EXPECT_EQ(par.booleanVariables, ser.booleanVariables);
+    EXPECT_EQ(par.satConflicts, ser.satConflicts);
+    EXPECT_EQ(par.satDecisions, ser.satDecisions);
+  }
+}
+
+TEST(PipelineEquivalence, FastAndLegacyVerdictsAgree) {
+  for (const System& sys : equivalenceZoo()) {
+    DFinderOptions fast;
+    DFinderOptions legacy;
+    legacy.legacyPipeline = true;
+    EXPECT_EQ(checkDeadlockFreedom(sys, fast).verdict,
+              checkDeadlockFreedom(sys, legacy).verdict);
+  }
+}
+
+TEST(PipelineEquivalence, WitnessBatchWidthDoesNotChangeTheVerdict) {
+  // The batch width changes which witnesses are sampled per round (so the
+  // reported witness may differ) but never the verdict.
+  for (int batch : {1, 2, 8, 64}) {
+    DFinderOptions opt;
+    opt.witnessBatch = batch;
+    const DFinderResult flagged =
+        checkDeadlockFreedom(models::philosophersTwoStep(4), opt);
+    EXPECT_EQ(flagged.verdict, DFinderVerdict::kPotentialDeadlock) << "batch=" << batch;
+    EXPECT_FALSE(flagged.witnessLocations.empty());
+    const DFinderResult certified =
+        checkDeadlockFreedom(models::philosophersAtomic(6), opt);
+    EXPECT_EQ(certified.verdict, DFinderVerdict::kDeadlockFree) << "batch=" << batch;
+  }
+}
+
+// ---- PR 10: randomized incremental-vs-full -------------------------------
+
+TEST(IncrementalRandomized, AddRemoveAgreesWithFullRecomputation) {
+  // Random edit scripts over seeded systems: every incremental verdict
+  // must match a from-scratch checkDeadlockFreedom of the edited system,
+  // and every retained trap must still be a genuine initially-marked trap.
+  const System sources[] = {models::philosophersAtomic(4), models::tokenRing(6)};
+  for (const System& full : sources) {
+    Rng rng(0xd1f1ce + full.connectorCount());
+    System base;
+    for (const System::Instance& inst : full.instances()) {
+      base.addInstance(inst.name, inst.type);
+    }
+    IncrementalVerifier verifier(std::move(base));
+    std::vector<Connector> pool(full.connectors().begin(), full.connectors().end());
+    std::vector<Connector> absent = pool;  // not yet in the system
+    std::vector<Connector> present;
+    for (int step = 0; step < 12; ++step) {
+      IncrementalVerifier::StepResult res;
+      const bool doAdd = present.empty() || (!absent.empty() && rng.chance(2, 3));
+      if (doAdd) {
+        const std::size_t k = rng.index(absent.size());
+        res = verifier.addConnector(absent[k]);
+        present.push_back(absent[k]);
+        absent.erase(absent.begin() + static_cast<std::ptrdiff_t>(k));
+      } else {
+        const std::size_t k = rng.index(present.size());
+        res = verifier.removeConnector(k);
+        absent.push_back(present[k]);
+        present.erase(present.begin() + static_cast<std::ptrdiff_t>(k));
+      }
+      const DFinderResult fullCheck = checkDeadlockFreedom(verifier.system());
+      EXPECT_EQ(res.verdict, fullCheck.verdict) << "step " << step;
+      // Retained + rediscovered traps are invariants of the edited net.
+      const InteractionNet net =
+          buildInteractionNet(verifier.system(), verifier.invariants());
+      for (const std::vector<Place>& trap : verifier.traps()) {
+        EXPECT_TRUE(isTrap(net, trap)) << "step " << step;
+        EXPECT_TRUE(initiallyMarked(net, trap)) << "step " << step;
+      }
+    }
+  }
+}
+
+TEST(IncrementalRandomized, RemovalPreservesEveryTrap) {
+  const System full = models::philosophersAtomic(5);
+  System base;
+  for (const System::Instance& inst : full.instances()) {
+    base.addInstance(inst.name, inst.type);
+  }
+  IncrementalVerifier verifier(std::move(base));
+  for (const Connector& c : full.connectors()) verifier.addConnector(c);
+  const std::size_t before = verifier.traps().size();
+  const IncrementalVerifier::StepResult res = verifier.removeConnector(0);
+  EXPECT_EQ(res.trapsDropped, 0u);
+  EXPECT_EQ(res.trapsKept, before);
+}
+
+// ---- PR 10: analysis-strengthening corner cases --------------------------
+
+/// A type whose variable x has the exact interval [0, 3]: x starts at 0
+/// and one transition assigns the constant 3 (the join stabilizes without
+/// widening to top). Guards passed in are attached to a second transition
+/// on a separate port so each case probes one guard.
+std::shared_ptr<AtomicType> intervalEndpointType(const Expr& guard) {
+  auto t = std::make_shared<AtomicType>("E");
+  const int run = t->addLocation("run");
+  const int x = t->addVariable("x", 0);
+  const int set = t->addPort("set");
+  const int probe = t->addPort("probe");
+  t->addTransition(run, set, Expr::top(),
+                   {expr::Assign{expr::VarRef{0, x}, Expr::lit(3)}}, run);
+  t->addTransition(run, probe, guard, {}, run);
+  t->setInitialLocation(run);
+  t->validate();
+  return t;
+}
+
+/// Runs strengthenWithAnalysis over a one-instance system of
+/// `intervalEndpointType(guard)` with conservative (location-only style)
+/// invariants; returns whether the probe guard survived.
+bool probeGuardSurvives(const Expr& guard) {
+  System sys;
+  sys.addInstance("e", intervalEndpointType(guard));
+  sys.validate();
+  std::vector<ComponentInvariant> invs(1);
+  invs[0].reachableLocations.assign(1, true);
+  invs[0].guardFeasible.assign(2, true);
+  strengthenWithAnalysis(sys, invs);
+  EXPECT_TRUE(invs[0].guardFeasible[0]);  // the setter is never prunable
+  return invs[0].guardFeasible[1];
+}
+
+TEST(StrengthenCorners, GuardsFeasibleOnlyAtIntervalEndpointsSurvive) {
+  const int x = 0;
+  // Feasible exactly at the upper endpoint x == 3: must NOT be pruned.
+  EXPECT_TRUE(probeGuardSurvives(Expr::local(x) == Expr::lit(3)));
+  EXPECT_TRUE(probeGuardSurvives(Expr::local(x) >= Expr::lit(3)));
+  // Feasible exactly at the lower endpoint x == 0: must NOT be pruned.
+  EXPECT_TRUE(probeGuardSurvives(Expr::local(x) == Expr::lit(0)));
+  EXPECT_TRUE(probeGuardSurvives(Expr::local(x) <= Expr::lit(0)));
+  // One past each endpoint: provably false, must be pruned.
+  EXPECT_FALSE(probeGuardSurvives(Expr::local(x) == Expr::lit(4)));
+  EXPECT_FALSE(probeGuardSurvives(Expr::local(x) > Expr::lit(3)));
+  EXPECT_FALSE(probeGuardSurvives(Expr::local(x) < Expr::lit(0)));
+  EXPECT_FALSE(probeGuardSurvives(Expr::local(x) == Expr::lit(-1)));
+}
+
+TEST(StrengthenCorners, MayRaiseGuardIsNeverPruned) {
+  // 1 / x raises at x == 0, so even though `1 / x < 0` is false on every
+  // non-raising path, pruning would hide the EvalError: keep the guard.
+  const int x = 0;
+  EXPECT_TRUE(probeGuardSurvives(Expr::lit(1) / Expr::local(x) < Expr::lit(0)));
+}
+
+TEST(StrengthenCorners, PruningIdenticalCompiledAndTree) {
+  const int x = 0;
+  const Expr guards[] = {Expr::local(x) == Expr::lit(3), Expr::local(x) == Expr::lit(4),
+                         Expr::local(x) > Expr::lit(3),  Expr::local(x) >= Expr::lit(3),
+                         Expr::local(x) <= Expr::lit(0), Expr::local(x) < Expr::lit(0),
+                         Expr::lit(1) / Expr::local(x) < Expr::lit(0)};
+  for (const Expr& g : guards) {
+    bool compiled, tree;
+    {
+      CompileSwitch on(true);
+      compiled = probeGuardSurvives(g);
+    }
+    {
+      CompileSwitch off(false);
+      tree = probeGuardSurvives(g);
+    }
+    EXPECT_EQ(compiled, tree) << g.toString();
+  }
+}
+
+// ---- PR 10: verification-fed lints ---------------------------------------
+
+TEST(VerifyLint, FlagsUnreachableLocation) {
+  auto t = std::make_shared<AtomicType>("L");
+  t->addLocation("a");
+  t->addLocation("island");  // no incoming transition
+  const int p = t->addPort("p");
+  t->addTransition(0, p, Expr::top(), {}, 0);
+  t->setInitialLocation(0);
+  System sys;
+  sys.addInstance("i", t);
+  sys.validate();
+  const std::vector<analyze::Diagnostic> diags = lintVerify(sys);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].kind, analyze::LintKind::kUnreachableLocation);
+  EXPECT_NE(diags[0].message.find("island"), std::string::npos);
+  EXPECT_NE(diags[0].where.find("i"), std::string::npos);
+}
+
+TEST(VerifyLint, FlagsNeverEnabledInteraction) {
+  // The connector's only interaction needs port `never`, whose single
+  // transition is guarded provably false: the interaction can never fire.
+  auto t = std::make_shared<AtomicType>("N");
+  const int run = t->addLocation("run");
+  const int never = t->addPort("never");
+  const int go = t->addPort("go");
+  t->addTransition(run, never, Expr::lit(0), {}, run);
+  t->addTransition(run, go, Expr::top(), {}, run);
+  t->setInitialLocation(run);
+  System sys;
+  const int a = sys.addInstance("a", t);
+  const int b = sys.addInstance("b", t);
+  Connector dead("dead");
+  dead.addEnd(PortRef{a, never});
+  dead.addEnd(PortRef{b, go});
+  sys.addConnector(std::move(dead));
+  Connector live("live");
+  live.addEnd(PortRef{a, go});
+  live.addEnd(PortRef{b, go});
+  sys.addConnector(std::move(live));
+  sys.validate();
+  const std::vector<analyze::Diagnostic> diags = lintVerify(sys);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].kind, analyze::LintKind::kInteractionNeverEnabled);
+  EXPECT_NE(diags[0].where.find("dead"), std::string::npos);
+}
+
+TEST(VerifyLint, CleanModelsProduceNoDiagnostics) {
+  for (const System& sys : equivalenceZoo()) {
+    const std::vector<analyze::Diagnostic> diags = lintVerify(sys);
+    EXPECT_TRUE(diags.empty()) << (diags.empty() ? "" : toString(diags.front()));
+  }
 }
 
 // Parameterized consistency sweep: D-Finder never returns kDeadlockFree

@@ -21,6 +21,7 @@
 #include "analyze/lint.hpp"
 #include "frontends/bipdsl/bipdsl.hpp"
 #include "util/require.hpp"
+#include "verify/lint.hpp"
 
 namespace {
 
@@ -42,6 +43,13 @@ int lintFile(const std::string& path, std::size_t& diagnostics) {
   }
   std::vector<cbip::analyze::Diagnostic> diags =
       cbip::analyze::lintSystem(parsed.system);
+  // Verification-fed lints (unreachable locations, never-enabled
+  // interactions) need at least one instance to have invariants about.
+  if (parsed.system.instanceCount() > 0) {
+    std::vector<cbip::analyze::Diagnostic> verifyDiags =
+        cbip::verify::lintVerify(parsed.system);
+    diags.insert(diags.end(), verifyDiags.begin(), verifyDiags.end());
+  }
   // Atoms the system section never instantiated still deserve a lint
   // pass (lintSystem only sees instantiated types).
   for (const auto& [name, type] : parsed.atoms) {

@@ -1,0 +1,139 @@
+// cbip-verify: the D-Finder certification front door.
+//
+// Loads a builtin model or a .bip file and runs the compositional
+// deadlock-freedom check (src/verify/dfinder.hpp), printing the verdict,
+// the certification ingredients (traps, SAT statistics) and — on a
+// potential deadlock — the witness control locations:
+//
+//   cbip-verify --model philosophers --n 256 --expect deadlock-free
+//   cbip-verify examples/models/mutex.bip
+//
+// Builtin models: philosophers (atomic-grab, deadlock-free),
+// philosophers2 (two-step, can deadlock), gas (gas station), tokenring,
+// skewed. Any other --model value (or a bare positional argument) is
+// treated as a path to a .bip model file.
+//
+// --expect turns the run into a gate: exit 0 when the verdict matches,
+// 1 when it does not. CI uses this to fail on any regression from
+// DEADLOCK_FREE over examples/models/ and the 256-component bench
+// models. --legacy selects the reference pipeline (tree-walking
+// invariants, serial, fresh encoding per round) for differential runs.
+//
+// Exit codes: 0 = verdict matches --expect (or no --expect), 1 =
+// verdict mismatch, 2 = bad usage / load failure.
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "frontends/bipdsl/bipdsl.hpp"
+#include "models/models.hpp"
+#include "util/require.hpp"
+#include "verify/dfinder.hpp"
+
+namespace {
+
+using namespace cbip;
+
+struct Options {
+  std::string model;
+  int n = 8;
+  std::string expect;  // "", "deadlock-free" or "potential-deadlock"
+  bool legacy = false;
+  int workers = 0;
+};
+
+int usage() {
+  std::cerr << "usage: cbip-verify [--model <name|file.bip>] [--n N]\n"
+               "                   [--expect deadlock-free|potential-deadlock]\n"
+               "                   [--legacy] [--workers K] [file.bip]\n";
+  return 2;
+}
+
+std::optional<System> loadModel(const Options& opt) {
+  if (opt.model == "philosophers") return models::philosophersAtomic(opt.n);
+  if (opt.model == "philosophers2") return models::philosophersTwoStep(opt.n);
+  if (opt.model == "gas") return models::gasStation(opt.n, opt.n);
+  if (opt.model == "tokenring") return models::tokenRing(opt.n);
+  if (opt.model == "skewed") return models::skewedPairs(opt.n, std::max(1, opt.n / 8), 4);
+  std::ifstream in(opt.model);
+  if (!in) {
+    std::cerr << "cbip-verify: cannot open model file " << opt.model << "\n";
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  try {
+    dsl::ParseResult parsed = dsl::parseModel(buf.str());
+    parsed.system.validate();
+    return std::move(parsed.system);
+  } catch (const ModelError& e) {
+    std::cerr << "cbip-verify: " << opt.model << ": " << e.what() << "\n";
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) return nullptr;
+      return argv[++i];
+    };
+    const char* v = nullptr;
+    if (arg == "--model" && (v = value())) opt.model = v;
+    else if (arg == "--n" && (v = value())) opt.n = std::stoi(v);
+    else if (arg == "--expect" && (v = value())) opt.expect = v;
+    else if (arg == "--legacy") opt.legacy = true;
+    else if (arg == "--workers" && (v = value())) opt.workers = std::stoi(v);
+    else if (!arg.empty() && arg[0] != '-' && opt.model.empty()) opt.model = arg;
+    else return usage();
+  }
+  if (opt.model.empty()) return usage();
+  if (!opt.expect.empty() && opt.expect != "deadlock-free" &&
+      opt.expect != "potential-deadlock") {
+    return usage();
+  }
+
+  std::optional<System> system = loadModel(opt);
+  if (!system) return 2;
+
+  verify::DFinderOptions options;
+  options.legacyPipeline = opt.legacy;
+  options.workers = opt.workers;
+  verify::DFinderResult result;
+  try {
+    result = verify::checkDeadlockFreedom(*system, options);
+  } catch (const std::exception& e) {
+    std::cerr << "cbip-verify: check failed: " << e.what() << "\n";
+    return 2;
+  }
+
+  const bool free = result.verdict == verify::DFinderVerdict::kDeadlockFree;
+  std::cout << "cbip-verify: " << opt.model << " (" << system->instanceCount()
+            << " components): " << (free ? "DEADLOCK_FREE" : "POTENTIAL_DEADLOCK") << "\n"
+            << "  traps=" << result.traps.size() << " vars=" << result.booleanVariables
+            << " conflicts=" << result.satConflicts << " decisions=" << result.satDecisions
+            << " pipeline=" << (opt.legacy ? "legacy" : "fast") << "\n";
+  if (!free && !result.witnessLocations.empty()) {
+    std::cout << "  witness:";
+    for (std::size_t i = 0; i < result.witnessLocations.size(); ++i) {
+      const System::Instance& inst = system->instance(i);
+      std::cout << " " << inst.name << "@"
+                << inst.type->locationName(result.witnessLocations[i]);
+    }
+    std::cout << "\n";
+  }
+
+  if (opt.expect.empty()) return 0;
+  const bool match = free == (opt.expect == "deadlock-free");
+  if (!match) {
+    std::cerr << "cbip-verify: verdict mismatch: expected " << opt.expect << "\n";
+  }
+  return match ? 0 : 1;
+}

@@ -42,6 +42,13 @@ else
   mapfile -t files < <(git ls-files 'src/**/*.cpp' 'tools/*.cpp' | sort -u)
 fi
 
+# The verification and SAT layers are kept tidy-clean as a whole, not
+# just on touch: the parallel portfolio and the solver's invariants are
+# exactly where the concurrency-* checks earn their keep, so these files
+# are always linted regardless of the diff.
+mapfile -t files < <(printf '%s\n' "${files[@]+"${files[@]}"}" |
+  cat - <(git ls-files 'src/verify/*.cpp' 'src/sat/*.cpp') | sed '/^$/d' | sort -u)
+
 if [[ ${#files[@]} -eq 0 ]]; then
   echo "run_clang_tidy: no touched .cpp files vs ${BASE_REF:-<none>}; nothing to lint"
   exit 0
